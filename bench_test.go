@@ -1,0 +1,264 @@
+// Package scikey's root benchmarks regenerate every table and figure of
+// the paper (see DESIGN.md's experiment index). Each benchmark reports the
+// experiment's domain metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the numbers EXPERIMENTS.md records. BenchmarkE<n> map to the
+// paper's tables/figures; BenchmarkA<n> are the DESIGN.md ablations.
+package scikey
+
+import (
+	"fmt"
+	"testing"
+
+	"scikey/internal/codec"
+	"scikey/internal/experiments"
+	"scikey/internal/predictor"
+	"scikey/internal/sfc"
+	"scikey/internal/workload"
+)
+
+// BenchmarkE1_IntroOverhead regenerates the introduction's intermediate
+// file sizes (paper: 26,000,006 and 33,000,006 bytes; key/value 6.75).
+func BenchmarkE1_IntroOverhead(b *testing.B) {
+	var r experiments.E1Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.E1IntroOverhead()
+	}
+	b.ReportMetric(float64(r.IndexFileBytes), "indexfile_B")
+	b.ReportMetric(float64(r.NameFileBytes), "namefile_B")
+	b.ReportMetric(r.KeyValueRatio, "key/value")
+}
+
+// BenchmarkE3_ByteLevelCompression regenerates the Fig. 3 table on the
+// full 100^3 (12,000,000-byte) input.
+func BenchmarkE3_ByteLevelCompression(b *testing.B) {
+	data := workload.GridWalkTriples(100)
+	for _, name := range []string{"gzip", "transform+gzip", "bzip2", "transform+bzip2"} {
+		b.Run(name, func(b *testing.B) {
+			c, err := codec.Get(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			var size int
+			for i := 0; i < b.N; i++ {
+				comp, err := codec.Compress(c, data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = len(comp)
+			}
+			b.ReportMetric(float64(size), "out_B")
+		})
+	}
+}
+
+// BenchmarkE4_TransformTimeVsSize regenerates Fig. 4: constant MB/s across
+// sizes demonstrates the linear relationship.
+func BenchmarkE4_TransformTimeVsSize(b *testing.B) {
+	for _, n := range []int{20, 40, 60, 80, 100} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			data := workload.GridWalkTriples(n)
+			tr := predictor.NewTransformer(predictor.Config{})
+			dst := make([]byte, 0, len(data))
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Reset()
+				dst = tr.Forward(dst[:0], data)
+			}
+		})
+	}
+}
+
+// BenchmarkE5_StrideStrategies times the three stride-selection modes on
+// the same stream (brute force vs adaptive is the paper's 4x/17x claim).
+func BenchmarkE5_StrideStrategies(b *testing.B) {
+	data := workload.GridWalkTriples(50)
+	cfgs := map[string]predictor.Config{
+		"fixed12":        {Mode: predictor.Fixed, Strides: []int{12}},
+		"adaptive100":    {Mode: predictor.Adaptive, MaxStride: 100},
+		"exhaustive100":  {Mode: predictor.Exhaustive, MaxStride: 100},
+		"adaptive1000":   {Mode: predictor.Adaptive, MaxStride: 1000},
+		"exhaustive1000": {Mode: predictor.Exhaustive, MaxStride: 1000},
+	}
+	for _, name := range []string{"fixed12", "adaptive100", "exhaustive100", "adaptive1000", "exhaustive1000"} {
+		b.Run(name, func(b *testing.B) {
+			tr := predictor.NewTransformer(cfgs[name])
+			dst := make([]byte, 0, len(data))
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Reset()
+				dst = tr.Forward(dst[:0], data)
+			}
+		})
+	}
+}
+
+// BenchmarkE6_MedianTransformCodec regenerates Section III-E (paper:
+// bytes -77.8%, runtime +106%).
+func BenchmarkE6_MedianTransformCodec(b *testing.B) {
+	var r experiments.StrategyComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.E6TransformCodecOnMedian(192)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ReductionPct, "reduction_%")
+	b.ReportMetric(r.RuntimeDeltaPct, "runtime_delta_%")
+}
+
+// BenchmarkE7_AggregationDataSize regenerates Fig. 8 (paper: up to 84.5%
+// reduction).
+func BenchmarkE7_AggregationDataSize(b *testing.B) {
+	var r experiments.E7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.E7AggregationDataSize()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Original.Total()), "original_B")
+	b.ReportMetric(float64(r.Compressed.Total()), "compressed_B")
+	b.ReportMetric(r.ReductionPct, "reduction_%")
+}
+
+// BenchmarkE8_MedianAggregation regenerates Section IV-D (paper: bytes
+// -60.7%, runtime -28.5%).
+func BenchmarkE8_MedianAggregation(b *testing.B) {
+	var r experiments.StrategyComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.E8AggregationOnMedian(192)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ReductionPct, "reduction_%")
+	b.ReportMetric(r.RuntimeDeltaPct, "runtime_delta_%")
+}
+
+// BenchmarkE10_AggregationGeometries compares curve-range aggregation with
+// greedy n-D box aggregation (the Fig. 5 alternative) on the median query.
+func BenchmarkE10_AggregationGeometries(b *testing.B) {
+	var rows []experiments.E10Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.E10AggregationGeometries(96)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Scheme == "curve/zorder" {
+			b.ReportMetric(float64(r.MaterializedBytes), "zorder_B")
+		}
+		if r.Scheme == "boxes" {
+			b.ReportMetric(float64(r.MaterializedBytes), "boxes_B")
+		}
+	}
+}
+
+// BenchmarkA5_SplitInflation measures the Section IV-B open question.
+func BenchmarkA5_SplitInflation(b *testing.B) {
+	var r experiments.A5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.A5SplitInflation(96)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.MapperPairs), "mapper_pairs")
+	b.ReportMetric(float64(r.AfterOverlapSplit), "post_split_pairs")
+	b.ReportMetric(float64(r.OutputPairsReagg), "reagg_pairs")
+}
+
+// BenchmarkA1_CurveComparison measures per-curve index cost; mean runs per
+// box (the clustering metric) rides along as a reported metric.
+func BenchmarkA1_CurveComparison(b *testing.B) {
+	rows := experiments.A1CurveComparison(8, 200, 42)
+	runs := map[string]float64{}
+	for _, r := range rows {
+		runs[r.Curve] = r.MeanRuns
+	}
+	for _, name := range []string{"zorder", "hilbert", "peano", "rowmajor"} {
+		b.Run(name, func(b *testing.B) {
+			c, err := sfc.ForSide(name, 2, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			coords := make([]uint64, 0, 1024)
+			for i := 0; i < 1024; i++ {
+				coords = append(coords, uint64(i*2654435761)%65536)
+			}
+			b.ResetTimer()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				idx := coords[i%len(coords)]
+				sink += c.Index(c.Coord(idx))
+			}
+			_ = sink
+			b.ReportMetric(runs[name], "runs/box")
+		})
+	}
+}
+
+// BenchmarkA2_FlushThreshold measures aggregation at several buffer sizes.
+func BenchmarkA2_FlushThreshold(b *testing.B) {
+	for _, th := range []int{256, 4096, 1 << 16} {
+		b.Run(fmt.Sprintf("flush=%d", th), func(b *testing.B) {
+			var rows []experiments.A2Row
+			for i := 0; i < b.N; i++ {
+				rows = experiments.A2FlushThreshold(256, []int{th})
+			}
+			b.ReportMetric(float64(rows[0].PairsOut), "agg_pairs")
+			b.ReportMetric(rows[0].BytesPerCell, "keyB/cell")
+		})
+	}
+}
+
+// BenchmarkA3_Alignment measures overlap splitting with and without
+// alignment expansion.
+func BenchmarkA3_Alignment(b *testing.B) {
+	for _, align := range []uint64{1, 8, 16} {
+		b.Run(fmt.Sprintf("align=%d", align), func(b *testing.B) {
+			var rows []experiments.A3Row
+			for i := 0; i < b.N; i++ {
+				rows = experiments.A3Alignment([]uint64{align})
+			}
+			b.ReportMetric(float64(rows[0].Fragments), "fragments")
+			b.ReportMetric(float64(rows[0].PadCells), "pad_cells")
+		})
+	}
+}
+
+// BenchmarkA4_DetectorParams sweeps the detector's tuning knobs.
+func BenchmarkA4_DetectorParams(b *testing.B) {
+	data := workload.GridWalkTriples(40)
+	cfgs := map[string]predictor.Config{
+		"cycle=64":   {SelectionCycle: 64},
+		"cycle=256":  {SelectionCycle: 256},
+		"cycle=4096": {SelectionCycle: 4096},
+		"hit=1/2":    {HitRateNum: 1, HitRateDen: 2},
+		"hit=5/6":    {HitRateNum: 5, HitRateDen: 6},
+	}
+	for _, name := range []string{"cycle=64", "cycle=256", "cycle=4096", "hit=1/2", "hit=5/6"} {
+		b.Run(name, func(b *testing.B) {
+			tr := predictor.NewTransformer(cfgs[name])
+			dst := make([]byte, 0, len(data))
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Reset()
+				dst = tr.Forward(dst[:0], data)
+			}
+		})
+	}
+}

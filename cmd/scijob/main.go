@@ -1,0 +1,98 @@
+// Command scijob runs the paper's sliding-window query end-to-end on the
+// in-process cluster under a chosen intermediate-data strategy and prints
+// the Hadoop-style counters plus the modeled runtime. Examples:
+//
+//	scijob -side 256 -strategy baseline
+//	scijob -side 256 -strategy transform -codec zlib
+//	scijob -side 256 -strategy aggregation -curve zorder -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scikey/internal/cluster"
+	"scikey/internal/core"
+	"scikey/internal/experiments"
+	"scikey/internal/scihadoop"
+	"scikey/internal/workload"
+)
+
+func main() {
+	side := flag.Int("side", 128, "grid side length (side x side int32 cells)")
+	stratName := flag.String("strategy", "baseline", "baseline | transform | aggregation | boxes")
+	codecName := flag.String("codec", "zlib", "inner codec for -strategy transform")
+	curve := flag.String("curve", "zorder", "curve for -strategy aggregation: zorder | hilbert | rowmajor")
+	op := flag.String("op", "median", "window operator: median | max")
+	radius := flag.Int("radius", 1, "window radius (1 = 3x3)")
+	splits := flag.Int("splits", 10, "map tasks")
+	reducers := flag.Int("reducers", 5, "reduce tasks")
+	flush := flag.Int("flush", 0, "aggregation flush threshold in cells (0 = default)")
+	verify := flag.Bool("verify", false, "check results against the reference implementation")
+	flag.Parse()
+
+	var strat core.Strategy
+	switch *stratName {
+	case "baseline":
+		strat = core.Strategy{Kind: core.Baseline}
+	case "transform":
+		strat = core.Strategy{Kind: core.ByteTransform, Codec: *codecName}
+	case "aggregation":
+		strat = core.Strategy{Kind: core.Aggregation, Curve: *curve, FlushCells: *flush}
+	case "boxes":
+		strat = core.Strategy{Kind: core.BoxAggregation, FlushCells: *flush}
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *stratName))
+	}
+
+	fs, qcfg, err := experiments.MedianSetup(*side)
+	if err != nil {
+		fatal(err)
+	}
+	qcfg.NumSplits = *splits
+	qcfg.NumReducers = *reducers
+	qcfg.Radius = *radius
+	if *op == "max" {
+		qcfg.Op = scihadoop.Max
+	}
+	qcfg.OutputPath = "/out/scijob"
+
+	rep, err := core.RunQuery(fs, qcfg, strat, cluster.Paper(), *verify)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("job: %s %s on %dx%d grid, %d splits, %d reducers\n",
+		qcfg.Op, rep.Strategy, *side, *side, *splits, *reducers)
+	fmt.Printf("  map output records:            %s\n", experiments.FormatBytes(rep.MapOutputRecords))
+	fmt.Printf("  map output key bytes:          %s\n", experiments.FormatBytes(rep.KeyBytes))
+	fmt.Printf("  map output value bytes:        %s\n", experiments.FormatBytes(rep.ValueBytes))
+	fmt.Printf("  map output materialized bytes: %s\n", experiments.FormatBytes(rep.MaterializedBytes))
+	fmt.Printf("  reduce shuffle bytes:          %s\n", experiments.FormatBytes(rep.ShuffleBytes))
+	fmt.Printf("  partition key splits:          %s\n", experiments.FormatBytes(rep.PartitionSplits))
+	fmt.Printf("  overlap key splits:            %s\n", experiments.FormatBytes(rep.OverlapSplits))
+	fmt.Printf("  modeled runtime (5-node cluster): map %.1fs + reduce %.1fs = %.1fs\n",
+		rep.Estimate.MapSeconds, rep.Estimate.ReduceSeconds, rep.Estimate.Total())
+
+	if *verify {
+		field := &workload.Field{Extent: qcfg.DS.Extent, Name: qcfg.DS.Var.Name}
+		want := scihadoop.Reference(field, qcfg.DS.Extent, qcfg.Radius, qcfg.Op)
+		bad := 0
+		for k, w := range want {
+			if rep.Output[k] != w {
+				bad++
+			}
+		}
+		if bad > 0 || len(rep.Output) != len(want) {
+			fatal(fmt.Errorf("verification FAILED: %d/%d cells wrong, %d/%d cells present",
+				bad, len(want), len(rep.Output), len(want)))
+		}
+		fmt.Printf("  verification: OK (%d cells match the reference)\n", len(want))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scijob:", err)
+	os.Exit(1)
+}

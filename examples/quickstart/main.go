@@ -1,0 +1,50 @@
+// Quickstart: compress a stream of serialized scientific keys with the
+// Section III predictive transform, verify losslessness, and compare
+// against plain gzip — the 60-second tour of what this library does.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"scikey/internal/codec"
+	"scikey/internal/grid"
+	"scikey/internal/keys"
+	"scikey/internal/workload"
+)
+
+func main() {
+	// A mapper's-eye view of scientific intermediate data: one record per
+	// grid cell, keyed by variable name + coordinate. Keys dwarf values.
+	kc := &keys.Codec{Rank: 3, Mode: keys.VarByName}
+	box := grid.NewBox(grid.Coord{0, 0, 0}, []int{20, 20, 20})
+	v := keys.VarRef{Name: "windspeed1"}
+	value := []byte{0, 0, 0, 42}
+	stream := workload.KeyValueStream(kc, v, box, func(grid.Coord) []byte { return value })
+	fmt.Printf("key/value stream: %d bytes for %d cells (%d bytes of values)\n",
+		len(stream), box.NumCells(), box.NumCells()*4)
+
+	// Compress it three ways.
+	for _, name := range []string{"gzip", "transform+gzip", "transform+bzip2"} {
+		c, err := codec.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		comp, err := codec.Compress(c, stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		back, err := codec.Decompress(c, comp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(back, stream) {
+			log.Fatalf("%s: roundtrip mismatch!", name)
+		}
+		fmt.Printf("%-16s %8d bytes (%.3f%% of original, lossless)\n",
+			name, len(comp), 100*float64(len(comp))/float64(len(stream)))
+	}
+	fmt.Println("\nThe transform predicts each byte from the detected stride pattern and")
+	fmt.Println("stores only the residual; the generic codec then crushes the zeros.")
+}

@@ -1,0 +1,74 @@
+// Transform codec internals: drive the Section III predictive coder
+// directly — watch the active set adapt, compare stride-selection modes,
+// and stream through the io.Writer/io.Reader codec stack — the
+// experimenter's view of the byte-level approach.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	"scikey/internal/codec"
+	"scikey/internal/predictor"
+	"scikey/internal/workload"
+)
+
+func main() {
+	// The stride-selection counterexample from Section III: fixed-length
+	// records separated by small markers. The obvious stride (record
+	// length 16) is broken by the marker; the winning stride is the group
+	// length (16*8 + 2 = 130).
+	data := workload.RecordGroups(16, 8, 200, []byte{0xee, 0xff})
+	fmt.Printf("record-group stream: %d bytes (16-byte records, 8/group, 2-byte markers)\n\n", len(data))
+
+	residualZeros := func(cfg predictor.Config) float64 {
+		res := predictor.NewTransformer(cfg).Forward(nil, data)
+		zeros := 0
+		for _, b := range res {
+			if b == 0 {
+				zeros++
+			}
+		}
+		return 100 * float64(zeros) / float64(len(res))
+	}
+	fmt.Printf("%-34s %8s\n", "stride selection", "zeros")
+	fmt.Printf("%-34s %7.1f%%\n", "fixed stride 16 (record length)", residualZeros(predictor.Config{Mode: predictor.Fixed, Strides: []int{16}}))
+	fmt.Printf("%-34s %7.1f%%\n", "fixed stride 130 (group+marker)", residualZeros(predictor.Config{Mode: predictor.Fixed, Strides: []int{130}}))
+	fmt.Printf("%-34s %7.1f%%\n", "adaptive (paper's algorithm)", residualZeros(predictor.Config{MaxStride: 150}))
+
+	// The adaptive detector discovers the winning stride by itself.
+	tr := predictor.NewTransformer(predictor.Config{MaxStride: 150})
+	tr.Forward(nil, data)
+	fmt.Printf("\nactive strides after adaptation: %v\n", tr.ActiveStrides())
+
+	// Streaming usage: the transform composes with any codec as an
+	// io.WriteCloser / io.ReadCloser pair.
+	stack := codec.NewTransform(codec.Bzip2)
+	var comp bytes.Buffer
+	w := stack.NewWriter(&comp)
+	for off := 0; off < len(data); off += 4096 { // chunked writes
+		end := min(off+4096, len(data))
+		if _, err := w.Write(data[off:end]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	compLen := comp.Len()
+	r, err := stack.NewReader(&comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := io.ReadAll(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		log.Fatal("streaming roundtrip mismatch")
+	}
+	fmt.Printf("\n%s: %d -> %d bytes, streamed in 4 KiB chunks, lossless\n",
+		stack.Name(), len(data), compLen)
+}

@@ -1,0 +1,3 @@
+module scikey
+
+go 1.22

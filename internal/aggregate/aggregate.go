@@ -1,0 +1,259 @@
+// Package aggregate is the user-side aggregation library of Section IV-A.
+// Hadoop cannot aggregate keys itself (it assumes key/value pairs are
+// independent and atomic), so "instead of passing intermediate key/value
+// pairs directly to Hadoop, the user's code passes the key/value pairs to
+// our library. The library aggregates key/value pairs and periodically
+// passes the aggregated key/value pairs to Hadoop."
+//
+// Aggregation happens in space-filling-curve index space: each coordinate
+// maps to a curve index, and contiguous index runs collapse into one
+// aggregate key whose value payload is the concatenated cell values in
+// curve order (Fig. 6). The buffer is bounded: when it reaches the flush
+// threshold it is drained, trading a little aggregation quality for memory
+// (Section IV-A's closing paragraph).
+package aggregate
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"scikey/internal/grid"
+	"scikey/internal/keys"
+	"scikey/internal/sfc"
+)
+
+// Mapping converts between domain coordinates and curve indices. The
+// domain may include halo cells with negative coordinates (sliding-window
+// queries); implementations bias them into the curve's index space.
+type Mapping interface {
+	// Index maps a domain coordinate to its curve index.
+	Index(c grid.Coord) uint64
+	// Coord inverts Index.
+	Coord(idx uint64) grid.Coord
+	// Total returns the size of the index space.
+	Total() uint64
+}
+
+// MappingFor builds a Mapping over domain using the named linearization.
+// "zorder" and "hilbert" embed the domain in a power-of-2 cube; "rowmajor"
+// uses the exact row-major offset within the domain, the "values can be
+// stored in order" layout of Section I (a full row-major walk of the domain
+// is then a single contiguous range).
+func MappingFor(curveName string, domain grid.Box) (Mapping, error) {
+	if curveName == "rowmajor" {
+		return BoxMapping{Domain: domain.Clone()}, nil
+	}
+	maxSide := 1
+	for _, s := range domain.Size {
+		if s > maxSide {
+			maxSide = s
+		}
+	}
+	if bits.Len(uint(maxSide-1))*domain.Rank() > 64 {
+		return nil, fmt.Errorf("aggregate: domain %v overflows a 64-bit curve index", domain)
+	}
+	c, err := sfc.ForSide(curveName, domain.Rank(), maxSide)
+	if err != nil {
+		return nil, err
+	}
+	return CurveMapping{Curve: c, Origin: domain.Corner.Clone()}, nil
+}
+
+// CurveMapping ties an sfc.Curve to a concrete domain box, biasing
+// coordinates so that halo cells land in the curve's non-negative cube.
+type CurveMapping struct {
+	Curve  sfc.Curve
+	Origin grid.Coord
+}
+
+// Index implements Mapping.
+func (m CurveMapping) Index(c grid.Coord) uint64 {
+	biased := make(grid.Coord, len(c))
+	for i := range c {
+		biased[i] = c[i] - m.Origin[i]
+	}
+	return m.Curve.Index(biased)
+}
+
+// Coord implements Mapping.
+func (m CurveMapping) Coord(idx uint64) grid.Coord {
+	c := m.Curve.Coord(idx)
+	for i := range c {
+		c[i] += m.Origin[i]
+	}
+	return c
+}
+
+// Total implements Mapping.
+func (m CurveMapping) Total() uint64 { return m.Curve.Total() }
+
+// BoxMapping is exact row-major linearization of a domain box.
+type BoxMapping struct {
+	Domain grid.Box
+}
+
+// Index implements Mapping.
+func (m BoxMapping) Index(c grid.Coord) uint64 {
+	if !m.Domain.Contains(c) {
+		panic(fmt.Sprintf("aggregate: coordinate %v outside domain %v", c, m.Domain))
+	}
+	return uint64(grid.RowMajorIndex(m.Domain, c))
+}
+
+// Coord implements Mapping.
+func (m BoxMapping) Coord(idx uint64) grid.Coord {
+	return grid.CoordAtRowMajor(m.Domain, int64(idx))
+}
+
+// Total implements Mapping.
+func (m BoxMapping) Total() uint64 { return uint64(m.Domain.NumCells()) }
+
+// Config parameterizes an Aggregator.
+type Config struct {
+	// Mapping converts coordinates to curve indices.
+	Mapping Mapping
+	// Var tags emitted aggregate keys.
+	Var keys.VarRef
+	// ElemSize is the fixed per-cell value size in bytes.
+	ElemSize int
+	// FlushCells is the buffer capacity in cells; reaching it triggers a
+	// flush. Default 1 << 16.
+	FlushCells int
+	// Align, when > 1, expands every emitted range to multiples of Align
+	// (Section IV-C's alignment expansion). Padding cells carry zeroed
+	// values and must be tolerated by the reducer; the engine's overlap
+	// splitting handles the rest.
+	Align uint64
+	// Emit receives each aggregate pair.
+	Emit func(p keys.AggPair)
+}
+
+// Stats reports aggregation effectiveness.
+type Stats struct {
+	// CellsIn counts Add calls.
+	CellsIn int64
+	// PairsOut counts emitted aggregate pairs.
+	PairsOut int64
+	// Flushes counts buffer drains.
+	Flushes int64
+	// PadCells counts alignment padding cells emitted.
+	PadCells int64
+}
+
+type entry struct {
+	idx uint64
+	val []byte
+}
+
+// Aggregator buffers (coordinate, value) cells and emits aggregate pairs.
+// Not safe for concurrent use; build one per map task.
+type Aggregator struct {
+	cfg   Config
+	buf   []entry
+	stats Stats
+}
+
+// New returns an Aggregator for cfg.
+func New(cfg Config) *Aggregator {
+	if cfg.ElemSize <= 0 {
+		panic("aggregate: ElemSize must be positive")
+	}
+	if cfg.Emit == nil {
+		panic("aggregate: Emit is required")
+	}
+	if cfg.FlushCells <= 0 {
+		cfg.FlushCells = 1 << 16
+	}
+	return &Aggregator{cfg: cfg, buf: make([]entry, 0, cfg.FlushCells)}
+}
+
+// Add buffers one cell. val must be exactly ElemSize bytes; it is copied.
+func (a *Aggregator) Add(c grid.Coord, val []byte) {
+	a.AddIndex(a.cfg.Mapping.Index(c), val)
+}
+
+// AddIndex buffers one cell by curve index.
+func (a *Aggregator) AddIndex(idx uint64, val []byte) {
+	if len(val) != a.cfg.ElemSize {
+		panic(fmt.Sprintf("aggregate: value is %d bytes, want %d", len(val), a.cfg.ElemSize))
+	}
+	a.buf = append(a.buf, entry{idx: idx, val: append([]byte(nil), val...)})
+	a.stats.CellsIn++
+	if len(a.buf) >= a.cfg.FlushCells {
+		a.Flush()
+	}
+}
+
+// Flush drains the buffer, emitting one aggregate pair per contiguous index
+// run. Duplicate indices (a sliding window emits the same target cell from
+// several sources) are layered: the i-th occurrence of an index joins the
+// i-th pass over the runs, so every emitted range still carries exactly one
+// value per index.
+func (a *Aggregator) Flush() {
+	if len(a.buf) == 0 {
+		return
+	}
+	a.stats.Flushes++
+	sort.SliceStable(a.buf, func(i, j int) bool { return a.buf[i].idx < a.buf[j].idx })
+
+	rest := a.buf
+	layer := make([]entry, 0, len(rest))
+	var carry []entry
+	for len(rest) > 0 {
+		layer = layer[:0]
+		carry = carry[:0]
+		for _, e := range rest {
+			if n := len(layer); n > 0 && layer[n-1].idx == e.idx {
+				carry = append(carry, e)
+			} else {
+				layer = append(layer, e)
+			}
+		}
+		a.emitLayer(layer)
+		// carry has its own backing array, so copying it over rest's
+		// prefix is safe.
+		rest = append(rest[:0], carry...)
+	}
+	a.buf = a.buf[:0]
+}
+
+// emitLayer coalesces a strictly-increasing index layer into runs.
+func (a *Aggregator) emitLayer(layer []entry) {
+	es := a.cfg.ElemSize
+	for i := 0; i < len(layer); {
+		j := i + 1
+		for j < len(layer) && layer[j].idx == layer[j-1].idx+1 {
+			j++
+		}
+		r := sfc.IndexRange{Lo: layer[i].idx, Hi: layer[j-1].idx + 1}
+		var vals []byte
+		if a.cfg.Align > 1 {
+			aligned := keys.AlignRange(r, a.cfg.Align)
+			vals = make([]byte, aligned.Len()*uint64(es))
+			for k := i; k < j; k++ {
+				off := (layer[k].idx - aligned.Lo) * uint64(es)
+				copy(vals[off:], layer[k].val)
+			}
+			a.stats.PadCells += int64(aligned.Len() - r.Len())
+			r = aligned
+		} else {
+			vals = make([]byte, 0, (j-i)*es)
+			for k := i; k < j; k++ {
+				vals = append(vals, layer[k].val...)
+			}
+		}
+		a.cfg.Emit(keys.AggPair{
+			Key:    keys.AggKey{Var: a.cfg.Var, Range: r},
+			Values: vals,
+		})
+		a.stats.PairsOut++
+		i = j
+	}
+}
+
+// Close flushes any remaining cells.
+func (a *Aggregator) Close() { a.Flush() }
+
+// Stats returns the aggregation statistics so far.
+func (a *Aggregator) Stats() Stats { return a.stats }

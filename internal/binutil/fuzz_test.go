@@ -1,0 +1,30 @@
+package binutil
+
+import "testing"
+
+// FuzzDecodeVLong: decoding arbitrary bytes must never panic, any decoded
+// value must survive a canonical re-encode/decode cycle, and the canonical
+// form is never longer than what was consumed. (Byte-identical re-encoding
+// is NOT required: inputs may be non-canonical — leading zero payload
+// bytes, or a positive marker carrying a value with the sign bit set —
+// and Hadoop's decoder accepts those too.)
+func FuzzDecodeVLong(f *testing.F) {
+	f.Add([]byte{0x8f, 0x80})
+	f.Add([]byte{0x7f})
+	f.Add([]byte{0x88, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0x88, 0x98, 0x30, 0x30, 0x30, 0x30, 0x30, 0x30, 0x30})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := DecodeVLong(data)
+		if err != nil {
+			return
+		}
+		enc := AppendVLong(nil, v)
+		if len(enc) > n {
+			t.Fatalf("re-encoding of %d grew: %d > %d", v, len(enc), n)
+		}
+		back, m, err := DecodeVLong(enc)
+		if err != nil || m != len(enc) || back != v {
+			t.Fatalf("canonical cycle broke: %d -> %x -> %d (%v)", v, enc, back, err)
+		}
+	})
+}

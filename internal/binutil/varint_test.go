@@ -1,0 +1,144 @@
+package binutil
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVLongRoundTripKnown(t *testing.T) {
+	cases := []int64{0, 1, -1, 127, 128, -112, -113, 255, 256, -256,
+		1 << 15, -(1 << 15), 1 << 31, -(1 << 31), math.MaxInt64, math.MinInt64,
+		42, 1000000, -1000000}
+	for _, v := range cases {
+		enc := AppendVLong(nil, v)
+		if got := VLongLen(v); got != len(enc) {
+			t.Errorf("VLongLen(%d) = %d, want %d", v, got, len(enc))
+		}
+		dec, n, err := DecodeVLong(enc)
+		if err != nil {
+			t.Fatalf("DecodeVLong(%d): %v", v, err)
+		}
+		if n != len(enc) || dec != v {
+			t.Errorf("roundtrip %d: got %d (consumed %d of %d)", v, dec, n, len(enc))
+		}
+	}
+}
+
+func TestVLongSingleByteRange(t *testing.T) {
+	// Hadoop stores [-112, 127] in one byte.
+	for v := int64(-112); v <= 127; v++ {
+		if got := VLongLen(v); got != 1 {
+			t.Fatalf("VLongLen(%d) = %d, want 1", v, got)
+		}
+	}
+	if VLongLen(-113) == 1 || VLongLen(128) == 1 {
+		t.Error("values outside [-112,127] must not encode to one byte")
+	}
+}
+
+func TestVLongHadoopCompatExamples(t *testing.T) {
+	// Byte sequences from Hadoop WritableUtils.writeVLong.
+	cases := []struct {
+		v   int64
+		enc []byte
+	}{
+		{0, []byte{0}},
+		{127, []byte{127}},
+		{-112, []byte{0x90}},
+		{128, []byte{0x8f, 0x80}},           // -113 marker, payload 0x80
+		{255, []byte{0x8f, 0xff}},           // -113 marker
+		{256, []byte{0x8e, 0x01, 0x00}},     // -114 marker
+		{-113, []byte{0x87, 0x70}},          // -121 marker, ^(-113)=112
+		{-256, []byte{0x87, 0xff}},          // ^(-256)=255
+		{-257, []byte{0x86, 0x01, 0x00}},    // ^(-257)=256
+		{1 << 24, []byte{0x8c, 1, 0, 0, 0}}, // -116 marker, 4 bytes
+		{(1 << 24) - 1, []byte{0x8d, 0xff, 0xff, 0xff}},
+	}
+	for _, c := range cases {
+		if got := AppendVLong(nil, c.v); !bytes.Equal(got, c.enc) {
+			t.Errorf("AppendVLong(%d) = %x, want %x", c.v, got, c.enc)
+		}
+	}
+}
+
+func TestVLongQuick(t *testing.T) {
+	f := func(v int64) bool {
+		enc := AppendVLong(nil, v)
+		dec, n, err := DecodeVLong(enc)
+		if err != nil || n != len(enc) || dec != v {
+			return false
+		}
+		r := bytes.NewReader(enc)
+		dec2, err := ReadVLong(r)
+		return err == nil && dec2 == v && r.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVIntRange(t *testing.T) {
+	enc := AppendVLong(nil, int64(math.MaxInt32)+1)
+	if _, _, err := DecodeVInt(enc); err == nil {
+		t.Error("DecodeVInt should reject values beyond int32")
+	}
+	enc = AppendVInt(nil, math.MinInt32)
+	v, _, err := DecodeVInt(enc)
+	if err != nil || v != math.MinInt32 {
+		t.Errorf("DecodeVInt(MinInt32) = %d, %v", v, err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	enc := AppendVLong(nil, 1<<40)
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeVLong(enc[:i]); err == nil {
+			t.Errorf("DecodeVLong on %d-byte prefix should fail", i)
+		}
+		if _, err := ReadVLong(bytes.NewReader(enc[:i])); err == nil {
+			t.Errorf("ReadVLong on %d-byte prefix should fail", i)
+		}
+	}
+}
+
+func TestReadVLongEOF(t *testing.T) {
+	if _, err := ReadVLong(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty input: got %v, want io.EOF", err)
+	}
+	// Truncated payloads report ErrUnexpectedEOF, not bare EOF.
+	enc := AppendVLong(nil, 1<<20)
+	if _, err := ReadVLong(bytes.NewReader(enc[:1])); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated payload: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestWriteVLong(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := WriteVLong(&buf, 123456789)
+	if err != nil || n != buf.Len() {
+		t.Fatalf("WriteVLong: n=%d err=%v", n, err)
+	}
+	v, err := ReadVLong(&buf)
+	if err != nil || v != 123456789 {
+		t.Fatalf("readback: %d, %v", v, err)
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	cases := map[int64]uint64{0: 0, -1: 1, 1: 2, -2: 3, 2: 4, math.MaxInt64: math.MaxUint64 - 1, math.MinInt64: math.MaxUint64}
+	for v, want := range cases {
+		if got := ZigZag(v); got != want {
+			t.Errorf("ZigZag(%d) = %d, want %d", v, got, want)
+		}
+		if back := UnZigZag(ZigZag(v)); back != v {
+			t.Errorf("UnZigZag(ZigZag(%d)) = %d", v, back)
+		}
+	}
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,311 @@
+package boxagg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"scikey/internal/grid"
+	"scikey/internal/keys"
+)
+
+func collect(dst *[]Pair) func(Pair) {
+	return func(p Pair) { *dst = append(*dst, p) }
+}
+
+func TestGreedyBoxesFullRectangle(t *testing.T) {
+	// A complete rectangle of cells must collapse to exactly one box.
+	box := grid.NewBox(grid.Coord{2, 3}, []int{4, 5})
+	var coords []grid.Coord
+	grid.ForEach(box, func(c grid.Coord) { coords = append(coords, c.Clone()) })
+	boxes := GreedyBoxes(coords)
+	if len(boxes) != 1 || !boxes[0].Equal(box) {
+		t.Fatalf("GreedyBoxes = %v, want [%v]", boxes, box)
+	}
+}
+
+func TestGreedyBoxes3D(t *testing.T) {
+	box := grid.NewBox(grid.Coord{0, 0, 0}, []int{3, 4, 5})
+	var coords []grid.Coord
+	grid.ForEach(box, func(c grid.Coord) { coords = append(coords, c.Clone()) })
+	boxes := GreedyBoxes(coords)
+	if len(boxes) != 1 || !boxes[0].Equal(box) {
+		t.Fatalf("3-D cube did not collapse: %v", boxes)
+	}
+}
+
+func TestGreedyBoxesLShape(t *testing.T) {
+	// Fig. 5's ambiguity: an L of cells decomposes into two boxes either
+	// way; greedy must cover exactly, disjointly, with two boxes.
+	var coords []grid.Coord
+	grid.ForEach(grid.NewBox(grid.Coord{0, 0}, []int{2, 3}), func(c grid.Coord) {
+		coords = append(coords, c.Clone())
+	})
+	grid.ForEach(grid.NewBox(grid.Coord{2, 0}, []int{1, 1}), func(c grid.Coord) {
+		coords = append(coords, c.Clone())
+	})
+	sortCoords(coords)
+	boxes := GreedyBoxes(coords)
+	checkExactCover(t, boxes, coords)
+	if len(boxes) != 2 {
+		t.Errorf("L-shape used %d boxes, want 2: %v", len(boxes), boxes)
+	}
+}
+
+func TestGreedyBoxesProperty(t *testing.T) {
+	// Random cell sets: boxes must cover every cell exactly once.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		set := map[string]grid.Coord{}
+		for i := 0; i < 1+rng.Intn(60); i++ {
+			c := grid.Coord{rng.Intn(8), rng.Intn(8)}
+			set[c.String()] = c
+		}
+		coords := make([]grid.Coord, 0, len(set))
+		for _, c := range set {
+			coords = append(coords, c)
+		}
+		sortCoords(coords)
+		boxes := GreedyBoxes(coords)
+		checkExactCover(t, boxes, coords)
+	}
+}
+
+func sortCoords(cs []grid.Coord) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].Compare(cs[j-1]) < 0; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func checkExactCover(t *testing.T, boxes []grid.Box, coords []grid.Coord) {
+	t.Helper()
+	covered := map[string]int{}
+	for _, b := range boxes {
+		grid.ForEach(b, func(c grid.Coord) { covered[c.String()]++ })
+	}
+	if len(covered) != len(coords) {
+		t.Fatalf("boxes cover %d cells, want %d (boxes %v)", len(covered), len(coords), boxes)
+	}
+	for _, c := range coords {
+		if covered[c.String()] != 1 {
+			t.Fatalf("cell %v covered %d times", c, covered[c.String()])
+		}
+	}
+}
+
+func TestAggregatorPayloadOrder(t *testing.T) {
+	var pairs []Pair
+	agg := New(Config{Var: keys.VarRef{Name: "v"}, ElemSize: 1, Emit: collect(&pairs)})
+	// 2x2 square added out of order; payload must come out row-major.
+	agg.Add(grid.Coord{1, 1}, []byte{4})
+	agg.Add(grid.Coord{0, 0}, []byte{1})
+	agg.Add(grid.Coord{1, 0}, []byte{3})
+	agg.Add(grid.Coord{0, 1}, []byte{2})
+	agg.Close()
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if !pairs[0].Key.Box.Equal(grid.NewBox(grid.Coord{0, 0}, []int{2, 2})) {
+		t.Errorf("box = %v", pairs[0].Key.Box)
+	}
+	if !bytes.Equal(pairs[0].Values, []byte{1, 2, 3, 4}) {
+		t.Errorf("values = %v", pairs[0].Values)
+	}
+	if s := agg.Stats(); s.CellsIn != 4 || s.PairsOut != 1 || s.Flushes != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestAggregatorDuplicateLayers(t *testing.T) {
+	var pairs []Pair
+	agg := New(Config{ElemSize: 1, Emit: collect(&pairs)})
+	agg.Add(grid.Coord{0, 0}, []byte{1})
+	agg.Add(grid.Coord{0, 0}, []byte{2})
+	agg.Add(grid.Coord{0, 1}, []byte{9})
+	agg.Close()
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	// Layer 1: the 1x2 run; layer 2: the duplicate cell.
+	if pairs[0].Key.Box.NumCells() != 2 || pairs[1].Key.Box.NumCells() != 1 {
+		t.Errorf("layering wrong: %v", pairs)
+	}
+}
+
+func TestExtractAndSubPair(t *testing.T) {
+	box := grid.NewBox(grid.Coord{0, 0}, []int{2, 3})
+	vals := []byte{0, 1, 2, 10, 11, 12} // row-major, elemSize 1
+	p := Pair{Key: keys.BoxKey{Box: box}, Values: vals}
+	sub := grid.NewBox(grid.Coord{0, 1}, []int{2, 2})
+	got := Extract(p, sub, 1)
+	if !bytes.Equal(got, []byte{1, 2, 11, 12}) {
+		t.Errorf("Extract = %v", got)
+	}
+	sp := SubPair(p, sub, 1)
+	if !sp.Key.Box.Equal(sub) {
+		t.Errorf("SubPair box = %v", sp.Key.Box)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Extract outside the box must panic")
+		}
+	}()
+	Extract(p, grid.NewBox(grid.Coord{0, 0}, []int{3, 3}), 1)
+}
+
+func TestSlabPartitioner(t *testing.T) {
+	domain := grid.NewBox(grid.Coord{-1, -1}, []int{12, 12})
+	sp := NewSlabPartitioner(domain, 3)
+	if len(sp.Slabs) != 3 {
+		t.Fatalf("slabs = %v", sp.Slabs)
+	}
+	// A box spanning all three slabs splits into three row bands.
+	box := grid.NewBox(grid.Coord{-1, 2}, []int{12, 3})
+	vals := make([]byte, box.NumCells())
+	for i := range vals {
+		vals[i] = byte(i)
+	}
+	p := Pair{Key: keys.BoxKey{Box: box}, Values: vals}
+	frags := sp.SplitForPartition(p, 1)
+	if len(frags) != 3 {
+		t.Fatalf("fragments = %v", frags)
+	}
+	var cells int64
+	seen := map[byte]bool{}
+	for i, f := range frags {
+		if f.Partition != i {
+			t.Errorf("fragment %d routed to %d", i, f.Partition)
+		}
+		cells += f.Pair.Key.Box.NumCells()
+		for _, v := range f.Pair.Values {
+			if seen[v] {
+				t.Fatalf("value %d duplicated", v)
+			}
+			seen[v] = true
+		}
+	}
+	if cells != box.NumCells() {
+		t.Errorf("fragments cover %d cells, want %d", cells, box.NumCells())
+	}
+	// A box inside one slab is untouched.
+	inside := Pair{Key: keys.BoxKey{Box: grid.NewBox(grid.Coord{0, 0}, []int{2, 2})}, Values: make([]byte, 4)}
+	if got := sp.SplitForPartition(inside, 1); len(got) != 1 {
+		t.Errorf("in-slab box split: %v", got)
+	}
+}
+
+func TestSplitOverlapsFig7Boxes(t *testing.T) {
+	// The paper's own overlap example: (-1,-1)..(10,10) and (-1,9)..(10,20)
+	// overlap in (-1,9)..(10,10).
+	mk := func(lo0, lo1, hi0, hi1 int, tag byte) Pair {
+		b := grid.BoxFromCorners(grid.Coord{lo0, lo1}, grid.Coord{hi0, hi1})
+		vals := bytes.Repeat([]byte{tag}, int(b.NumCells()))
+		return Pair{Key: keys.BoxKey{Box: b}, Values: vals}
+	}
+	a := mk(-1, -1, 10, 10, 'a')
+	b := mk(-1, 9, 10, 20, 'b')
+	in := []Pair{a, b}
+	sortByKey(in)
+	out := SplitOverlaps(in, 1)
+	// The overlap region must appear exactly twice, as equal boxes.
+	overlap := grid.BoxFromCorners(grid.Coord{-1, 9}, grid.Coord{10, 10})
+	equalCount := 0
+	var total int64
+	for _, f := range out {
+		total += f.Key.Box.NumCells()
+		if f.Key.Box.Equal(overlap) {
+			equalCount++
+		}
+	}
+	if equalCount != 2 {
+		t.Errorf("overlap region appears %d times, want 2 (out=%v)", equalCount, out)
+	}
+	if total != a.Key.Box.NumCells()+b.Key.Box.NumCells() {
+		t.Errorf("fragments cover %d cells, want %d", total, a.Key.Box.NumCells()+b.Key.Box.NumCells())
+	}
+	// Equal-or-disjoint.
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			bi, bj := out[i].Key.Box, out[j].Key.Box
+			if !bi.Equal(bj) && bi.Overlaps(bj) {
+				t.Errorf("fragments %v and %v overlap unequally", bi, bj)
+			}
+		}
+	}
+}
+
+func TestSplitOverlapsValuesPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		var in []Pair
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			b := grid.NewBox(grid.Coord{rng.Intn(10), rng.Intn(10)}, []int{1 + rng.Intn(6), 1 + rng.Intn(6)})
+			vals := make([]byte, b.NumCells())
+			for j := range vals {
+				vals[j] = byte('a' + i)
+			}
+			in = append(in, Pair{Key: keys.BoxKey{Box: b}, Values: vals})
+		}
+		sortByKey(in)
+		out := SplitOverlaps(in, 1)
+		type cell struct {
+			pos string
+			tag byte
+		}
+		count := func(ps []Pair) map[cell]int {
+			m := map[cell]int{}
+			for _, p := range ps {
+				i := 0
+				grid.ForEach(p.Key.Box, func(c grid.Coord) {
+					m[cell{c.String(), p.Values[i]}]++
+					i++
+				})
+			}
+			return m
+		}
+		want, got := count(in), count(out)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: multiset size changed", trial)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("trial %d: cell %v count %d, want %d", trial, k, got[k], v)
+			}
+		}
+		// Equal-or-disjoint.
+		for i := range out {
+			for j := i + 1; j < len(out); j++ {
+				bi, bj := out[i].Key.Box, out[j].Key.Box
+				if !bi.Equal(bj) && bi.Overlaps(bj) {
+					t.Fatalf("trial %d: %v and %v overlap unequally", trial, bi, bj)
+				}
+			}
+		}
+	}
+}
+
+func sortByKey(ps []Pair) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && keys.CompareBox(ps[j].Key, ps[j-1].Key) < 0; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("no emit", func() { New(Config{ElemSize: 1}) })
+	mustPanic("no elem", func() { New(Config{Emit: func(Pair) {}}) })
+	agg := New(Config{ElemSize: 2, Emit: func(Pair) {}})
+	mustPanic("bad val", func() { agg.Add(grid.Coord{0}, []byte{1}) })
+}

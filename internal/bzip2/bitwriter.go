@@ -1,0 +1,55 @@
+package bzip2
+
+import "io"
+
+// bitWriter packs bits MSB-first, the bit order of the bzip2 format.
+type bitWriter struct {
+	w    io.Writer
+	bits uint64
+	n    uint // number of pending bits in the high part of bits
+	buf  []byte
+	err  error
+}
+
+func newBitWriter(w io.Writer) *bitWriter {
+	return &bitWriter{w: w, buf: make([]byte, 0, 4096)}
+}
+
+// writeBits appends the low n bits of v (n <= 48).
+func (bw *bitWriter) writeBits(v uint64, n uint) {
+	if bw.err != nil {
+		return
+	}
+	bw.bits |= (v & (1<<n - 1)) << (64 - bw.n - n)
+	bw.n += n
+	for bw.n >= 8 {
+		bw.buf = append(bw.buf, byte(bw.bits>>56))
+		bw.bits <<= 8
+		bw.n -= 8
+		if len(bw.buf) >= 4096 {
+			bw.flushBuf()
+		}
+	}
+}
+
+func (bw *bitWriter) writeBit(b uint) { bw.writeBits(uint64(b), 1) }
+
+func (bw *bitWriter) flushBuf() {
+	if bw.err != nil || len(bw.buf) == 0 {
+		bw.buf = bw.buf[:0]
+		return
+	}
+	_, bw.err = bw.w.Write(bw.buf)
+	bw.buf = bw.buf[:0]
+}
+
+// close pads the final partial byte with zero bits and flushes.
+func (bw *bitWriter) close() error {
+	if bw.n > 0 {
+		bw.buf = append(bw.buf, byte(bw.bits>>56))
+		bw.bits = 0
+		bw.n = 0
+	}
+	bw.flushBuf()
+	return bw.err
+}

@@ -1,0 +1,99 @@
+package bzip2
+
+// bwTransform computes the Burrows-Wheeler transform of data by sorting all
+// cyclic rotations (bzip2 sorts rotations, not sentinel-terminated
+// suffixes). It uses Manber-Myers prefix doubling with radix sort, which is
+// O(n log n) regardless of repetitiveness — important because the streams
+// this package compresses (post-transform key residuals) are long runs of
+// identical bytes, the worst case for comparison-based rotation sorts.
+//
+// It returns the last column and the row index of the original string.
+func bwTransform(data []byte) (last []byte, origPtr int) {
+	n := len(data)
+	if n == 0 {
+		return nil, 0
+	}
+	if n == 1 {
+		return []byte{data[0]}, 0
+	}
+	sa := make([]int, n)   // rotation start indices, sorted so far
+	rank := make([]int, n) // current rank of each rotation
+	tmp := make([]int, n)  // scratch: next ranks / radix output
+	cnt := make([]int, max(n+1, 256))
+
+	// Initial sort by first byte (counting sort).
+	for i := 0; i < n; i++ {
+		cnt[data[i]]++
+	}
+	for i := 1; i < 256; i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for i := n - 1; i >= 0; i-- {
+		cnt[data[i]]--
+		sa[cnt[data[i]]] = i
+	}
+	rank[sa[0]] = 0
+	for i := 1; i < n; i++ {
+		rank[sa[i]] = rank[sa[i-1]]
+		if data[sa[i]] != data[sa[i-1]] {
+			rank[sa[i]]++
+		}
+	}
+
+	sa2 := make([]int, n)
+	for k := 1; rank[sa[n-1]] != n-1; k <<= 1 {
+		// Sort by (rank[i], rank[i+k mod n]) with two counting passes.
+		// Pass 1: by second key. A rotation starting at i has second key
+		// rank[(i+k)%n]; generating sa2 in second-key order means listing
+		// i = (j - k) mod n for j in rank order — but we need stability in
+		// the *second key*, so sort indices by rank[(i+k)%n] directly.
+		maxR := n
+		clear(cnt[:maxR+1])
+		for i := 0; i < n; i++ {
+			cnt[rank[(i+k)%n]]++
+		}
+		for i := 1; i <= maxR; i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for i := n - 1; i >= 0; i-- {
+			r := rank[(i+k)%n]
+			cnt[r]--
+			sa2[cnt[r]] = i
+		}
+		// Pass 2: stable counting sort of sa2 by first key rank[i].
+		clear(cnt[:maxR+1])
+		for i := 0; i < n; i++ {
+			cnt[rank[i]]++
+		}
+		for i := 1; i <= maxR; i++ {
+			cnt[i] += cnt[i-1]
+		}
+		for i := n - 1; i >= 0; i-- {
+			r := rank[sa2[i]]
+			cnt[r]--
+			sa[cnt[r]] = sa2[i]
+		}
+		// Recompute ranks.
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			a, b := sa[i-1], sa[i]
+			tmp[b] = tmp[a]
+			if rank[a] != rank[b] || rank[(a+k)%n] != rank[(b+k)%n] {
+				tmp[b]++
+			}
+		}
+		rank, tmp = tmp, rank
+		if k >= n {
+			break
+		}
+	}
+
+	last = make([]byte, n)
+	for i, start := range sa {
+		last[i] = data[(start+n-1)%n]
+		if start == 0 {
+			origPtr = i
+		}
+	}
+	return last, origPtr
+}

@@ -1,0 +1,32 @@
+package bzip2
+
+import (
+	"bytes"
+	stdbzip2 "compress/bzip2"
+	"io"
+	"testing"
+)
+
+// FuzzCompress compresses arbitrary inputs and requires the standard
+// library decoder to reproduce them exactly.
+func FuzzCompress(f *testing.F) {
+	f.Add([]byte("banana"), 1)
+	f.Add([]byte{}, 9)
+	f.Add(bytes.Repeat([]byte{0}, 300), 5)
+	f.Fuzz(func(t *testing.T, data []byte, level int) {
+		if level < 1 || level > 9 {
+			t.Skip()
+		}
+		comp, err := Compress(data, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := io.ReadAll(stdbzip2.NewReader(bytes.NewReader(comp)))
+		if err != nil {
+			t.Fatalf("stdlib rejected our stream: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("roundtrip mismatch")
+		}
+	})
+}

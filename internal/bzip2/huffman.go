@@ -1,0 +1,215 @@
+package bzip2
+
+import "sort"
+
+// Huffman stage. bzip2 codes the MTF/RLE2 symbol stream with 2-6 tables,
+// switching tables every groupSize symbols; a selector per group names the
+// table. Code lengths are limited to maxCodeLen by frequency scaling, as in
+// the reference implementation.
+
+const (
+	groupSize  = 50
+	maxCodeLen = 17 // encoder limit (format allows 20)
+	nIters     = 4  // refinement passes over group assignments
+)
+
+// buildLengths computes Huffman code lengths for freq, capped at maxLen.
+// Zero frequencies are treated as one so every symbol gets a code, as the
+// format requires lengths for the whole alphabet.
+func buildLengths(freq []int, maxLen int) []uint8 {
+	n := len(freq)
+	lengths := make([]uint8, n)
+	if n == 1 {
+		lengths[0] = 1
+		return lengths
+	}
+	w := make([]int64, n)
+	for i, f := range freq {
+		if f <= 0 {
+			f = 1
+		}
+		w[i] = int64(f)
+	}
+	parent := make([]int, 2*n) // tree nodes: 0..n-1 leaves, then internals
+	order := make([]int, n)    // leaf indices sorted by weight
+	weight := make([]int64, 2*n)
+	for {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if w[order[a]] != w[order[b]] {
+				return w[order[a]] < w[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		for i := 0; i < n; i++ {
+			weight[i] = w[i]
+		}
+		// Two-queue merge: leaves (sorted) and internal nodes (created in
+		// nondecreasing weight order).
+		leafAt, internAt, internEnd := 0, n, n
+		next := func() int {
+			if leafAt < n && (internAt >= internEnd || weight[order[leafAt]] <= weight[internAt]) {
+				leafAt++
+				return order[leafAt-1]
+			}
+			internAt++
+			return internAt - 1
+		}
+		nodes := 0
+		for leafAt < n || internEnd-internAt > 1 {
+			a := next()
+			b := next()
+			weight[internEnd] = weight[a] + weight[b]
+			parent[a] = internEnd
+			parent[b] = internEnd
+			internEnd++
+			nodes++
+		}
+		root := internEnd - 1
+		parent[root] = -1
+		tooLong := false
+		for i := 0; i < n; i++ {
+			depth := 0
+			for p := i; parent[p] != -1; p = parent[p] {
+				depth++
+			}
+			lengths[i] = uint8(depth)
+			if depth > maxLen {
+				tooLong = true
+			}
+		}
+		if !tooLong {
+			return lengths
+		}
+		// Flatten the distribution and retry (bzlib's strategy).
+		for i := range w {
+			w[i] = w[i]/2 + 1
+		}
+	}
+}
+
+// canonicalCodes assigns canonical codes to lengths: symbols sorted by
+// (length, symbol value) receive sequential codes, shifting left when the
+// length increases — matching the decoder in compress/bzip2.
+func canonicalCodes(lengths []uint8) []uint32 {
+	n := len(lengths)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if lengths[order[a]] != lengths[order[b]] {
+			return lengths[order[a]] < lengths[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	codes := make([]uint32, n)
+	code := uint32(0)
+	prevLen := lengths[order[0]]
+	for _, sym := range order {
+		code <<= lengths[sym] - prevLen
+		prevLen = lengths[sym]
+		codes[sym] = code
+		code++
+	}
+	return codes
+}
+
+// chooseNumTables mirrors bzlib's table-count heuristic.
+func chooseNumTables(nSyms int) int {
+	switch {
+	case nSyms < 200:
+		return 2
+	case nSyms < 600:
+		return 3
+	case nSyms < 1200:
+		return 4
+	case nSyms < 2400:
+		return 5
+	}
+	return 6
+}
+
+// assignTables computes the Huffman tables and per-group selectors for the
+// symbol stream, by iterative refinement: start from a frequency-band
+// partition, then repeatedly (a) assign each 50-symbol group to its
+// cheapest table and (b) rebuild each table from the groups it won.
+func assignTables(syms []uint16, alphaSize int) (lengths [][]uint8, selectors []uint8) {
+	freq := make([]int, alphaSize)
+	for _, s := range syms {
+		freq[s]++
+	}
+	nGroups := chooseNumTables(len(syms))
+
+	// Initial tables: carve the alphabet into nGroups frequency bands and
+	// make each table cheap inside its band, expensive outside.
+	lengths = make([][]uint8, nGroups)
+	remFreq := len(syms)
+	gs := 0
+	for g := 0; g < nGroups; g++ {
+		target := remFreq / (nGroups - g)
+		ge := gs
+		acc := 0
+		for ge < alphaSize && (acc < target || ge == gs) {
+			acc += freq[ge]
+			ge++
+		}
+		if g == nGroups-1 {
+			ge = alphaSize
+			// acc no longer needed exactly; band covers the tail
+		}
+		tbl := make([]uint8, alphaSize)
+		for s := 0; s < alphaSize; s++ {
+			if s >= gs && s < ge {
+				tbl[s] = 3
+			} else {
+				tbl[s] = 15
+			}
+		}
+		lengths[g] = tbl
+		remFreq -= acc
+		gs = ge
+	}
+
+	nSel := (len(syms) + groupSize - 1) / groupSize
+	selectors = make([]uint8, nSel)
+	rfreq := make([][]int, nGroups)
+	for g := range rfreq {
+		rfreq[g] = make([]int, alphaSize)
+	}
+	for iter := 0; iter < nIters; iter++ {
+		for g := range rfreq {
+			clearInts(rfreq[g])
+		}
+		for grp := 0; grp < nSel; grp++ {
+			lo := grp * groupSize
+			hi := min(lo+groupSize, len(syms))
+			best, bestCost := 0, int(^uint(0)>>1)
+			for t := 0; t < nGroups; t++ {
+				cost := 0
+				for _, s := range syms[lo:hi] {
+					cost += int(lengths[t][s])
+				}
+				if cost < bestCost {
+					best, bestCost = t, cost
+				}
+			}
+			selectors[grp] = uint8(best)
+			for _, s := range syms[lo:hi] {
+				rfreq[best][s]++
+			}
+		}
+		for t := 0; t < nGroups; t++ {
+			lengths[t] = buildLengths(rfreq[t], maxCodeLen)
+		}
+	}
+	return lengths, selectors
+}
+
+func clearInts(s []int) {
+	for i := range s {
+		s[i] = 0
+	}
+}

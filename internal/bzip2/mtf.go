@@ -1,0 +1,106 @@
+package bzip2
+
+// MTF + zero-run-length stage. After the BWT, bzip2 move-to-front encodes
+// the last column over the alphabet of bytes actually present, then
+// replaces runs of zeros with RUNA/RUNB digits (bijective base 2) and
+// appends an end-of-block symbol:
+//
+//	symbol 0        = RUNA (zero-run digit worth 1*2^i)
+//	symbol 1        = RUNB (zero-run digit worth 2*2^i)
+//	symbol k+1      = MTF value k   (k >= 1)
+//	symbol nUsed+1  = EOB
+const (
+	runA = 0
+	runB = 1
+)
+
+// symbolSet records which byte values occur in a block.
+type symbolSet [256]bool
+
+func (s *symbolSet) add(p []byte) {
+	for _, b := range p {
+		s[b] = true
+	}
+}
+
+// used returns the present byte values in increasing order.
+func (s *symbolSet) used() []byte {
+	out := make([]byte, 0, 256)
+	for v := 0; v < 256; v++ {
+		if s[v] {
+			out = append(out, byte(v))
+		}
+	}
+	return out
+}
+
+// mtfRLE2 encodes bwt (whose bytes all belong to used) into the MTF/RLE2
+// symbol stream, including the trailing EOB. alphaSize = len(used) + 2.
+func mtfRLE2(bwt []byte, used []byte) (syms []uint16, alphaSize int) {
+	alphaSize = len(used) + 2
+	eob := uint16(alphaSize - 1)
+	// MTF list over the used alphabet.
+	list := make([]byte, len(used))
+	copy(list, used)
+
+	syms = make([]uint16, 0, len(bwt)/2+8)
+	zeroRun := 0
+	flushZeros := func() {
+		// Bijective base-2: run r > 0 becomes digits in {RUNA=1, RUNB=2}.
+		r := zeroRun
+		for r > 0 {
+			if r&1 == 1 {
+				syms = append(syms, runA)
+				r = (r - 1) >> 1
+			} else {
+				syms = append(syms, runB)
+				r = (r - 2) >> 1
+			}
+		}
+		zeroRun = 0
+	}
+	for _, b := range bwt {
+		// Find b's position in the MTF list and move it to the front.
+		var pos int
+		for list[pos] != b {
+			pos++
+		}
+		if pos == 0 {
+			zeroRun++
+			continue
+		}
+		copy(list[1:pos+1], list[:pos])
+		list[0] = b
+		flushZeros()
+		syms = append(syms, uint16(pos+1))
+	}
+	flushZeros()
+	syms = append(syms, eob)
+	return syms, alphaSize
+}
+
+// writeSymbolMap emits the two-level 16+16x16 bit map of used byte values.
+func writeSymbolMap(bw *bitWriter, set *symbolSet) {
+	var ranges uint16
+	for r := 0; r < 16; r++ {
+		for v := 0; v < 16; v++ {
+			if set[r*16+v] {
+				ranges |= 1 << (15 - r)
+				break
+			}
+		}
+	}
+	bw.writeBits(uint64(ranges), 16)
+	for r := 0; r < 16; r++ {
+		if ranges&(1<<(15-r)) == 0 {
+			continue
+		}
+		var bits uint16
+		for v := 0; v < 16; v++ {
+			if set[r*16+v] {
+				bits |= 1 << (15 - v)
+			}
+		}
+		bw.writeBits(uint64(bits), 16)
+	}
+}

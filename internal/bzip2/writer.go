@@ -1,0 +1,234 @@
+package bzip2
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	blockMagic  = 0x314159265359 // 48-bit pi
+	streamMagic = 0x177245385090 // 48-bit sqrt(pi)
+)
+
+// Writer is a streaming bzip2 compressor implementing io.WriteCloser.
+type Writer struct {
+	out        io.Writer
+	bw         *bitWriter
+	level      int // 1..9; block size = level * 100000
+	blockLimit int
+
+	block    []byte // RLE1-encoded content of the current block
+	blockCRC blockCRC
+	setIn    symbolSet
+	stream   uint32 // combined stream CRC
+
+	runByte byte
+	runLen  int
+
+	headerDone bool
+	closed     bool
+}
+
+// DefaultLevel matches the bzip2 command-line default block size (900k).
+const DefaultLevel = 9
+
+// NewWriter returns a compressor at DefaultLevel writing to w.
+func NewWriter(w io.Writer) *Writer { return NewWriterLevel(w, DefaultLevel) }
+
+// NewWriterLevel returns a compressor with a level*100k block size.
+// Level must be in [1, 9].
+func NewWriterLevel(w io.Writer, level int) *Writer {
+	if level < 1 || level > 9 {
+		panic(fmt.Sprintf("bzip2: invalid level %d", level))
+	}
+	return &Writer{
+		out:        w,
+		bw:         newBitWriter(w),
+		level:      level,
+		blockLimit: level * 100000,
+		blockCRC:   newBlockCRC(),
+	}
+}
+
+// Write compresses p. Data is buffered per block; nothing may appear on the
+// underlying writer until a block fills or Close is called.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("bzip2: write after Close")
+	}
+	for _, b := range p {
+		if w.runLen > 0 && b == w.runByte {
+			w.runLen++
+			if w.runLen == 255 {
+				if err := w.emitRun(); err != nil {
+					return 0, err
+				}
+			}
+			continue
+		}
+		if err := w.emitRun(); err != nil {
+			return 0, err
+		}
+		w.runByte = b
+		w.runLen = 1
+	}
+	return len(p), w.bw.err
+}
+
+// emitRun writes the pending RLE1 run into the current block.
+func (w *Writer) emitRun() error {
+	n := w.runLen
+	w.runLen = 0
+	if n == 0 {
+		return nil
+	}
+	b := w.runByte
+	var unit [5]byte
+	var unitLen int
+	if n < 4 {
+		for i := 0; i < n; i++ {
+			unit[i] = b
+		}
+		unitLen = n
+	} else {
+		unit[0], unit[1], unit[2], unit[3] = b, b, b, b
+		unit[4] = byte(n - 4)
+		unitLen = 5
+	}
+	if len(w.block)+unitLen > w.blockLimit {
+		if err := w.flushBlock(); err != nil {
+			return err
+		}
+	}
+	w.block = append(w.block, unit[:unitLen]...)
+	w.setIn.add(unit[:unitLen])
+	w.blockCRC = w.blockCRC.updateByteRun(b, n)
+	return nil
+}
+
+func (w *Writer) writeHeader() {
+	if w.headerDone {
+		return
+	}
+	w.headerDone = true
+	w.bw.writeBits(uint64('B'), 8)
+	w.bw.writeBits(uint64('Z'), 8)
+	w.bw.writeBits(uint64('h'), 8)
+	w.bw.writeBits(uint64('0'+w.level), 8)
+}
+
+// flushBlock compresses and emits the buffered block.
+func (w *Writer) flushBlock() error {
+	if len(w.block) == 0 {
+		return nil
+	}
+	w.writeHeader()
+	bw := w.bw
+
+	crc := w.blockCRC.sum()
+	w.stream = combineStreamCRC(w.stream, crc)
+
+	last, origPtr := bwTransform(w.block)
+	used := w.setIn.used()
+	syms, alphaSize := mtfRLE2(last, used)
+	lengths, selectors := assignTables(syms, alphaSize)
+	nGroups := len(lengths)
+
+	bw.writeBits(blockMagic, 48)
+	bw.writeBits(uint64(crc), 32)
+	bw.writeBit(0) // not randomized
+	bw.writeBits(uint64(origPtr), 24)
+	writeSymbolMap(bw, &w.setIn)
+	bw.writeBits(uint64(nGroups), 3)
+	bw.writeBits(uint64(len(selectors)), 15)
+
+	// Selectors, move-to-front coded, each value in unary.
+	var mtf [6]uint8
+	for i := 0; i < nGroups; i++ {
+		mtf[i] = uint8(i)
+	}
+	for _, s := range selectors {
+		var j int
+		for mtf[j] != s {
+			j++
+		}
+		copy(mtf[1:j+1], mtf[:j])
+		mtf[0] = s
+		for k := 0; k < j; k++ {
+			bw.writeBit(1)
+		}
+		bw.writeBit(0)
+	}
+
+	// Code-length tables, delta coded.
+	for _, tbl := range lengths {
+		cur := tbl[0]
+		bw.writeBits(uint64(cur), 5)
+		for _, l := range tbl {
+			for cur < l {
+				bw.writeBits(0b10, 2) // increment
+				cur++
+			}
+			for cur > l {
+				bw.writeBits(0b11, 2) // decrement
+				cur--
+			}
+			bw.writeBit(0)
+		}
+	}
+
+	// The symbol stream.
+	codes := make([][]uint32, nGroups)
+	for g := range codes {
+		codes[g] = canonicalCodes(lengths[g])
+	}
+	for i, s := range syms {
+		t := selectors[i/groupSize]
+		bw.writeBits(uint64(codes[t][s]), uint(lengths[t][s]))
+	}
+
+	w.block = w.block[:0]
+	w.blockCRC = newBlockCRC()
+	w.setIn = symbolSet{}
+	return bw.err
+}
+
+// Close flushes pending data, writes the stream footer, and finalizes the
+// output. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.emitRun(); err != nil {
+		return err
+	}
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	w.writeHeader() // empty stream still carries a header
+	w.bw.writeBits(streamMagic, 48)
+	w.bw.writeBits(uint64(w.stream), 32)
+	return w.bw.close()
+}
+
+// Compress is a convenience one-shot helper.
+func Compress(data []byte, level int) ([]byte, error) {
+	var buf writerBuffer
+	w := NewWriterLevel(&buf, level)
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+type writerBuffer struct{ b []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,100 @@
+package cluster
+
+// Locality-aware map scheduling. Hadoop tries to run each map task on a
+// node holding a replica of its input block; a miss turns the input scan
+// into network traffic. The plain EstimateJob treats all input as local
+// disk; this file models the scheduler's locality preference so the effect
+// of replication on the paper's 5-node cluster can be quantified.
+
+// MapSpec is a map task plus the information the scheduler needs: how many
+// input bytes it scans and which nodes hold them.
+type MapSpec struct {
+	Task
+	// InputBytes is the input scan volume, already included in
+	// Task.DiskBytes (it is re-routed to the network on a locality miss).
+	InputBytes int64
+	// Hosts are the nodes holding the input block replicas.
+	Hosts []string
+}
+
+// LocalityEstimate extends JobEstimate with scheduling facts.
+type LocalityEstimate struct {
+	JobEstimate
+	// LocalTasks of TotalTasks ran on a node holding their input.
+	LocalTasks int
+	TotalTasks int
+}
+
+// EstimateJobLocality schedules map tasks onto per-node slots, preferring
+// a local slot among the earliest-free ones (Hadoop's delay-free locality
+// preference), and re-routes input bytes over the network on misses.
+// nodes must name the cluster's machines; Hosts entries that match none of
+// them simply never hit.
+func (c Config) EstimateJobLocality(nodes []string, maps []MapSpec, reduces []Task) LocalityEstimate {
+	c.validate()
+	type slot struct {
+		node string
+		free float64
+	}
+	slots := make([]slot, 0, len(nodes)*c.MapSlotsPerNode)
+	for _, n := range nodes {
+		for s := 0; s < c.MapSlotsPerNode; s++ {
+			slots = append(slots, slot{node: n})
+		}
+	}
+	if len(slots) == 0 {
+		slots = append(slots, slot{node: "node0"})
+	}
+	local := 0
+	for _, m := range maps {
+		// Earliest-free slot; a local slot wins ties.
+		best := 0
+		bestLocal := hostsContain(m.Hosts, slots[0].node)
+		for i := 1; i < len(slots); i++ {
+			isLocal := hostsContain(m.Hosts, slots[i].node)
+			switch {
+			case slots[i].free < slots[best].free:
+				best, bestLocal = i, isLocal
+			case slots[i].free == slots[best].free && isLocal && !bestLocal:
+				best, bestLocal = i, true
+			}
+		}
+		t := m.Task
+		if bestLocal {
+			local++
+		} else {
+			// Remote read: the scan crosses the network instead of coming
+			// off the local disk.
+			t.DiskBytes -= m.InputBytes
+			t.NetBytes += m.InputBytes
+		}
+		slots[best].free += c.Seconds(t)
+	}
+	var mapEnd float64
+	for _, s := range slots {
+		if s.free > mapEnd {
+			mapEnd = s.free
+		}
+	}
+	rd := make([]float64, len(reduces))
+	for i, t := range reduces {
+		rd[i] = c.Seconds(t)
+	}
+	return LocalityEstimate{
+		JobEstimate: JobEstimate{
+			MapSeconds:    mapEnd,
+			ReduceSeconds: Makespan(rd, c.ReduceSlots()),
+		},
+		LocalTasks: local,
+		TotalTasks: len(maps),
+	}
+}
+
+func hostsContain(hosts []string, node string) bool {
+	for _, h := range hosts {
+		if h == node {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,234 @@
+// Package core is the top-level API of the library: it names the paper's
+// three intermediate-data strategies, runs a sliding-window query under any
+// of them on the simulated cluster, and reports the quantities the paper's
+// evaluation tables are built from — intermediate byte volumes (decomposed
+// into keys, values, and file overhead), key-split counts, and modeled
+// runtimes.
+//
+// The three strategies:
+//
+//   - Baseline: Hadoop as-is — one simple key per cell, no compression.
+//   - ByteTransform (Section III): keep simple keys, but compress spills
+//     with the predictive byte transform stacked on a generic codec
+//     ("a custom compression module" via Hadoop's pluggable codecs).
+//   - Aggregation (Section IV): aggregate keys on a space-filling curve
+//     with partition- and overlap-time key splitting.
+package core
+
+import (
+	"fmt"
+
+	"scikey/internal/cluster"
+	"scikey/internal/codec"
+	"scikey/internal/hdfs"
+	"scikey/internal/keys"
+	"scikey/internal/mapreduce"
+	"scikey/internal/scihadoop"
+)
+
+// StrategyKind enumerates the intermediate-data handling approaches.
+type StrategyKind int
+
+const (
+	// Baseline is unmodified Hadoop behaviour.
+	Baseline StrategyKind = iota
+	// ByteTransform is Section III: simple keys + transform codec.
+	ByteTransform
+	// Aggregation is Section IV: aggregate keys + key splitting.
+	Aggregation
+	// BoxAggregation aggregates directly in n-dimensional space with
+	// (corner, size) keys — the Fig. 5 alternative, built by this
+	// repository's boxagg extension.
+	BoxAggregation
+)
+
+// String names the kind.
+func (k StrategyKind) String() string {
+	switch k {
+	case Baseline:
+		return "baseline"
+	case ByteTransform:
+		return "byte-transform"
+	case Aggregation:
+		return "aggregation"
+	case BoxAggregation:
+		return "box-aggregation"
+	}
+	return fmt.Sprintf("StrategyKind(%d)", int(k))
+}
+
+// Strategy selects and parameterizes an approach.
+type Strategy struct {
+	Kind StrategyKind
+	// Codec names the generic codec under the transform (ByteTransform
+	// only; default "zlib", the paper's choice in Section III-E).
+	Codec string
+	// Curve names the space-filling curve (Aggregation only; default
+	// "zorder").
+	Curve string
+	// FlushCells bounds the aggregation buffer (Aggregation only).
+	FlushCells int
+}
+
+// Name renders a stable label for reports.
+func (s Strategy) Name() string {
+	switch s.Kind {
+	case ByteTransform:
+		c := s.Codec
+		if c == "" {
+			c = "zlib"
+		}
+		return "transform+" + c
+	case Aggregation:
+		c := s.Curve
+		if c == "" {
+			c = "zorder"
+		}
+		return "aggregation/" + c
+	case BoxAggregation:
+		return "aggregation/boxes"
+	}
+	return "baseline"
+}
+
+// Report is the outcome of one strategy run: exact byte accounting from the
+// engine counters plus the modeled runtime.
+type Report struct {
+	Strategy string
+	// MapOutputRecords is the intermediate pair count.
+	MapOutputRecords int64
+	// KeyBytes / ValueBytes decompose the serialized map output (Fig. 8's
+	// "Keys" and "Values" bars).
+	KeyBytes   int64
+	ValueBytes int64
+	// MaterializedBytes is "Map output materialized bytes" — on-disk
+	// intermediate data after framing and any codec.
+	MaterializedBytes int64
+	// ShuffleBytes crossed the network to reducers.
+	ShuffleBytes int64
+	// PartitionSplits and OverlapSplits count the Section IV-B key splits.
+	PartitionSplits int64
+	OverlapSplits   int64
+	// Estimate is the modeled runtime on the configured cluster.
+	Estimate cluster.JobEstimate
+	// Output holds the decoded per-cell results when requested.
+	Output scihadoop.CellResults
+}
+
+// RunQuery executes the query under the strategy and gathers a Report.
+// When decodeOutput is false the (possibly large) output map stays nil.
+func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, clus cluster.Config, decodeOutput bool) (*Report, error) {
+	var (
+		job     *mapreduce.Job
+		kc      *keys.Codec
+		decoder func(*mapreduce.Result) (scihadoop.CellResults, error)
+		err     error
+	)
+	switch strat.Kind {
+	case Baseline, ByteTransform:
+		if strat.Kind == ByteTransform {
+			inner := strat.Codec
+			if inner == "" {
+				inner = "zlib"
+			}
+			base, cerr := codec.Get(inner)
+			if cerr != nil {
+				return nil, cerr
+			}
+			qcfg.MapOutputCodec = codec.NewTransform(base)
+		}
+		job, kc, err = scihadoop.SimpleKeyJob(fs, qcfg)
+		if err != nil {
+			return nil, err
+		}
+		decoder = func(r *mapreduce.Result) (scihadoop.CellResults, error) {
+			return scihadoop.ReadSimpleOutput(fs, r, kc)
+		}
+	case Aggregation:
+		if strat.Curve != "" {
+			qcfg.Curve = strat.Curve
+		}
+		if strat.FlushCells > 0 {
+			qcfg.FlushCells = strat.FlushCells
+		}
+		job2, m, aerr := scihadoop.AggKeyJob(fs, qcfg)
+		if aerr != nil {
+			return nil, aerr
+		}
+		job = job2
+		kc = outputCodec(qcfg)
+		decoder = func(r *mapreduce.Result) (scihadoop.CellResults, error) {
+			return scihadoop.ReadAggOutput(fs, r, kc, m)
+		}
+	case BoxAggregation:
+		if strat.FlushCells > 0 {
+			qcfg.FlushCells = strat.FlushCells
+		}
+		job2, berr := scihadoop.BoxKeyJob(fs, qcfg)
+		if berr != nil {
+			return nil, berr
+		}
+		job = job2
+		kc = outputCodec(qcfg)
+		decoder = func(r *mapreduce.Result) (scihadoop.CellResults, error) {
+			return scihadoop.ReadBoxOutput(fs, r, kc)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown strategy kind %v", strat.Kind)
+	}
+
+	res, err := mapreduce.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	c := res.Counters
+	rep := &Report{
+		Strategy:          strat.Name(),
+		MapOutputRecords:  c.MapOutputRecords.Value(),
+		KeyBytes:          c.MapOutputKeyBytes.Value(),
+		ValueBytes:        c.MapOutputValueBytes.Value(),
+		MaterializedBytes: c.MapOutputMaterializedBytes.Value(),
+		ShuffleBytes:      c.ReduceShuffleBytes.Value(),
+		PartitionSplits:   c.PartitionKeySplits.Value(),
+		OverlapSplits:     c.OverlapKeySplits.Value(),
+		Estimate:          res.Estimate(clus),
+	}
+	if decodeOutput {
+		out, derr := decoder(res)
+		if derr != nil {
+			return nil, derr
+		}
+		rep.Output = out
+	}
+	return rep, nil
+}
+
+// outputCodec builds the key codec matching a query's output encoding.
+func outputCodec(qcfg scihadoop.QueryConfig) *keys.Codec {
+	mode := qcfg.KeyMode
+	if mode == 0 {
+		mode = keys.VarByName
+	}
+	return &keys.Codec{Rank: qcfg.DS.Extent.Rank(), Mode: mode}
+}
+
+// Reduction returns the fractional decrease of this report's materialized
+// bytes versus a baseline report (0.778 means "reduced by 77.8%", the
+// paper's Section III-E headline).
+func (r *Report) Reduction(baseline *Report) float64 {
+	if baseline.MaterializedBytes == 0 {
+		return 0
+	}
+	return 1 - float64(r.MaterializedBytes)/float64(baseline.MaterializedBytes)
+}
+
+// RuntimeDelta returns the relative modeled-runtime change versus baseline:
+// +1.06 means 106% slower (Section III-E), -0.285 means 28.5% faster
+// (Section IV-D).
+func (r *Report) RuntimeDelta(baseline *Report) float64 {
+	b := baseline.Estimate.Total()
+	if b == 0 {
+		return 0
+	}
+	return r.Estimate.Total()/b - 1
+}

@@ -1,0 +1,290 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordBasics(t *testing.T) {
+	a := Coord{1, 2, 3}
+	b := a.Clone()
+	b[0] = 9
+	if a[0] != 1 {
+		t.Error("Clone must not alias")
+	}
+	if !a.Equal(Coord{1, 2, 3}) || a.Equal(Coord{1, 2}) || a.Equal(Coord{1, 2, 4}) {
+		t.Error("Equal misbehaves")
+	}
+	if a.Compare(Coord{1, 2, 4}) != -1 || a.Compare(Coord{1, 2, 2}) != 1 || a.Compare(a) != 0 {
+		t.Error("Compare misbehaves")
+	}
+	short := Coord{1, 2}
+	if a.Compare(short) != 1 || short.Compare(a) != -1 {
+		t.Error("Compare rank ordering misbehaves")
+	}
+	if got := a.Add(Coord{1, 1, 1}); !got.Equal(Coord{2, 3, 4}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(Coord{1, 1, 1}); !got.Equal(Coord{0, 1, 2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if a.String() != "(1,2,3)" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox(Coord{0, 0}, []int{10, 20})
+	if b.NumCells() != 200 || b.Empty() || b.Rank() != 2 {
+		t.Fatalf("basic properties wrong: %v", b)
+	}
+	if !b.High().Equal(Coord{10, 20}) {
+		t.Errorf("High = %v", b.High())
+	}
+	if !b.Contains(Coord{0, 0}) || !b.Contains(Coord{9, 19}) || b.Contains(Coord{10, 0}) || b.Contains(Coord{0, -1}) {
+		t.Error("Contains misbehaves")
+	}
+	c := BoxFromCorners(Coord{0, 0}, Coord{10, 20})
+	if !b.Equal(c) {
+		t.Errorf("BoxFromCorners = %v, want %v", c, b)
+	}
+	if b.String() != "(0,0)+[10,20]" {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestBoxIntersect(t *testing.T) {
+	// The paper's Section IV-C example: mapper outputs (-1,-1)..(10,10) and
+	// (-1,9)..(10,20) overlap in (-1,9)..(10,10).
+	a := BoxFromCorners(Coord{-1, -1}, Coord{11, 11})
+	b := BoxFromCorners(Coord{-1, 9}, Coord{11, 21})
+	inter, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("expected overlap")
+	}
+	want := BoxFromCorners(Coord{-1, 9}, Coord{11, 11})
+	if !inter.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", inter, want)
+	}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("Overlaps must be symmetric")
+	}
+	far := NewBox(Coord{100, 100}, []int{1, 1})
+	if _, ok := a.Intersect(far); ok {
+		t.Error("disjoint boxes must not intersect")
+	}
+}
+
+func TestBoxContainsBox(t *testing.T) {
+	outer := NewBox(Coord{0, 0}, []int{10, 10})
+	if !outer.ContainsBox(NewBox(Coord{2, 2}, []int{3, 3})) {
+		t.Error("inner box should be contained")
+	}
+	if outer.ContainsBox(NewBox(Coord{8, 8}, []int{5, 5})) {
+		t.Error("straddling box should not be contained")
+	}
+	if !outer.ContainsBox(NewBox(Coord{0, 0}, []int{0, 5})) {
+		t.Error("empty box is contained")
+	}
+}
+
+func TestBoxExpand(t *testing.T) {
+	b := NewBox(Coord{0, 0}, []int{10, 10})
+	e := b.Expand(1)
+	if !e.Equal(NewBox(Coord{-1, -1}, []int{12, 12})) {
+		t.Errorf("Expand = %v", e)
+	}
+	shrunk := NewBox(Coord{0, 0}, []int{1, 1}).Expand(-1)
+	if !shrunk.Empty() {
+		t.Errorf("over-shrunk box should be empty, got %v", shrunk)
+	}
+}
+
+func TestBoxAlignTo(t *testing.T) {
+	b := BoxFromCorners(Coord{-1, 9}, Coord{11, 21})
+	a := b.AlignTo(8)
+	want := BoxFromCorners(Coord{-8, 8}, Coord{16, 24})
+	if !a.Equal(want) {
+		t.Errorf("AlignTo(8) = %v, want %v", a, want)
+	}
+	if !a.ContainsBox(b) {
+		t.Error("aligned box must contain the original")
+	}
+	if !b.AlignTo(1).Equal(b) || !b.AlignTo(0).Equal(b) {
+		t.Error("AlignTo(<=1) must be identity")
+	}
+}
+
+func TestIterRowMajor(t *testing.T) {
+	b := NewBox(Coord{1, 2}, []int{2, 3})
+	var got []Coord
+	it := NewIter(b)
+	for c, ok := it.Next(); ok; c, ok = it.Next() {
+		got = append(got, c.Clone())
+	}
+	want := []Coord{{1, 2}, {1, 3}, {1, 4}, {2, 2}, {2, 3}, {2, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("cell %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// ForEach must visit identically.
+	i := 0
+	ForEach(b, func(c Coord) {
+		if !c.Equal(want[i]) {
+			t.Errorf("ForEach cell %d = %v, want %v", i, c, want[i])
+		}
+		i++
+	})
+	if i != len(want) {
+		t.Errorf("ForEach visited %d cells", i)
+	}
+}
+
+func TestIterEmpty(t *testing.T) {
+	b := NewBox(Coord{0, 0}, []int{0, 5})
+	if _, ok := NewIter(b).Next(); ok {
+		t.Error("empty box iterator should be exhausted")
+	}
+	ForEach(b, func(Coord) { t.Error("ForEach on empty box must not call fn") })
+}
+
+func TestRowMajorIndexRoundTrip(t *testing.T) {
+	b := NewBox(Coord{-2, 5, 1}, []int{3, 4, 5})
+	i := int64(0)
+	ForEach(b, func(c Coord) {
+		if got := RowMajorIndex(b, c); got != i {
+			t.Fatalf("RowMajorIndex(%v) = %d, want %d", c, got, i)
+		}
+		if back := CoordAtRowMajor(b, i); !back.Equal(c) {
+			t.Fatalf("CoordAtRowMajor(%d) = %v, want %v", i, back, c)
+		}
+		i++
+	})
+	if i != b.NumCells() {
+		t.Fatalf("visited %d cells, want %d", i, b.NumCells())
+	}
+}
+
+func TestPartition(t *testing.T) {
+	b := NewBox(Coord{0, 0}, []int{10, 7})
+	parts := Partition(b, 3)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	var total int64
+	for i, p := range parts {
+		total += p.NumCells()
+		if i > 0 && parts[i-1].Corner[0]+parts[i-1].Size[0] != p.Corner[0] {
+			t.Errorf("parts %d and %d not contiguous", i-1, i)
+		}
+	}
+	if total != b.NumCells() {
+		t.Errorf("partition covers %d cells, want %d", total, b.NumCells())
+	}
+	// More parts than rows collapses to rows.
+	if got := Partition(NewBox(Coord{0}, []int{2}), 5); len(got) != 2 {
+		t.Errorf("Partition beyond rows: got %d parts", len(got))
+	}
+	if got := Partition(b, 1); len(got) != 1 || !got[0].Equal(b) {
+		t.Errorf("Partition(1) = %v", got)
+	}
+}
+
+func TestPartitionBlocks(t *testing.T) {
+	b := NewBox(Coord{0, 0}, []int{5, 7})
+	blocks := PartitionBlocks(b, []int{2, 3})
+	var total int64
+	for i, blk := range blocks {
+		total += blk.NumCells()
+		if !b.ContainsBox(blk) {
+			t.Errorf("block %d %v escapes %v", i, blk, b)
+		}
+		for j := 0; j < i; j++ {
+			if blocks[j].Overlaps(blk) {
+				t.Errorf("blocks %d and %d overlap", j, i)
+			}
+		}
+	}
+	if total != b.NumCells() {
+		t.Errorf("blocks cover %d cells, want %d", total, b.NumCells())
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	b := NewBox(Coord{0, 0}, []int{10, 10})
+	o := NewBox(Coord{3, 3}, []int{4, 4})
+	parts := Subtract(b, o)
+	var total int64
+	for i, p := range parts {
+		total += p.NumCells()
+		if p.Overlaps(o) {
+			t.Errorf("piece %v overlaps subtrahend", p)
+		}
+		for j := 0; j < i; j++ {
+			if parts[j].Overlaps(p) {
+				t.Errorf("pieces %d and %d overlap", j, i)
+			}
+		}
+	}
+	if total != b.NumCells()-o.NumCells() {
+		t.Errorf("Subtract covers %d cells, want %d", total, b.NumCells()-o.NumCells())
+	}
+	if got := Subtract(b, NewBox(Coord{50, 50}, []int{1, 1})); len(got) != 1 || !got[0].Equal(b) {
+		t.Error("Subtract of disjoint box must return the original")
+	}
+	if got := Subtract(o, b); got != nil {
+		t.Errorf("Subtract of containing box must be empty, got %v", got)
+	}
+}
+
+func TestSubtractQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randBox := func() Box {
+		c := Coord{rng.Intn(21) - 10, rng.Intn(21) - 10}
+		return NewBox(c, []int{1 + rng.Intn(10), 1 + rng.Intn(10)})
+	}
+	for trial := 0; trial < 300; trial++ {
+		b, o := randBox(), randBox()
+		parts := Subtract(b, o)
+		// Every cell of b is either in o or in exactly one part.
+		ForEach(b, func(c Coord) {
+			count := 0
+			for _, p := range parts {
+				if p.Contains(c) {
+					count++
+				}
+			}
+			if o.Contains(c) {
+				if count != 0 {
+					t.Fatalf("cell %v in subtrahend covered %d times", c, count)
+				}
+			} else if count != 1 {
+				t.Fatalf("cell %v covered %d times (b=%v o=%v)", c, count, b, o)
+			}
+		})
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	// For positive divisors, floorDiv(a,b) is the unique q with
+	// q*b <= a < (q+1)*b and ceilDiv the unique c with (c-1)*b < a <= c*b.
+	f := func(a int16, b int8) bool {
+		if b <= 0 {
+			return true
+		}
+		q := floorDiv(int(a), int(b))
+		if !(q*int(b) <= int(a) && int(a) < (q+1)*int(b)) {
+			return false
+		}
+		c := ceilDiv(int(a), int(b))
+		return c*int(b) >= int(a) && int(a) > (c-1)*int(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package hdfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func testFS() *FileSystem {
+	return New(1024, 2, []string{"node0", "node1", "node2"})
+}
+
+func TestWriteRead(t *testing.T) {
+	fs := testFS()
+	data := bytes.Repeat([]byte("scihadoop "), 500) // 5000 bytes, ~5 blocks
+	if err := fs.WriteFile("/data/grid.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAll("/data/grid.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("readback mismatch")
+	}
+	size, err := fs.Stat("/data/grid.bin")
+	if err != nil || size != int64(len(data)) {
+		t.Errorf("Stat = %d, %v", size, err)
+	}
+}
+
+func TestCreateVisibility(t *testing.T) {
+	fs := testFS()
+	w, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("abc"))
+	// Not visible before Close.
+	if _, err := fs.Open("/f"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("pre-close Open err = %v, want ErrNotFound", err)
+	}
+	w.Close()
+	if _, err := fs.Open("/f"); err != nil {
+		t.Errorf("post-close Open: %v", err)
+	}
+	// Duplicate create fails.
+	if _, err := fs.Create("/f"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate Create err = %v", err)
+	}
+}
+
+func TestBlockLocations(t *testing.T) {
+	fs := testFS()
+	data := make([]byte, 2500) // 3 blocks of 1024
+	fs.WriteFile("/blk", data)
+	locs, err := fs.BlockLocations("/blk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(locs))
+	}
+	var off int64
+	for i, l := range locs {
+		if l.Offset != off {
+			t.Errorf("block %d offset %d, want %d", i, l.Offset, off)
+		}
+		if len(l.Hosts) != 2 {
+			t.Errorf("block %d has %d replicas, want 2", i, len(l.Hosts))
+		}
+		if l.Hosts[0] == l.Hosts[1] {
+			t.Errorf("block %d replicas on the same node", i)
+		}
+		off += l.Length
+	}
+	if locs[2].Length != 2500-2048 {
+		t.Errorf("tail block length %d", locs[2].Length)
+	}
+	// Round-robin placement spreads first replicas.
+	if locs[0].Hosts[0] == locs[1].Hosts[0] && locs[1].Hosts[0] == locs[2].Hosts[0] {
+		t.Error("placement not rotating")
+	}
+}
+
+func TestListDelete(t *testing.T) {
+	fs := testFS()
+	fs.WriteFile("/b", nil)
+	fs.WriteFile("/a", []byte("x"))
+	got := fs.List()
+	if len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
+		t.Errorf("List = %v", got)
+	}
+	if err := fs.Delete("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("/a"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+	if _, err := fs.Open("/a"); !errors.Is(err, ErrNotFound) {
+		t.Error("deleted file still readable")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := testFS()
+	fs.WriteFile("/empty", nil)
+	data, err := fs.ReadAll("/empty")
+	if err != nil || len(data) != 0 {
+		t.Errorf("empty file: %v, %d bytes", err, len(data))
+	}
+	locs, _ := fs.BlockLocations("/empty")
+	if len(locs) != 0 {
+		t.Errorf("empty file has %d blocks", len(locs))
+	}
+}
+
+func TestChunkedReads(t *testing.T) {
+	fs := testFS()
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 10_000)
+	rng.Read(data)
+	fs.WriteFile("/r", data)
+	r, _ := fs.Open("/r")
+	var back []byte
+	buf := make([]byte, 333)
+	for {
+		n, err := r.Read(buf)
+		back = append(back, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(back, data) {
+		t.Error("chunked read mismatch")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	fs := testFS()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := string(rune('a' + i))
+			payload := bytes.Repeat([]byte{byte(i)}, 3000)
+			if err := fs.WriteFile(path, payload); err != nil {
+				t.Errorf("writer %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(fs.List()) != 16 {
+		t.Errorf("expected 16 files, got %d", len(fs.List()))
+	}
+	for i := 0; i < 16; i++ {
+		data, err := fs.ReadAll(string(rune('a' + i)))
+		if err != nil || len(data) != 3000 || data[0] != byte(i) {
+			t.Errorf("file %d corrupted", i)
+		}
+	}
+}
+
+func TestReplicationCappedAtNodes(t *testing.T) {
+	fs := New(64, 10, []string{"only"})
+	fs.WriteFile("/x", make([]byte, 100))
+	locs, _ := fs.BlockLocations("/x")
+	for _, l := range locs {
+		if len(l.Hosts) != 1 {
+			t.Errorf("replicas = %d, want 1", len(l.Hosts))
+		}
+	}
+}
+
+func TestReadRange(t *testing.T) {
+	fs := testFS()
+	data := make([]byte, 5000)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	fs.WriteFile("/rr", data)
+	cases := []struct{ off, n int64 }{
+		{0, 0}, {0, 5000}, {1, 1}, {1000, 3000}, {1023, 2}, {4096, 904},
+	}
+	for _, c := range cases {
+		got, err := fs.ReadRange("/rr", c.off, c.n)
+		if err != nil {
+			t.Fatalf("ReadRange(%d,%d): %v", c.off, c.n, err)
+		}
+		if !bytes.Equal(got, data[c.off:c.off+c.n]) {
+			t.Errorf("ReadRange(%d,%d) mismatch", c.off, c.n)
+		}
+	}
+	if _, err := fs.ReadRange("/rr", 4999, 2); err == nil {
+		t.Error("out-of-bounds range must fail")
+	}
+	if _, err := fs.ReadRange("/missing", 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Error("missing file must report ErrNotFound")
+	}
+}

@@ -1,0 +1,29 @@
+package ifile
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the record reader: it must terminate
+// with either records+EOF or an error, never panic or loop.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append([]byte("key"), []byte("value"))
+	w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte{0xff, 0xff, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < len(data)+2; i++ {
+			_, _, err := r.Next()
+			if err == io.EOF || err != nil {
+				return
+			}
+		}
+		t.Fatal("reader did not terminate")
+	})
+}

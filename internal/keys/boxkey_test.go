@@ -1,0 +1,87 @@
+package keys
+
+import (
+	"testing"
+
+	"scikey/internal/grid"
+	"scikey/internal/serial"
+)
+
+func TestBoxKeyRoundTrip(t *testing.T) {
+	for _, mode := range []VarMode{VarNone, VarByIndex, VarByName} {
+		c := &Codec{Rank: 3, Mode: mode}
+		k := BoxKey{
+			Var: VarRef{Name: "windspeed1", Index: 2},
+			Box: grid.NewBox(grid.Coord{-1, 5, 0}, []int{10, 2, 7}),
+		}
+		enc := c.BoxKeyBytes(k)
+		got, err := c.DecodeBox(serial.NewDataInput(enc))
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if !got.Box.Equal(k.Box) {
+			t.Errorf("mode %v: box = %v, want %v", mode, got.Box, k.Box)
+		}
+	}
+}
+
+func TestBoxKeySizes(t *testing.T) {
+	// The introduction's (corner, size) pitch: constant key cost no matter
+	// how many cells the box covers. Rank 2, no variable: 16 bytes.
+	c := &Codec{Rank: 2, Mode: VarNone}
+	small := BoxKey{Box: grid.NewBox(grid.Coord{0, 0}, []int{1, 1})}
+	huge := BoxKey{Box: grid.NewBox(grid.Coord{0, 0}, []int{100000, 100000})}
+	if a, b := len(c.BoxKeyBytes(small)), len(c.BoxKeyBytes(huge)); a != 16 || b != 16 {
+		t.Errorf("box key sizes = %d, %d; want constant 16", a, b)
+	}
+}
+
+func TestCompareBox(t *testing.T) {
+	mk := func(c0, c1, s0, s1 int) BoxKey {
+		return BoxKey{Box: grid.NewBox(grid.Coord{c0, c1}, []int{s0, s1})}
+	}
+	if CompareBox(mk(0, 0, 1, 1), mk(0, 1, 1, 1)) >= 0 {
+		t.Error("corner must dominate")
+	}
+	if CompareBox(mk(0, 0, 1, 1), mk(0, 0, 1, 2)) >= 0 {
+		t.Error("size breaks corner ties")
+	}
+	if CompareBox(mk(3, 4, 5, 6), mk(3, 4, 5, 6)) != 0 {
+		t.Error("equal keys must compare 0")
+	}
+	a := BoxKey{Var: VarRef{Index: 0}, Box: grid.NewBox(grid.Coord{9, 9}, []int{1, 1})}
+	b := BoxKey{Var: VarRef{Index: 1}, Box: grid.NewBox(grid.Coord{0, 0}, []int{1, 1})}
+	if CompareBox(a, b) >= 0 {
+		t.Error("variable must dominate box")
+	}
+}
+
+func TestRawCompareBox(t *testing.T) {
+	c := &Codec{Rank: 2, Mode: VarByName}
+	a := c.BoxKeyBytes(BoxKey{Var: VarRef{Name: "v"}, Box: grid.NewBox(grid.Coord{-5, 0}, []int{2, 2})})
+	b := c.BoxKeyBytes(BoxKey{Var: VarRef{Name: "v"}, Box: grid.NewBox(grid.Coord{0, 0}, []int{2, 2})})
+	// Negative corners must still order correctly.
+	if c.RawCompareBox(a, b) >= 0 || c.RawCompareBox(b, a) <= 0 || c.RawCompareBox(a, a) != 0 {
+		t.Error("RawCompareBox ordering wrong")
+	}
+}
+
+func TestDecodeBoxRejectsNegativeSize(t *testing.T) {
+	c := &Codec{Rank: 1, Mode: VarNone}
+	out := serial.NewDataOutput(8)
+	out.WriteI32(0)
+	out.WriteI32(-3)
+	if _, err := c.DecodeBox(serial.NewDataInput(out.Bytes())); err == nil {
+		t.Error("negative size must fail")
+	}
+}
+
+func TestEncodeBoxRankMismatchPanics(t *testing.T) {
+	c := &Codec{Rank: 2, Mode: VarNone}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.BoxKeyBytes(BoxKey{Box: grid.NewBox(grid.Coord{0}, []int{1})})
+}

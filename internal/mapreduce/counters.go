@@ -1,0 +1,81 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a concurrency-safe job counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counters are the job-wide statistics, mirroring the Hadoop counters the
+// paper reports. "Map output materialized bytes" — the paper's headline
+// metric — is the post-codec, post-framing size of the final per-partition
+// map output segments.
+type Counters struct {
+	MapInputRecords Counter
+	MapInputBytes   Counter
+
+	MapOutputRecords Counter
+	// MapOutputBytes counts serialized key+value bytes before framing and
+	// compression (Hadoop's "Map output bytes").
+	MapOutputBytes Counter
+	// MapOutputKeyBytes / MapOutputValueBytes decompose MapOutputBytes the
+	// way Fig. 8 does.
+	MapOutputKeyBytes   Counter
+	MapOutputValueBytes Counter
+	// MapOutputMaterializedBytes is the on-disk size of final map output.
+	MapOutputMaterializedBytes Counter
+
+	CombineInputRecords  Counter
+	CombineOutputRecords Counter
+	SpilledRecords       Counter
+
+	// PartitionKeySplits counts aggregate keys split at routing time;
+	// OverlapKeySplits counts reduce-side overlap splits. Both are zero
+	// for vanilla Hadoop jobs.
+	PartitionKeySplits Counter
+	OverlapKeySplits   Counter
+
+	ReduceShuffleBytes  Counter
+	ReduceInputGroups   Counter
+	ReduceInputRecords  Counter
+	ReduceOutputRecords Counter
+	ReduceOutputBytes   Counter
+}
+
+// String renders the counters in Hadoop's log style.
+func (c *Counters) String() string {
+	var sb strings.Builder
+	row := func(name string, v int64) {
+		fmt.Fprintf(&sb, "    %s=%d\n", name, v)
+	}
+	sb.WriteString("  Counters:\n")
+	row("Map input records", c.MapInputRecords.Value())
+	row("Map input bytes", c.MapInputBytes.Value())
+	row("Map output records", c.MapOutputRecords.Value())
+	row("Map output bytes", c.MapOutputBytes.Value())
+	row("Map output key bytes", c.MapOutputKeyBytes.Value())
+	row("Map output value bytes", c.MapOutputValueBytes.Value())
+	row("Map output materialized bytes", c.MapOutputMaterializedBytes.Value())
+	row("Combine input records", c.CombineInputRecords.Value())
+	row("Combine output records", c.CombineOutputRecords.Value())
+	row("Spilled records", c.SpilledRecords.Value())
+	row("Partition key splits", c.PartitionKeySplits.Value())
+	row("Overlap key splits", c.OverlapKeySplits.Value())
+	row("Reduce shuffle bytes", c.ReduceShuffleBytes.Value())
+	row("Reduce input groups", c.ReduceInputGroups.Value())
+	row("Reduce input records", c.ReduceInputRecords.Value())
+	row("Reduce output records", c.ReduceOutputRecords.Value())
+	row("Reduce output bytes", c.ReduceOutputBytes.Value())
+	return sb.String()
+}

@@ -1,0 +1,184 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"scikey/internal/cluster"
+)
+
+// mapTask executes one mapper: collect, partition (splitting aggregate keys
+// when configured), sort, combine, spill, and merge spills into one final
+// segment per partition.
+type mapTask struct {
+	job *Job
+	id  int
+	ctx *TaskContext
+
+	parts    []partBuffer
+	buffered int
+	spills   [][]segment // per partition
+
+	footprint cluster.Task
+	hosts     []string
+	finals    []segment // one per partition after finalize
+}
+
+type partBuffer struct {
+	pairs []KV
+	bytes int
+}
+
+func newMapTask(job *Job, id int, counters *Counters) *mapTask {
+	return &mapTask{
+		job:    job,
+		id:     id,
+		ctx:    &TaskContext{TaskID: id, IsMap: true, FS: job.FS, counters: counters},
+		parts:  make([]partBuffer, job.NumReducers),
+		spills: make([][]segment, job.NumReducers),
+	}
+}
+
+func (t *mapTask) run(split Split) error {
+	start := time.Now()
+	t.hosts = split.Hosts
+	mapper := t.job.NewMapper()
+	if err := mapper.Map(t.ctx, split, t.emit); err != nil {
+		return fmt.Errorf("mapreduce: map task %d: %w", t.id, err)
+	}
+	if err := t.finalize(); err != nil {
+		return err
+	}
+	t.footprint.CPUSeconds += time.Since(start).Seconds()
+	// Input scan and final output both travel through the local disk (the
+	// locality-aware estimate may later re-route the input bytes).
+	t.footprint.DiskBytes += t.ctx.inputBytes
+	return nil
+}
+
+// emit is the mapper-facing output path (step 2 of Fig. 1).
+func (t *mapTask) emit(key, value []byte) {
+	c := t.ctx.counters
+	c.MapOutputRecords.Add(1)
+	c.MapOutputBytes.Add(int64(len(key) + len(value)))
+	c.MapOutputKeyBytes.Add(int64(len(key)))
+	c.MapOutputValueBytes.Add(int64(len(value)))
+
+	if t.job.PartitionSplit != nil {
+		routed := t.job.PartitionSplit(key, value, t.job.NumReducers)
+		if len(routed) > 1 {
+			c.PartitionKeySplits.Add(int64(len(routed) - 1))
+		}
+		for _, r := range routed {
+			t.buffer(r.Partition, r.Key, r.Value)
+		}
+		return
+	}
+	t.buffer(t.job.Partition(key, t.job.NumReducers), key, value)
+}
+
+func (t *mapTask) buffer(part int, key, value []byte) {
+	if part < 0 || part >= t.job.NumReducers {
+		panic(fmt.Sprintf("mapreduce: partition %d out of [0,%d)", part, t.job.NumReducers))
+	}
+	// Copy: mappers legitimately reuse their serialization buffers.
+	kv := KV{Key: append([]byte(nil), key...), Value: append([]byte(nil), value...)}
+	pb := &t.parts[part]
+	pb.pairs = append(pb.pairs, kv)
+	pb.bytes += len(kv.Key) + len(kv.Value)
+	t.buffered += len(kv.Key) + len(kv.Value)
+	if t.buffered >= t.job.spillLimit() {
+		if err := t.spill(); err != nil {
+			// Spill failures surface at finalize; record and drop.
+			panic(fmt.Sprintf("mapreduce: spill failed: %v", err))
+		}
+	}
+}
+
+// spill sorts, combines and writes each partition buffer as a segment
+// (steps 2-3 of Fig. 1).
+func (t *mapTask) spill() error {
+	c := t.ctx.counters
+	for p := range t.parts {
+		pb := &t.parts[p]
+		if len(pb.pairs) == 0 {
+			continue
+		}
+		sort.SliceStable(pb.pairs, func(i, j int) bool {
+			return t.job.Compare(pb.pairs[i].Key, pb.pairs[j].Key) < 0
+		})
+		pairs := pb.pairs
+		if t.job.NewCombiner != nil {
+			combined, err := t.combine(pairs)
+			if err != nil {
+				return err
+			}
+			pairs = combined
+		}
+		seg, err := writeSegment(pairs, t.job.codec())
+		if err != nil {
+			return err
+		}
+		c.SpilledRecords.Add(int64(len(pairs)))
+		t.footprint.DiskBytes += int64(len(seg.data))
+		t.spills[p] = append(t.spills[p], seg)
+		t.parts[p] = partBuffer{}
+	}
+	t.buffered = 0
+	return nil
+}
+
+func (t *mapTask) combine(pairs []KV) ([]KV, error) {
+	c := t.ctx.counters
+	c.CombineInputRecords.Add(int64(len(pairs)))
+	out := make([]KV, 0, len(pairs))
+	emit := func(k, v []byte) {
+		out = append(out, KV{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)})
+	}
+	comb := t.job.NewCombiner()
+	if err := groupReduce(t.ctx, pairs, t.job.Compare, comb, emit, c, true); err != nil {
+		return nil, err
+	}
+	c.CombineOutputRecords.Add(int64(len(out)))
+	// The combiner must preserve key order for the segment to stay sorted.
+	sort.SliceStable(out, func(i, j int) bool {
+		return t.job.Compare(out[i].Key, out[j].Key) < 0
+	})
+	return out, nil
+}
+
+// finalize flushes the last buffer and merges multi-spill partitions into
+// one segment each, producing the task's final map output.
+func (t *mapTask) finalize() error {
+	if err := t.spill(); err != nil {
+		return err
+	}
+	c := t.ctx.counters
+	t.finals = make([]segment, t.job.NumReducers)
+	for p := range t.spills {
+		segs := t.spills[p]
+		switch len(segs) {
+		case 0:
+			// empty partition: no segment
+		case 1:
+			t.finals[p] = segs[0]
+		default:
+			// Multi-pass merge down to a single final segment. Hadoop
+			// counts records written during merge passes as spilled
+			// records too.
+			merged, err := mergeDown(segs, t.job.codec(), t.job.Compare,
+				t.job.mergeFactor(), 1, func(read, written, records int64) {
+					t.footprint.DiskBytes += read + written
+					c.SpilledRecords.Add(records)
+				})
+			if err != nil {
+				return err
+			}
+			t.finals[p] = merged[0]
+		}
+		c.MapOutputMaterializedBytes.Add(int64(len(t.finals[p].data)))
+	}
+	t.spills = nil
+	return nil
+}

@@ -1,0 +1,204 @@
+package mapreduce
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"io"
+
+	"scikey/internal/codec"
+	"scikey/internal/ifile"
+)
+
+// segment is one sorted run of intermediate pairs in its on-disk form
+// (IFile framing, optionally compressed).
+type segment struct {
+	data    []byte
+	records int64
+}
+
+// writeSegment encodes sorted pairs through the codec into IFile form.
+func writeSegment(pairs []KV, c codec.Codec) (segment, error) {
+	var buf bytes.Buffer
+	cw := c.NewWriter(&buf)
+	iw := ifile.NewWriter(cw)
+	for _, p := range pairs {
+		if err := iw.Append(p.Key, p.Value); err != nil {
+			return segment{}, err
+		}
+	}
+	if err := iw.Close(); err != nil {
+		return segment{}, err
+	}
+	if err := cw.Close(); err != nil {
+		return segment{}, err
+	}
+	return segment{data: buf.Bytes(), records: int64(len(pairs))}, nil
+}
+
+// segIter streams the records of one segment.
+type segIter struct {
+	rc io.ReadCloser
+	ir *ifile.Reader
+	// cur holds copies of the current record (the ifile reader reuses its
+	// buffers).
+	cur KV
+	ok  bool
+	err error
+}
+
+func openSegment(seg segment, c codec.Codec) (*segIter, error) {
+	rc, err := c.NewReader(bytes.NewReader(seg.data))
+	if err != nil {
+		return nil, err
+	}
+	it := &segIter{rc: rc, ir: ifile.NewReader(rc)}
+	it.advance()
+	return it, it.err
+}
+
+func (it *segIter) advance() {
+	k, v, err := it.ir.Next()
+	if err == io.EOF {
+		it.ok = false
+		it.rc.Close()
+		return
+	}
+	if err != nil {
+		it.err = err
+		it.ok = false
+		it.rc.Close()
+		return
+	}
+	it.cur = KV{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)}
+	it.ok = true
+}
+
+// mergeHeap orders segment iterators by their current key.
+type mergeHeap struct {
+	its []*segIter
+	cmp func(a, b []byte) int
+}
+
+func (h *mergeHeap) Len() int { return len(h.its) }
+
+func (h *mergeHeap) Less(i, j int) bool {
+	return h.cmp(h.its[i].cur.Key, h.its[j].cur.Key) < 0
+}
+
+func (h *mergeHeap) Swap(i, j int) { h.its[i], h.its[j] = h.its[j], h.its[i] }
+
+func (h *mergeHeap) Push(x any) { h.its = append(h.its, x.(*segIter)) }
+
+func (h *mergeHeap) Pop() any {
+	old := h.its
+	n := len(old)
+	it := old[n-1]
+	h.its = old[:n-1]
+	return it
+}
+
+// mergeSegments k-way merges sorted segments into one sorted in-memory run,
+// the reducer-side "merge sort" of Fig. 1 step 5.
+func mergeSegments(segs []segment, c codec.Codec, cmp func(a, b []byte) int) ([]KV, error) {
+	h := &mergeHeap{cmp: cmp}
+	var total int64
+	for _, s := range segs {
+		if len(s.data) == 0 {
+			continue
+		}
+		it, err := openSegment(s, c)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: opening segment: %w", err)
+		}
+		if it.ok {
+			h.its = append(h.its, it)
+		}
+		total += s.records
+	}
+	heap.Init(h)
+	out := make([]KV, 0, total)
+	for h.Len() > 0 {
+		it := h.its[0]
+		out = append(out, it.cur)
+		it.advance()
+		if it.err != nil {
+			return nil, it.err
+		}
+		if it.ok {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return out, nil
+}
+
+// mergeDown repeatedly merges batches of up to factor segments into single
+// segments until at most target remain — Hadoop's multi-pass on-disk merge
+// (io.sort.factor), the "multiple on-disk sort phases" of Fig. 1 step 5.
+// Every intermediate pass re-reads and re-writes its inputs; acct receives
+// those byte counts so the cost model sees why bulky intermediate data
+// hurts twice.
+func mergeDown(segs []segment, c codec.Codec, cmp func(a, b []byte) int, factor, target int, acct func(read, written, records int64)) ([]segment, error) {
+	if factor < 2 {
+		factor = 2
+	}
+	if target < 1 {
+		target = 1
+	}
+	for len(segs) > target {
+		n := min(factor, len(segs))
+		// Hadoop merges the smallest segments first to minimize rewriting.
+		sortSegmentsBySize(segs)
+		batch := segs[:n]
+		var read int64
+		for _, s := range batch {
+			read += int64(len(s.data))
+		}
+		pairs, err := mergeSegments(batch, c, cmp)
+		if err != nil {
+			return nil, err
+		}
+		merged, err := writeSegment(pairs, c)
+		if err != nil {
+			return nil, err
+		}
+		if acct != nil {
+			acct(read, int64(len(merged.data)), merged.records)
+		}
+		segs = append([]segment{merged}, segs[n:]...)
+	}
+	return segs, nil
+}
+
+func sortSegmentsBySize(segs []segment) {
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && len(segs[j].data) < len(segs[j-1].data); j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+}
+
+// groupReduce walks a sorted run, invoking red once per group of equal keys
+// (per cmp), as Hadoop's reduce-phase grouping iterator does.
+func groupReduce(ctx *TaskContext, pairs []KV, cmp func(a, b []byte) int, red Reducer, emit Emit, counters *Counters, isCombine bool) error {
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && cmp(pairs[i].Key, pairs[j].Key) == 0 {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for k := i; k < j; k++ {
+			values = append(values, pairs[k].Value)
+		}
+		if counters != nil && !isCombine {
+			counters.ReduceInputGroups.Add(1)
+		}
+		if err := red.Reduce(ctx, pairs[i].Key, values, emit); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+
+	"scikey/internal/cluster"
+	"scikey/internal/ifile"
+)
+
+// reduceTask executes one reducer: fetch its partition's segments from
+// every map output, merge-sort them, apply the SciHadoop merge transform
+// (overlap splitting), group, reduce, and write output to HDFS (steps 4-7
+// of Fig. 1).
+type reduceTask struct {
+	job       *Job
+	id        int
+	ctx       *TaskContext
+	footprint cluster.Task
+	outPath   string
+}
+
+func newReduceTask(job *Job, id int, counters *Counters) *reduceTask {
+	return &reduceTask{
+		job: job,
+		id:  id,
+		ctx: &TaskContext{TaskID: id, IsMap: false, FS: job.FS, counters: counters},
+	}
+}
+
+func (t *reduceTask) run(mapOutputs [][]segment) error {
+	c := t.ctx.counters
+
+	// Shuffle: fetch this partition's final segment from every map. The
+	// bytes cross the network and are staged on local disk (write + later
+	// read during the merge).
+	var segs []segment
+	for _, finals := range mapOutputs {
+		seg := finals[t.id]
+		if len(seg.data) == 0 {
+			continue
+		}
+		segs = append(segs, seg)
+		n := int64(len(seg.data))
+		c.ReduceShuffleBytes.Add(n)
+		t.footprint.NetBytes += n
+		t.footprint.DiskBytes += 2 * n
+	}
+
+	start := time.Now()
+	// Reduce-side multi-pass merge: more fetched segments than the merge
+	// factor force extra on-disk passes first — the mechanism by which
+	// intermediate-data volume "possibly requir[es] multiple on-disk sort
+	// phases" (Fig. 1 step 5) and taxes reducers beyond the shuffle.
+	segs, err := mergeDown(segs, t.job.codec(), t.job.Compare,
+		t.job.mergeFactor(), t.job.mergeFactor(), func(read, written, _ int64) {
+			t.footprint.DiskBytes += read + written
+		})
+	if err != nil {
+		return fmt.Errorf("mapreduce: reduce task %d merge pass: %w", t.id, err)
+	}
+	pairs, err := mergeSegments(segs, t.job.codec(), t.job.Compare)
+	if err != nil {
+		return fmt.Errorf("mapreduce: reduce task %d merge: %w", t.id, err)
+	}
+	c.ReduceInputRecords.Add(int64(len(pairs)))
+
+	if t.job.MergeTransform != nil {
+		before := len(pairs)
+		pairs = t.job.MergeTransform(pairs)
+		if d := len(pairs) - before; d > 0 {
+			c.OverlapKeySplits.Add(int64(d))
+		}
+	}
+
+	t.outPath = fmt.Sprintf("%s/part-%05d", t.job.OutputPath, t.id)
+	w, err := t.job.FS.Create(t.outPath)
+	if err != nil {
+		return err
+	}
+	iw := ifile.NewWriter(w)
+	var outBytes int64
+	emit := func(k, v []byte) {
+		c.ReduceOutputRecords.Add(1)
+		outBytes += int64(len(k) + len(v))
+		if err := iw.Append(k, v); err != nil {
+			panic(fmt.Sprintf("mapreduce: reduce output write: %v", err))
+		}
+	}
+	red := t.job.NewReducer()
+	if err := groupReduce(t.ctx, pairs, t.job.Compare, red, emit, c, false); err != nil {
+		return fmt.Errorf("mapreduce: reduce task %d: %w", t.id, err)
+	}
+	if f, ok := red.(Finalizer); ok {
+		if err := f.Finish(t.ctx, emit); err != nil {
+			return fmt.Errorf("mapreduce: reduce task %d finish: %w", t.id, err)
+		}
+	}
+	if err := iw.Close(); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	c.ReduceOutputBytes.Add(outBytes)
+	t.footprint.CPUSeconds += time.Since(start).Seconds()
+	t.footprint.DiskBytes += iw.Stats().Total()
+	return nil
+}

@@ -1,0 +1,133 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+
+	"scikey/internal/cluster"
+)
+
+// Result reports a completed job: its counters, the per-task resource
+// footprints for the cluster cost model, and the output file paths.
+type Result struct {
+	Counters *Counters
+	MapTasks []cluster.Task
+	// MapSpecs pairs each map task with its input volume and block hosts
+	// for locality-aware estimation.
+	MapSpecs    []cluster.MapSpec
+	ReduceTasks []cluster.Task
+	OutputPaths []string
+}
+
+// Estimate models the job's runtime on the given cluster, treating all map
+// input as node-local.
+func (r *Result) Estimate(cfg cluster.Config) cluster.JobEstimate {
+	return cfg.EstimateJob(r.MapTasks, r.ReduceTasks)
+}
+
+// EstimateLocality models the runtime with Hadoop's locality-preferring
+// map scheduling over the named nodes.
+func (r *Result) EstimateLocality(cfg cluster.Config, nodes []string) cluster.LocalityEstimate {
+	return cfg.EstimateJobLocality(nodes, r.MapSpecs, r.ReduceTasks)
+}
+
+// Run executes the job to completion.
+func Run(job *Job) (*Result, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	counters := &Counters{}
+
+	// Map phase.
+	tasks := make([]*mapTask, len(job.Splits))
+	if err := forEachLimit(len(job.Splits), job.parallelism(), func(i int) error {
+		t := newMapTask(job, i, counters)
+		tasks[i] = t
+		return t.run(job.Splits[i])
+	}); err != nil {
+		return nil, err
+	}
+
+	mapOutputs := make([][]segment, len(tasks))
+	mapFootprints := make([]cluster.Task, len(tasks))
+	mapSpecs := make([]cluster.MapSpec, len(tasks))
+	for i, t := range tasks {
+		mapOutputs[i] = t.finals
+		mapFootprints[i] = t.footprint
+		mapSpecs[i] = cluster.MapSpec{Task: t.footprint, InputBytes: t.ctx.inputBytes, Hosts: t.hosts}
+	}
+
+	// Reduce phase.
+	rtasks := make([]*reduceTask, job.NumReducers)
+	if err := forEachLimit(job.NumReducers, job.parallelism(), func(r int) error {
+		t := newReduceTask(job, r, counters)
+		rtasks[r] = t
+		return t.run(mapOutputs)
+	}); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Counters:    counters,
+		MapTasks:    mapFootprints,
+		MapSpecs:    mapSpecs,
+		ReduceTasks: make([]cluster.Task, job.NumReducers),
+		OutputPaths: make([]string, job.NumReducers),
+	}
+	for r, t := range rtasks {
+		res.ReduceTasks[r] = t.footprint
+		res.OutputPaths[r] = t.outPath
+	}
+	return res, nil
+}
+
+// forEachLimit runs fn(0..n-1) with at most limit goroutines, returning the
+// first error.
+func forEachLimit(n, limit int, fn func(i int) error) error {
+	if limit <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, limit)
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				<-sem
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("mapreduce: task %d panicked: %v", i, r)
+					}
+					mu.Unlock()
+				}
+			}()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,205 @@
+// Package mapreduce is an in-process MapReduce engine reproducing the
+// Hadoop data path of Fig. 1: mappers read input splits, map output is
+// partitioned, sorted, optionally combined, and spilled to IFile segments
+// (optionally through a compression codec); reducers fetch their partitions,
+// merge-sort the segments, group equal keys and reduce; output lands on the
+// simulated HDFS.
+//
+// Two extensions implement the paper's Section IV-B changes, removing
+// Hadoop's assumption that key/value pairs are atomic:
+//
+//   - Job.PartitionSplit lets an aggregate key that spans several reducers
+//     be split at routing time instead of being routed whole.
+//   - Job.MergeTransform runs over each reducer's merged, sorted stream
+//     before grouping — the hook where unequal overlapping aggregate keys
+//     are split along overlap boundaries (Fig. 7).
+//
+// The engine measures, per task, the byte volumes and CPU seconds that the
+// cluster cost model turns into modeled runtimes, and maintains the Hadoop
+// counters the paper quotes (notably "Map output materialized bytes").
+package mapreduce
+
+import (
+	"fmt"
+
+	"scikey/internal/codec"
+	"scikey/internal/hdfs"
+)
+
+// KV is one serialized key/value pair.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// RoutedKV is a pair assigned to a reducer partition.
+type RoutedKV struct {
+	Partition int
+	KV
+}
+
+// Split describes one map task's input. Data is an application payload
+// (e.g. a grid.Box slab for array inputs).
+type Split struct {
+	ID    int
+	Hosts []string
+	Data  any
+}
+
+// Emit delivers one output pair from user code to the framework.
+type Emit func(key, value []byte)
+
+// Mapper transforms one input split into intermediate pairs. A fresh Mapper
+// is built per task, so implementations may keep per-task state (such as an
+// aggregation buffer) without locking.
+type Mapper interface {
+	Map(ctx *TaskContext, split Split, emit Emit) error
+}
+
+// Reducer folds the values of one intermediate key. It is also the
+// interface for combiners.
+type Reducer interface {
+	Reduce(ctx *TaskContext, key []byte, values [][]byte, emit Emit) error
+}
+
+// MapperFunc adapts a function to Mapper.
+type MapperFunc func(ctx *TaskContext, split Split, emit Emit) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(ctx *TaskContext, split Split, emit Emit) error {
+	return f(ctx, split, emit)
+}
+
+// Finalizer is an optional Reducer extension: Finish runs after the last
+// group of a reduce task, letting reducers that buffer output (e.g. for
+// reduce-side re-aggregation of split keys, the follow-up Section IV-B
+// sketches) flush their state.
+type Finalizer interface {
+	Finish(ctx *TaskContext, emit Emit) error
+}
+
+// ReducerFunc adapts a function to Reducer.
+type ReducerFunc func(ctx *TaskContext, key []byte, values [][]byte, emit Emit) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(ctx *TaskContext, key []byte, values [][]byte, emit Emit) error {
+	return f(ctx, key, values, emit)
+}
+
+// TaskContext carries per-task services to user code.
+type TaskContext struct {
+	// TaskID identifies the map or reduce task.
+	TaskID int
+	// IsMap distinguishes map from reduce tasks.
+	IsMap bool
+	// FS is the job filesystem, for mappers that read their split's data.
+	FS *hdfs.FileSystem
+
+	counters   *Counters
+	inputBytes int64 // this task's reported input volume
+}
+
+// Counters exposes the job-wide counters for user-code increments.
+func (c *TaskContext) Counters() *Counters { return c.counters }
+
+// CountInput records input consumed by a mapper, feeding both the
+// MapInput counters and the task's modeled disk traffic.
+func (c *TaskContext) CountInput(records, bytes int64) {
+	c.counters.MapInputRecords.Add(records)
+	c.counters.MapInputBytes.Add(bytes)
+	c.inputBytes += bytes
+}
+
+// Job configures one MapReduce execution.
+type Job struct {
+	// Name labels the job in diagnostics.
+	Name string
+	// FS is the filesystem for input and output.
+	FS *hdfs.FileSystem
+	// Splits enumerates the map inputs.
+	Splits []Split
+	// NewMapper builds a mapper per map task.
+	NewMapper func() Mapper
+	// NewReducer builds a reducer per reduce task.
+	NewReducer func() Reducer
+	// NewCombiner, when non-nil, builds the map-side combiner (step 3 of
+	// Fig. 1).
+	NewCombiner func() Reducer
+	// NumReducers is the reduce-partition count.
+	NumReducers int
+	// Compare is the intermediate-key sort and grouping comparator.
+	Compare func(a, b []byte) int
+	// Partition routes one key to a reducer. Ignored when PartitionSplit
+	// is set.
+	Partition func(key []byte, numReducers int) int
+	// PartitionSplit, when set, may split a pair across reducers
+	// (Section IV-B, case one). It must emit fragments in key order.
+	PartitionSplit func(key, value []byte, numReducers int) []RoutedKV
+	// MergeTransform, when set, rewrites each reducer's merged sorted
+	// stream before grouping (Section IV-B, case two: overlap splitting).
+	MergeTransform func(pairs []KV) []KV
+	// MapOutputCodec compresses spill segments ("Map output materialized
+	// bytes" is measured after this codec). Nil means no compression.
+	MapOutputCodec codec.Codec
+	// OutputPath is the HDFS directory for reducer output files.
+	OutputPath string
+	// SpillBufferBytes bounds the in-memory map output buffer before a
+	// sort-and-spill (Hadoop's io.sort.mb). Default 16 MiB.
+	SpillBufferBytes int
+	// MergeFactor bounds how many segments one merge pass combines
+	// (Hadoop's io.sort.factor); more segments than this trigger extra
+	// on-disk merge passes whose I/O the cost model charges. Default 10.
+	MergeFactor int
+	// Parallelism caps concurrently executing tasks. Default 1: tasks run
+	// sequentially, which keeps per-task CPU measurements clean for the
+	// cost model. Benchmarks wanting wall-clock speed can raise it.
+	Parallelism int
+}
+
+func (j *Job) validate() error {
+	switch {
+	case j.FS == nil:
+		return fmt.Errorf("mapreduce: job %q needs FS", j.Name)
+	case len(j.Splits) == 0:
+		return fmt.Errorf("mapreduce: job %q has no splits", j.Name)
+	case j.NewMapper == nil || j.NewReducer == nil:
+		return fmt.Errorf("mapreduce: job %q needs mapper and reducer", j.Name)
+	case j.NumReducers <= 0:
+		return fmt.Errorf("mapreduce: job %q needs NumReducers > 0", j.Name)
+	case j.Compare == nil:
+		return fmt.Errorf("mapreduce: job %q needs Compare", j.Name)
+	case j.Partition == nil && j.PartitionSplit == nil:
+		return fmt.Errorf("mapreduce: job %q needs Partition or PartitionSplit", j.Name)
+	case j.OutputPath == "":
+		return fmt.Errorf("mapreduce: job %q needs OutputPath", j.Name)
+	}
+	return nil
+}
+
+func (j *Job) spillLimit() int {
+	if j.SpillBufferBytes > 0 {
+		return j.SpillBufferBytes
+	}
+	return 16 << 20
+}
+
+func (j *Job) mergeFactor() int {
+	if j.MergeFactor >= 2 {
+		return j.MergeFactor
+	}
+	return 10
+}
+
+func (j *Job) parallelism() int {
+	if j.Parallelism > 0 {
+		return j.Parallelism
+	}
+	return 1
+}
+
+func (j *Job) codec() codec.Codec {
+	if j.MapOutputCodec != nil {
+		return j.MapOutputCodec
+	}
+	return codec.None
+}

@@ -1,0 +1,23 @@
+package netcdf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse must never panic on malformed headers.
+func FuzzParse(f *testing.F) {
+	var buf bytes.Buffer
+	nc := &File{Dims: []Dim{{Name: "x", Len: 3}}}
+	nc.Vars = append(nc.Vars, &Var{Name: "v", Dims: []int{0}, Int32s: make([]int32, 3)})
+	nc.WriteTo(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("CDF\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		f, err := Parse(data)
+		if err == nil && f == nil {
+			t.Fatal("nil file without error")
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package predictor
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip drives arbitrary byte streams and detector parameters
+// through Forward+Inverse: the pair must always be lossless.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("windspeed1windspeed1windspeed1"), 10, 3)
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3}, 4, 1)
+	f.Add([]byte{}, 1, 2)
+	f.Fuzz(func(t *testing.T, data []byte, maxStride, runThreshold int) {
+		if maxStride < 1 || maxStride > 64 || runThreshold < 1 || runThreshold > 8 {
+			t.Skip()
+		}
+		cfg := Config{MaxStride: maxStride, RunThreshold: runThreshold}
+		res := NewTransformer(cfg).Forward(nil, data)
+		if len(res) != len(data) {
+			t.Fatalf("residual %d bytes, input %d", len(res), len(data))
+		}
+		back := NewTransformer(cfg).Inverse(nil, res)
+		if !bytes.Equal(back, data) {
+			t.Fatal("roundtrip mismatch")
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package scihadoop
+
+import (
+	"bytes"
+	"fmt"
+
+	"scikey/internal/grid"
+	"scikey/internal/hdfs"
+	"scikey/internal/keys"
+	"scikey/internal/netcdf"
+	"scikey/internal/workload"
+)
+
+// StoreNetCDF materializes field values for a variable as a CDF-1 NetCDF
+// file on fs, with one named dimension per extent axis. SciHadoop's input
+// is NetCDF; this is the faithful storage path (Store keeps the raw-array
+// fast path).
+func StoreNetCDF(fs *hdfs.FileSystem, path, varName string, extent grid.Box, field *workload.Field) error {
+	for _, c := range extent.Corner {
+		if c != 0 {
+			return fmt.Errorf("scihadoop: NetCDF extents are zero-origin, got corner %v", extent.Corner)
+		}
+	}
+	nc := &netcdf.File{
+		Attrs: []netcdf.Attr{{Name: "source", Text: "scikey synthetic field"}},
+	}
+	dims := make([]int, extent.Rank())
+	for d := 0; d < extent.Rank(); d++ {
+		nc.Dims = append(nc.Dims, netcdf.Dim{Name: fmt.Sprintf("dim%d", d), Len: extent.Size[d]})
+		dims[d] = d
+	}
+	vals := make([]int32, 0, extent.NumCells())
+	grid.ForEach(extent, func(c grid.Coord) {
+		vals = append(vals, field.Value(c))
+	})
+	nc.Vars = append(nc.Vars, &netcdf.Var{
+		Name:   varName,
+		Dims:   dims,
+		Attrs:  []netcdf.Attr{{Name: "units", Text: "m/s"}},
+		Int32s: vals,
+	})
+	var buf bytes.Buffer
+	if _, err := nc.WriteTo(&buf); err != nil {
+		return err
+	}
+	return fs.WriteFile(path, buf.Bytes())
+}
+
+// OpenNetCDF reads a NetCDF header from fs and returns a Dataset for the
+// named variable: its extent comes from the file's dimensions and its
+// DataOffset from the variable's payload begin, so map splits read slabs
+// straight out of the NetCDF file without rewriting it.
+func OpenNetCDF(fs *hdfs.FileSystem, path, varName string) (Dataset, error) {
+	// Headers are small; read a generous prefix (or the whole file if
+	// shorter).
+	size, err := fs.Stat(path)
+	if err != nil {
+		return Dataset{}, err
+	}
+	n := min(size, 1<<20)
+	head, err := fs.ReadRange(path, 0, n)
+	if err != nil {
+		return Dataset{}, err
+	}
+	nc, err := netcdf.ParseHeader(head)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("scihadoop: parsing NetCDF header of %s: %w", path, err)
+	}
+	v, ok := nc.VarByName(varName)
+	if !ok {
+		return Dataset{}, fmt.Errorf("scihadoop: variable %q not in %s", varName, path)
+	}
+	shape := v.Shape(nc)
+	return Dataset{
+		Path:       path,
+		Var:        keys.VarRef{Name: varName},
+		Extent:     grid.NewBox(make(grid.Coord, len(shape)), shape),
+		DataOffset: v.Begin(),
+	}, nil
+}

@@ -1,0 +1,185 @@
+package scihadoop
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scikey/internal/codec"
+	"scikey/internal/grid"
+	"scikey/internal/hdfs"
+	"scikey/internal/keys"
+	"scikey/internal/mapreduce"
+	"scikey/internal/serial"
+	"scikey/internal/stats"
+)
+
+// Op selects the window operator.
+type Op int
+
+const (
+	// Median is the paper's evaluation query: holistic, so no combiner can
+	// shrink map output — exactly why intermediate-data size dominates.
+	Median Op = iota
+	// Max is distributive; the simple-key job can run a combiner, giving
+	// the engine's combiner path realistic exercise.
+	Max
+)
+
+// String names the operator.
+func (op Op) String() string {
+	if op == Max {
+		return "max"
+	}
+	return "median"
+}
+
+func (op Op) fold(values []int32) int32 {
+	switch op {
+	case Max:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	default:
+		return stats.MedianInPlace(values)
+	}
+}
+
+// QueryConfig parameterizes a sliding-window query job.
+type QueryConfig struct {
+	// DS is the input dataset.
+	DS Dataset
+	// Radius is the window radius; 1 gives the paper's 3x3 window.
+	Radius int
+	// Op is the window operator (default Median).
+	Op Op
+	// NumSplits is the map task count.
+	NumSplits int
+	// NumReducers matches the paper's 5 unless overridden.
+	NumReducers int
+	// KeyMode picks the simple-key variable encoding (default VarByName,
+	// the paper's expensive case).
+	KeyMode keys.VarMode
+	// MapOutputCodec compresses spills (Section III-E's custom codec slots
+	// in here). Nil disables compression.
+	MapOutputCodec codec.Codec
+	// Curve names the space-filling curve for aggregate keys (default
+	// "zorder").
+	Curve string
+	// FlushCells bounds the aggregation buffer.
+	FlushCells int
+	// Reaggregate enables reduce-side re-aggregation of output ranges
+	// (AggKeyJob only): coalesce ranges fragmented by key splitting back
+	// into maximal contiguous ranges — the follow-up Section IV-B
+	// mentions as future work.
+	Reaggregate bool
+	// OutputPath is the HDFS output directory.
+	OutputPath string
+}
+
+func (c QueryConfig) withDefaults() QueryConfig {
+	if c.Radius == 0 {
+		c.Radius = 1
+	}
+	if c.NumSplits == 0 {
+		c.NumSplits = 10
+	}
+	if c.NumReducers == 0 {
+		c.NumReducers = 5
+	}
+	if c.KeyMode == 0 {
+		c.KeyMode = keys.VarByName
+	}
+	if c.Curve == "" {
+		c.Curve = "zorder"
+	}
+	if c.OutputPath == "" {
+		c.OutputPath = "/out/" + c.Op.String()
+	}
+	return c
+}
+
+// window enumerates the target offsets of the sliding window.
+func window(rank, radius int) []grid.Coord {
+	var rec func(cur grid.Coord)
+	var out []grid.Coord
+	rec = func(cur grid.Coord) {
+		if len(cur) == rank {
+			out = append(out, cur.Clone())
+			return
+		}
+		for d := -radius; d <= radius; d++ {
+			rec(append(cur, d))
+		}
+	}
+	rec(make(grid.Coord, 0, rank))
+	return out
+}
+
+// SimpleKeyJob builds the baseline job: one GridKey per (window target,
+// source value) pair, hash-partitioned, with every key carrying the full
+// variable reference and coordinate — the formulation whose intermediate
+// volume the paper attacks.
+func SimpleKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, *keys.Codec, error) {
+	cfg = cfg.withDefaults()
+	kc := &keys.Codec{Rank: cfg.DS.Extent.Rank(), Mode: cfg.KeyMode}
+	splits, err := cfg.DS.Splits(fs, cfg.NumSplits)
+	if err != nil {
+		return nil, nil, err
+	}
+	offsets := window(cfg.DS.Extent.Rank(), cfg.Radius)
+	ds := cfg.DS
+	v := cfg.DS.Var
+	op := cfg.Op
+
+	job := &mapreduce.Job{
+		Name:           fmt.Sprintf("%s-simple", op),
+		FS:             fs,
+		Splits:         splits,
+		NumReducers:    cfg.NumReducers,
+		Compare:        kc.RawCompareGrid,
+		Partition:      keys.HashPartition,
+		MapOutputCodec: cfg.MapOutputCodec,
+		OutputPath:     cfg.OutputPath,
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {
+				box := split.Data.(grid.Box)
+				slab, err := readSlab(ctx, ds, box)
+				if err != nil {
+					return err
+				}
+				var vbuf [ElemSize]byte
+				out := serial.NewDataOutput(64)
+				grid.ForEach(box, func(c grid.Coord) {
+					binary.BigEndian.PutUint32(vbuf[:], uint32(cellValue(slab, box, c)))
+					for _, off := range offsets {
+						out.Reset()
+						kc.EncodeGrid(out, keys.GridKey{Var: v, Coord: c.Add(off)})
+						emit(out.Bytes(), vbuf[:])
+					}
+				})
+				return nil
+			})
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFunc(func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emit) error {
+				vals := make([]int32, len(values))
+				for i, vb := range values {
+					vals[i] = int32(binary.BigEndian.Uint32(vb))
+				}
+				var ob [ElemSize]byte
+				binary.BigEndian.PutUint32(ob[:], uint32(op.fold(vals)))
+				emit(key, ob[:])
+				return nil
+			})
+		},
+	}
+	if op == Max {
+		// Max is distributive, so the reducer doubles as combiner.
+		job.NewCombiner = job.NewReducer
+	}
+	return job, kc, nil
+}

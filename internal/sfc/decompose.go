@@ -1,0 +1,125 @@
+package sfc
+
+import (
+	"sort"
+
+	"scikey/internal/grid"
+)
+
+// RangesHierarchical computes the same contiguous index runs as Ranges
+// without enumerating cells, by recursive descent over the curve's aligned
+// sub-cubes: a sub-cube fully inside the query box contributes one whole
+// index block, only partially-covered sub-cubes are subdivided. Cost is
+// proportional to the box surface rather than its volume — the difference
+// between planning a query over a 4096² slab by visiting 16M cells or a few
+// thousand cube faces.
+//
+// Z-order, Hilbert, and Peano all map aligned sub-cubes (side 2^k or 3^k)
+// to contiguous index blocks, which is what the descent relies on;
+// row-major lacks that property and is handled row-wise instead.
+func RangesHierarchical(c Curve, box grid.Box) []IndexRange {
+	domain := grid.NewBox(make(grid.Coord, c.Rank()), sides(c))
+	clipped, ok := domain.Intersect(box)
+	if !ok {
+		return nil
+	}
+	if rm, isRM := c.(*RowMajor); isRM {
+		return rowMajorRanges(rm, clipped)
+	}
+	base := 2
+	if _, isPeano := c.(*Peano); isPeano {
+		base = 3
+	}
+	var out []IndexRange
+	corner := make(grid.Coord, c.Rank())
+	out = descend(c, clipped, corner, c.Side(), base, out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	return mergeSorted(out)
+}
+
+func sides(c Curve) []int {
+	s := make([]int, c.Rank())
+	for i := range s {
+		s[i] = c.Side()
+	}
+	return s
+}
+
+func descend(c Curve, query grid.Box, corner grid.Coord, side, base int, out []IndexRange) []IndexRange {
+	size := make([]int, len(corner))
+	for i := range size {
+		size[i] = side
+	}
+	cube := grid.Box{Corner: corner, Size: size}
+	inter, ok := cube.Intersect(query)
+	if !ok {
+		return out
+	}
+	if inter.Equal(cube) {
+		// Whole cube: one contiguous index block.
+		cells := uint64(1)
+		for range corner {
+			cells *= uint64(side)
+		}
+		lo := c.Index(corner) / cells * cells
+		return append(out, IndexRange{Lo: lo, Hi: lo + cells})
+	}
+	if side == 1 {
+		idx := c.Index(corner)
+		return append(out, IndexRange{Lo: idx, Hi: idx + 1})
+	}
+	sub := side / base
+	// Enumerate the base^rank children.
+	child := make(grid.Coord, len(corner))
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(corner) {
+			out = descend(c, query, child.Clone(), sub, base, out)
+			return
+		}
+		for b := 0; b < base; b++ {
+			child[d] = corner[d] + b*sub
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// rowMajorRanges emits one run per row prefix: in row-major order a row
+// (all dimensions fixed except the last) is contiguous.
+func rowMajorRanges(c *RowMajor, box grid.Box) []IndexRange {
+	rank := box.Rank()
+	if rank == 1 {
+		lo := c.Index(box.Corner)
+		return []IndexRange{{Lo: lo, Hi: lo + uint64(box.Size[0])}}
+	}
+	prefix := box.Clone()
+	prefix.Size[rank-1] = 1
+	out := make([]IndexRange, 0, box.NumCells()/int64(box.Size[rank-1]))
+	grid.ForEach(prefix, func(p grid.Coord) {
+		lo := c.Index(p)
+		out = append(out, IndexRange{Lo: lo, Hi: lo + uint64(box.Size[rank-1])})
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	return mergeSorted(out)
+}
+
+// mergeSorted coalesces touching or overlapping sorted ranges.
+func mergeSorted(rs []IndexRange) []IndexRange {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

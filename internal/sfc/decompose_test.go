@@ -1,0 +1,110 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+
+	"scikey/internal/grid"
+)
+
+func allCurvesForSide(t *testing.T, side int) []Curve {
+	t.Helper()
+	var out []Curve
+	for _, name := range []string{"zorder", "hilbert", "peano", "rowmajor"} {
+		c, err := ForSide(name, 2, side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestRangesHierarchicalMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, c := range allCurvesForSide(t, 32) {
+		for trial := 0; trial < 60; trial++ {
+			w, h := 1+rng.Intn(12), 1+rng.Intn(12)
+			x, y := rng.Intn(32-w), rng.Intn(32-h)
+			box := grid.NewBox(grid.Coord{x, y}, []int{w, h})
+			want := Ranges(c, box)
+			got := RangesHierarchical(c, box)
+			if len(got) != len(want) {
+				t.Fatalf("%s %v: %d ranges, want %d (%v vs %v)", c.Name(), box, len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s %v: range %d = %v, want %v", c.Name(), box, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRangesHierarchical3D(t *testing.T) {
+	for _, name := range []string{"zorder", "hilbert", "peano"} {
+		c, err := ForSide(name, 3, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		box := grid.NewBox(grid.Coord{1, 2, 3}, []int{5, 4, 3})
+		want := Ranges(c, box)
+		got := RangesHierarchical(c, box)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d ranges, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: range %d = %v, want %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRangesHierarchicalWholeDomain(t *testing.T) {
+	// The full domain is one range for every cube-recursive curve, and for
+	// row-major too.
+	for _, c := range allCurvesForSide(t, 16) {
+		side := c.Side()
+		box := grid.NewBox(grid.Coord{0, 0}, []int{side, side})
+		got := RangesHierarchical(c, box)
+		if len(got) != 1 || got[0].Lo != 0 || got[0].Hi != c.Total() {
+			t.Errorf("%s: whole domain = %v", c.Name(), got)
+		}
+	}
+}
+
+func TestRangesHierarchicalClipsToDomain(t *testing.T) {
+	c := NewZOrder(2, 4) // 16x16
+	// Query extends beyond the domain; must clip rather than panic.
+	box := grid.NewBox(grid.Coord{12, 12}, []int{10, 10})
+	got := RangesHierarchical(c, box)
+	var cells uint64
+	for _, r := range got {
+		cells += r.Len()
+	}
+	if cells != 16 { // only the 4x4 corner is inside
+		t.Errorf("clipped coverage = %d cells, want 16 (%v)", cells, got)
+	}
+	if out := RangesHierarchical(c, grid.NewBox(grid.Coord{100, 100}, []int{2, 2})); out != nil {
+		t.Errorf("fully-outside query = %v", out)
+	}
+}
+
+func BenchmarkRangesEnumerated(b *testing.B) {
+	c := NewHilbert(2, 10) // 1024x1024
+	box := grid.NewBox(grid.Coord{100, 100}, []int{512, 512})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Ranges(c, box)
+	}
+}
+
+func BenchmarkRangesHierarchical(b *testing.B) {
+	c := NewHilbert(2, 10)
+	box := grid.NewBox(grid.Coord{100, 100}, []int{512, 512})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RangesHierarchical(c, box)
+	}
+}

@@ -1,0 +1,173 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+
+	"scikey/internal/grid"
+)
+
+func TestPeanoFirstLevelSerpentine(t *testing.T) {
+	// The defining 3x3 pattern: columns traversed boustrophedon.
+	p := NewPeano(2, 1)
+	want := []grid.Coord{
+		{0, 0}, {0, 1}, {0, 2},
+		{1, 2}, {1, 1}, {1, 0},
+		{2, 0}, {2, 1}, {2, 2},
+	}
+	for idx, w := range want {
+		if got := p.Coord(uint64(idx)); !got.Equal(w) {
+			t.Errorf("Coord(%d) = %v, want %v", idx, got, w)
+		}
+		if got := p.Index(w); got != uint64(idx) {
+			t.Errorf("Index(%v) = %d, want %d", w, got, idx)
+		}
+	}
+}
+
+func TestPeanoBijection(t *testing.T) {
+	for _, cfg := range []struct{ rank, digits int }{{1, 3}, {2, 2}, {3, 2}, {2, 3}} {
+		p := NewPeano(cfg.rank, cfg.digits)
+		seen := make(map[uint64]bool, p.Total())
+		size := make([]int, cfg.rank)
+		for i := range size {
+			size[i] = p.Side()
+		}
+		grid.ForEach(grid.NewBox(make(grid.Coord, cfg.rank), size), func(c grid.Coord) {
+			idx := p.Index(c)
+			if idx >= p.Total() {
+				t.Fatalf("rank=%d digits=%d: Index(%v)=%d out of range", cfg.rank, cfg.digits, c, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("rank=%d digits=%d: duplicate index %d", cfg.rank, cfg.digits, idx)
+			}
+			seen[idx] = true
+			if back := p.Coord(idx); !back.Equal(c) {
+				t.Fatalf("rank=%d digits=%d: Coord(Index(%v)) = %v", cfg.rank, cfg.digits, c, back)
+			}
+		})
+		if uint64(len(seen)) != p.Total() {
+			t.Fatalf("rank=%d digits=%d: hit %d of %d indices", cfg.rank, cfg.digits, len(seen), p.Total())
+		}
+	}
+}
+
+func TestPeano1DIsIdentity(t *testing.T) {
+	// In one dimension there are no "other dimensions" to trigger
+	// reflections, so the curve is the identity.
+	p := NewPeano(1, 4)
+	for x := 0; x < p.Side(); x++ {
+		if got := p.Index(grid.Coord{x}); got != uint64(x) {
+			t.Fatalf("Index(%d) = %d", x, got)
+		}
+	}
+}
+
+func TestPeanoAdjacency(t *testing.T) {
+	// Like Hilbert, consecutive Peano indices are adjacent cells.
+	for _, cfg := range []struct{ rank, digits int }{{2, 3}, {3, 2}} {
+		p := NewPeano(cfg.rank, cfg.digits)
+		prev := p.Coord(0)
+		for idx := uint64(1); idx < p.Total(); idx++ {
+			cur := p.Coord(idx)
+			dist := 0
+			for d := range cur {
+				diff := cur[d] - prev[d]
+				if diff < 0 {
+					diff = -diff
+				}
+				dist += diff
+			}
+			if dist != 1 {
+				t.Fatalf("rank=%d digits=%d: indices %d->%d jump %v -> %v",
+					cfg.rank, cfg.digits, idx-1, idx, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestPeanoRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, cfg := range []struct{ rank, digits int }{{2, 10}, {3, 8}, {4, 5}} {
+		p := NewPeano(cfg.rank, cfg.digits)
+		for trial := 0; trial < 300; trial++ {
+			c := make(grid.Coord, cfg.rank)
+			for i := range c {
+				c[i] = rng.Intn(p.Side())
+			}
+			if back := p.Coord(p.Index(c)); !back.Equal(c) {
+				t.Fatalf("rank=%d digits=%d: roundtrip failed for %v", cfg.rank, cfg.digits, c)
+			}
+		}
+	}
+}
+
+func TestPeanoValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("rank 0", func() { NewPeano(0, 1) })
+	mustPanic("overflow", func() { NewPeano(8, 8) })
+	mustPanic("coord range", func() { NewPeano(2, 1).Index(grid.Coord{3, 0}) })
+	mustPanic("index range", func() { NewPeano(2, 1).Coord(9) })
+	mustPanic("rank mismatch", func() { NewPeano(2, 1).Index(grid.Coord{1}) })
+}
+
+func TestForSide(t *testing.T) {
+	cases := []struct {
+		name     string
+		minSide  int
+		wantSide int
+	}{
+		{"zorder", 100, 128},
+		{"hilbert", 128, 128},
+		{"rowmajor", 5, 8},
+		{"peano", 10, 27},
+		{"peano", 3, 3},
+		{"zorder", 1, 2},
+	}
+	for _, c := range cases {
+		cur, err := ForSide(c.name, 2, c.minSide)
+		if err != nil {
+			t.Fatalf("ForSide(%s, %d): %v", c.name, c.minSide, err)
+		}
+		if cur.Side() != c.wantSide {
+			t.Errorf("ForSide(%s, %d).Side() = %d, want %d", c.name, c.minSide, cur.Side(), c.wantSide)
+		}
+		if cur.Total() == 0 {
+			t.Errorf("%s Total() = 0", c.name)
+		}
+	}
+	if _, err := ForSide("peano", 9, 1<<20); err == nil {
+		t.Error("oversized peano must fail")
+	}
+	if _, err := ForSide("nope", 2, 4); err == nil {
+		t.Error("unknown curve must fail")
+	}
+	if _, err := ForSide("zorder", 2, 0); err == nil {
+		t.Error("minSide 0 must fail")
+	}
+}
+
+func TestPeanoClusteringCompetitive(t *testing.T) {
+	// The Peano curve should cluster roughly like Hilbert (both are
+	// edge-continuous), far better than worst-case fragmentation.
+	p := NewPeano(2, 3) // 27x27
+	rng := rand.New(rand.NewSource(12))
+	totalRuns, totalCells := 0, int64(0)
+	for trial := 0; trial < 30; trial++ {
+		w, h := 2+rng.Intn(6), 2+rng.Intn(6)
+		box := grid.NewBox(grid.Coord{rng.Intn(27 - w), rng.Intn(27 - h)}, []int{w, h})
+		totalRuns += ClusterCount(p, box)
+		totalCells += box.NumCells()
+	}
+	if float64(totalRuns) > 0.5*float64(totalCells) {
+		t.Errorf("peano fragments badly: %d runs over %d cells", totalRuns, totalCells)
+	}
+}

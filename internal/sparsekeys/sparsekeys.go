@@ -1,0 +1,200 @@
+// Package sparsekeys compresses multidimensional integer keys for *sparse*
+// data, the direction Section V points at: "Goldstein et al. show how to
+// compress multidimensional integer-valued keys for relational database
+// tables. Our work currently focuses on dense keys, but adapting their work
+// may be useful for sparse data."
+//
+// The scheme is Goldstein-Ramakrishnan-Shaft frame-of-reference coding:
+// keys are grouped into pages; each page stores, per dimension, the minimum
+// value and the bit width of the largest offset, then every key as
+// bit-packed per-dimension offsets from those minimums. Clustered keys cost
+// a few bits per dimension; even uniformly random keys cost no more than
+// their raw width. Dense grids should use the aggregation schemes instead —
+// the E11 experiment quantifies the crossover.
+package sparsekeys
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"scikey/internal/binutil"
+	"scikey/internal/grid"
+)
+
+// DefaultPageSize is the number of keys per frame-of-reference page.
+const DefaultPageSize = 256
+
+// Encoder accumulates coordinates and emits FOR-compressed pages.
+type Encoder struct {
+	rank     int
+	pageSize int
+	page     []grid.Coord
+	out      []byte
+}
+
+// NewEncoder returns an Encoder for rank-dimensional keys. pageSize <= 0
+// selects DefaultPageSize.
+func NewEncoder(rank, pageSize int) *Encoder {
+	if rank < 1 {
+		panic("sparsekeys: rank must be >= 1")
+	}
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	e := &Encoder{rank: rank, pageSize: pageSize}
+	e.out = binutil.AppendVLong(e.out, int64(rank))
+	return e
+}
+
+// Add appends one key.
+func (e *Encoder) Add(c grid.Coord) {
+	if len(c) != e.rank {
+		panic(fmt.Sprintf("sparsekeys: key rank %d, encoder rank %d", len(c), e.rank))
+	}
+	e.page = append(e.page, c.Clone())
+	if len(e.page) >= e.pageSize {
+		e.flush()
+	}
+}
+
+func (e *Encoder) flush() {
+	if len(e.page) == 0 {
+		return
+	}
+	e.out = binutil.AppendVLong(e.out, int64(len(e.page)))
+	for d := 0; d < e.rank; d++ {
+		lo, hi := e.page[0][d], e.page[0][d]
+		for _, c := range e.page[1:] {
+			if c[d] < lo {
+				lo = c[d]
+			}
+			if c[d] > hi {
+				hi = c[d]
+			}
+		}
+		width := bits.Len64(uint64(hi - lo))
+		e.out = binutil.AppendVLong(e.out, int64(lo))
+		e.out = append(e.out, byte(width))
+		// Bit-pack this dimension's offsets, MSB-first.
+		var acc uint64
+		var nbits uint
+		for _, c := range e.page {
+			v := uint64(c[d] - lo)
+			for w := width - 1; w >= 0; w-- {
+				acc = acc<<1 | (v>>uint(w))&1
+				nbits++
+				if nbits == 8 {
+					e.out = append(e.out, byte(acc))
+					acc, nbits = 0, 0
+				}
+			}
+		}
+		if nbits > 0 {
+			e.out = append(e.out, byte(acc<<(8-nbits)))
+		}
+	}
+	e.page = e.page[:0]
+}
+
+// Bytes finalizes the stream (flushing any partial page) and returns it.
+// The Encoder may not be reused afterwards.
+func (e *Encoder) Bytes() []byte {
+	e.flush()
+	return e.out
+}
+
+// Encode is the one-shot helper.
+func Encode(coords []grid.Coord, pageSize int) []byte {
+	if len(coords) == 0 {
+		return NewEncoder(1, pageSize).Bytes()
+	}
+	e := NewEncoder(len(coords[0]), pageSize)
+	for _, c := range coords {
+		e.Add(c)
+	}
+	return e.Bytes()
+}
+
+// Decode inverts Encode, returning all keys in order.
+func Decode(data []byte) ([]grid.Coord, error) {
+	pos := 0
+	rank64, n, err := binutil.DecodeVLong(data)
+	if err != nil {
+		return nil, err
+	}
+	pos += n
+	if rank64 < 1 || rank64 > 64 {
+		return nil, fmt.Errorf("sparsekeys: bad rank %d", rank64)
+	}
+	rank := int(rank64)
+	var out []grid.Coord
+	for pos < len(data) {
+		count64, n, err := binutil.DecodeVLong(data[pos:])
+		if err != nil {
+			return nil, err
+		}
+		pos += n
+		if count64 <= 0 || count64 > 1<<30 {
+			return nil, fmt.Errorf("sparsekeys: bad page count %d", count64)
+		}
+		count := int(count64)
+		page := make([]grid.Coord, count)
+		for i := range page {
+			page[i] = make(grid.Coord, rank)
+		}
+		for d := 0; d < rank; d++ {
+			lo64, n, err := binutil.DecodeVLong(data[pos:])
+			if err != nil {
+				return nil, err
+			}
+			pos += n
+			if pos >= len(data) {
+				return nil, errors.New("sparsekeys: truncated width")
+			}
+			width := int(data[pos])
+			pos++
+			if width > 63 {
+				return nil, fmt.Errorf("sparsekeys: bad width %d", width)
+			}
+			need := (count*width + 7) / 8
+			if pos+need > len(data) {
+				return nil, errors.New("sparsekeys: truncated page")
+			}
+			bitPos := 0
+			for i := 0; i < count; i++ {
+				var v uint64
+				for w := 0; w < width; w++ {
+					b := data[pos+bitPos/8]
+					v = v<<1 | uint64(b>>(7-bitPos%8))&1
+					bitPos++
+				}
+				page[i][d] = int(lo64) + int(v)
+			}
+			pos += need
+		}
+		out = append(out, page...)
+	}
+	return out, nil
+}
+
+// Stats describes the compression achieved for a key set.
+type Stats struct {
+	Keys         int
+	EncodedBytes int
+	RawBytes     int // 4 bytes per dimension per key, the GridKey coord cost
+	BitsPerKey   float64
+	ReductionPct float64
+}
+
+// Measure encodes coords and reports the size accounting.
+func Measure(coords []grid.Coord, pageSize int) Stats {
+	enc := Encode(coords, pageSize)
+	s := Stats{Keys: len(coords), EncodedBytes: len(enc)}
+	if len(coords) > 0 {
+		s.RawBytes = len(coords) * 4 * len(coords[0])
+		s.BitsPerKey = 8 * float64(len(enc)) / float64(len(coords))
+		s.ReductionPct = 100 * (1 - float64(len(enc))/float64(s.RawBytes))
+	}
+	return s
+}

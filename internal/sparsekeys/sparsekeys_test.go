@@ -1,0 +1,128 @@
+package sparsekeys
+
+import (
+	"math/rand"
+	"testing"
+
+	"scikey/internal/grid"
+)
+
+func roundTrip(t *testing.T, coords []grid.Coord, pageSize int) []byte {
+	t.Helper()
+	enc := Encode(coords, pageSize)
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(coords) {
+		t.Fatalf("decoded %d keys, want %d", len(got), len(coords))
+	}
+	for i := range coords {
+		if !got[i].Equal(coords[i]) {
+			t.Fatalf("key %d = %v, want %v", i, got[i], coords[i])
+		}
+	}
+	return enc
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	coords := []grid.Coord{{1, 2}, {3, 4}, {100, -7}, {0, 0}, {-50, 1 << 20}}
+	roundTrip(t, coords, 2) // multiple pages
+	roundTrip(t, coords, 0) // default page size
+	roundTrip(t, nil, 0)
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		rank := 1 + rng.Intn(4)
+		n := rng.Intn(1000)
+		coords := make([]grid.Coord, n)
+		for i := range coords {
+			coords[i] = make(grid.Coord, rank)
+			for d := range coords[i] {
+				coords[i][d] = rng.Intn(1<<21) - (1 << 20)
+			}
+		}
+		roundTrip(t, coords, 1+rng.Intn(300))
+	}
+}
+
+func TestClusteredKeysCompressWell(t *testing.T) {
+	// The Goldstein case: sparse but spatially clustered keys. Offsets
+	// within a page span a small range, so keys cost a few bits each.
+	rng := rand.New(rand.NewSource(2))
+	coords := make([]grid.Coord, 4096)
+	cx, cy := 1<<20, 1<<20
+	for i := range coords {
+		if i%256 == 0 {
+			cx, cy = rng.Intn(1<<28), rng.Intn(1<<28)
+		}
+		coords[i] = grid.Coord{cx + rng.Intn(64), cy + rng.Intn(64)}
+	}
+	s := Measure(coords, 256)
+	if s.ReductionPct < 70 {
+		t.Errorf("clustered keys reduced only %.1f%% (%.1f bits/key)", s.ReductionPct, s.BitsPerKey)
+	}
+	roundTrip(t, coords, 256)
+}
+
+func TestUniformRandomKeysNoBlowup(t *testing.T) {
+	// Uniform random keys over a big domain: FOR cannot win much, but must
+	// not exceed the raw cost by more than the page headers.
+	rng := rand.New(rand.NewSource(3))
+	coords := make([]grid.Coord, 2048)
+	for i := range coords {
+		coords[i] = grid.Coord{rng.Intn(1 << 30), rng.Intn(1 << 30)}
+	}
+	s := Measure(coords, 256)
+	if float64(s.EncodedBytes) > 1.05*float64(s.RawBytes) {
+		t.Errorf("random keys blew up: %d vs %d raw", s.EncodedBytes, s.RawBytes)
+	}
+	roundTrip(t, coords, 256)
+}
+
+func TestConstantKeys(t *testing.T) {
+	coords := make([]grid.Coord, 1000)
+	for i := range coords {
+		coords[i] = grid.Coord{42, -7, 9}
+	}
+	enc := roundTrip(t, coords, 250)
+	// All offsets are zero-width: pages cost only headers.
+	if len(enc) > 100 {
+		t.Errorf("constant keys cost %d bytes", len(enc))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := Encode([]grid.Coord{{1, 2}, {3, 4}}, 2)
+	cases := map[string][]byte{
+		"empty rank": {},
+		"bad rank":   {0x7f}, // rank 127 > 64
+		"truncated":  good[:len(good)-2],
+		"neg count":  append([]byte{2}, 0xff),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Empty stream with just a rank decodes to no keys.
+	got, err := Decode(Encode(nil, 0))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty stream: %v, %v", got, err)
+	}
+}
+
+func TestEncoderValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("rank 0", func() { NewEncoder(0, 16) })
+	mustPanic("rank mismatch", func() { NewEncoder(2, 16).Add(grid.Coord{1}) })
+}
