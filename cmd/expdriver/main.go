@@ -1,6 +1,6 @@
 // Command expdriver reruns the paper's experiments and prints
 // paper-vs-measured tables. Select experiments with -run (comma-separated
-// ids: e1-e9 for the paper's tables and figures, e10-e11 and a5-a8 for the
+// ids: e1-e9 for the paper's tables and figures, e10-e12 and a5-a8 for the
 // extension experiments, a1-a4 for the ablations, or "all") and control
 // the problem size with -scale:
 //
@@ -181,6 +181,24 @@ func main() {
 			fmt.Printf("  %-18s %12s %12s\n", r.Scheme, experiments.FormatBytes(r.Bytes), pairs)
 		}
 		fmt.Println()
+	}
+	if sel("e12") {
+		side := 96
+		if full {
+			side = 256
+		}
+		r, err := experiments.E12FaultRecovery(side)
+		if err != nil {
+			exitErr("e12", err)
+		}
+		fmt.Printf("== E12 (extension): fault recovery on the sliding median (%dx%d, schedule %q) ==\n",
+			side, side, experiments.E12Schedule)
+		fmt.Printf("  outputs byte-identical to fault-free run: %v\n", r.OutputsIdentical)
+		fmt.Printf("  payload counters identical:               %v\n", r.CountersIdentical)
+		fmt.Printf("  failed attempts=%d retries=%d corrupt segments=%d maps recovered=%d\n",
+			r.Faulty.FailedAttempts, r.Faulty.TaskRetries, r.Faulty.CorruptSegments, r.Faulty.RecoveredMaps)
+		fmt.Printf("  wasted slot time: map %.2fs + reduce %.2fs; modeled runtime overhead %+.1f%%\n\n",
+			r.Faulty.Estimate.WastedMapSeconds, r.Faulty.Estimate.WastedReduceSeconds, r.RuntimeOverheadPct)
 	}
 	if sel("a5") {
 		side := 96

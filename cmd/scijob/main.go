@@ -5,16 +5,20 @@
 //	scijob -side 256 -strategy baseline
 //	scijob -side 256 -strategy transform -codec zlib
 //	scijob -side 256 -strategy aggregation -curve zorder -verify
+//	scijob -side 128 -faults "seed=7;map:1:error@0;segment:2.0:corrupt@0" -retries 3 -verify
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"scikey/internal/cluster"
 	"scikey/internal/core"
 	"scikey/internal/experiments"
+	"scikey/internal/faults"
+	"scikey/internal/mapreduce"
 	"scikey/internal/scihadoop"
 	"scikey/internal/workload"
 )
@@ -30,6 +34,10 @@ func main() {
 	reducers := flag.Int("reducers", 5, "reduce tasks")
 	flush := flag.Int("flush", 0, "aggregation flush threshold in cells (0 = default)")
 	verify := flag.Bool("verify", false, "check results against the reference implementation")
+	faultSpec := flag.String("faults", "", `deterministic fault schedule, e.g. "seed=7;map:1:error@0;segment:2.0:corrupt@0"`)
+	retries := flag.Int("retries", 1, "max attempts per task (1 = fail fast)")
+	backoff := flag.Duration("backoff", 0, "base retry backoff (doubles per failure, seeded jitter)")
+	speculate := flag.Duration("speculate", 0, "straggler threshold for speculative re-execution (0 = off)")
 	flag.Parse()
 
 	var strat core.Strategy
@@ -57,6 +65,14 @@ func main() {
 		qcfg.Op = scihadoop.Max
 	}
 	qcfg.OutputPath = "/out/scijob"
+	if *faultSpec != "" {
+		inj, err := faults.NewFromSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		qcfg.Faults = inj
+	}
+	qcfg.Retry = mapreducePolicy(*retries, *backoff, *speculate)
 
 	rep, err := core.RunQuery(fs, qcfg, strat, cluster.Paper(), *verify)
 	if err != nil {
@@ -74,6 +90,12 @@ func main() {
 	fmt.Printf("  overlap key splits:            %s\n", experiments.FormatBytes(rep.OverlapSplits))
 	fmt.Printf("  modeled runtime (5-node cluster): map %.1fs + reduce %.1fs = %.1fs\n",
 		rep.Estimate.MapSeconds, rep.Estimate.ReduceSeconds, rep.Estimate.Total())
+	if rep.FailedAttempts > 0 || rep.TaskRetries > 0 {
+		fmt.Printf("  recovery: %d failed attempts, %d retries, %d corrupt segments, %d maps recovered\n",
+			rep.FailedAttempts, rep.TaskRetries, rep.CorruptSegments, rep.RecoveredMaps)
+		fmt.Printf("  wasted slot time: map %.1fs + reduce %.1fs\n",
+			rep.Estimate.WastedMapSeconds, rep.Estimate.WastedReduceSeconds)
+	}
 
 	if *verify {
 		field := &workload.Field{Extent: qcfg.DS.Extent, Name: qcfg.DS.Var.Name}
@@ -89,6 +111,15 @@ func main() {
 				bad, len(want), len(rep.Output), len(want)))
 		}
 		fmt.Printf("  verification: OK (%d cells match the reference)\n", len(want))
+	}
+}
+
+func mapreducePolicy(retries int, backoff, speculate time.Duration) mapreduce.RetryPolicy {
+	return mapreduce.RetryPolicy{
+		MaxAttempts:      retries,
+		Backoff:          backoff,
+		Speculative:      speculate > 0,
+		SpeculativeAfter: speculate,
 	}
 }
 

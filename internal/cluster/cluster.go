@@ -119,6 +119,13 @@ func Makespan(durations []float64, slots int) float64 {
 type JobEstimate struct {
 	MapSeconds    float64
 	ReduceSeconds float64
+	// WastedMapSeconds / WastedReduceSeconds total the slot time burned by
+	// attempts whose output was discarded (failures, corruption re-runs,
+	// speculative losers). Their durations are already inside
+	// MapSeconds/ReduceSeconds — wasted attempts occupied real slots — so
+	// these report how much of each phase was recovery overhead.
+	WastedMapSeconds    float64
+	WastedReduceSeconds float64
 }
 
 // Total returns end-to-end modeled runtime. Hadoop overlaps the shuffle
@@ -130,18 +137,36 @@ func (e JobEstimate) Total() float64 { return e.MapSeconds + e.ReduceSeconds }
 // EstimateJob schedules the map tasks on map slots and reduce tasks on
 // reduce slots.
 func (c Config) EstimateJob(maps, reduces []Task) JobEstimate {
+	return c.EstimateJobWithWaste(maps, reduces, nil, nil)
+}
+
+// EstimateJobWithWaste additionally schedules discarded attempts (failed,
+// corruption-replaced, or speculatively-lost executions) alongside the
+// committed tasks: wasted attempts held real slots for their duration, so
+// recovery overhead stretches the phase makespans exactly as it would on the
+// paper's cluster.
+func (c Config) EstimateJobWithWaste(maps, reduces, wastedMaps, wastedReduces []Task) JobEstimate {
 	c.validate()
-	md := make([]float64, len(maps))
-	for i, t := range maps {
-		md[i] = c.Seconds(t)
+	seconds := func(tasks []Task) []float64 {
+		ds := make([]float64, len(tasks))
+		for i, t := range tasks {
+			ds[i] = c.Seconds(t)
+		}
+		return ds
 	}
-	rd := make([]float64, len(reduces))
-	for i, t := range reduces {
-		rd[i] = c.Seconds(t)
+	sum := func(ds []float64) float64 {
+		var s float64
+		for _, d := range ds {
+			s += d
+		}
+		return s
 	}
+	wm, wr := seconds(wastedMaps), seconds(wastedReduces)
 	return JobEstimate{
-		MapSeconds:    Makespan(md, c.MapSlots()),
-		ReduceSeconds: Makespan(rd, c.ReduceSlots()),
+		MapSeconds:          Makespan(append(seconds(maps), wm...), c.MapSlots()),
+		ReduceSeconds:       Makespan(append(seconds(reduces), wr...), c.ReduceSlots()),
+		WastedMapSeconds:    sum(wm),
+		WastedReduceSeconds: sum(wr),
 	}
 }
 

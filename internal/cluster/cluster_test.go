@@ -159,3 +159,32 @@ func TestEstimateJobLocalityNoNodes(t *testing.T) {
 		t.Errorf("fallback slot misbehaved: %+v", est)
 	}
 }
+
+func TestEstimateJobWithWaste(t *testing.T) {
+	cfg := Paper()
+	maps := make([]Task, 10)
+	for i := range maps {
+		maps[i] = Task{CPUSeconds: 10}
+	}
+	reduces := []Task{{CPUSeconds: 5}}
+	base := cfg.EstimateJob(maps, reduces)
+	if base.WastedMapSeconds != 0 || base.WastedReduceSeconds != 0 {
+		t.Errorf("clean estimate reports waste: %+v", base)
+	}
+	// One wasted map attempt forces an 11th task onto 10 slots: the map
+	// phase must stretch, and the waste must be itemized.
+	waste := cfg.EstimateJobWithWaste(maps, reduces, []Task{{CPUSeconds: 10}}, nil)
+	if waste.MapSeconds <= base.MapSeconds {
+		t.Errorf("wasted attempt did not stretch the map phase: %v vs %v", waste.MapSeconds, base.MapSeconds)
+	}
+	if waste.WastedMapSeconds != 10 {
+		t.Errorf("wasted map seconds = %v, want 10", waste.WastedMapSeconds)
+	}
+	if waste.ReduceSeconds != base.ReduceSeconds {
+		t.Errorf("map-side waste changed the reduce phase: %v vs %v", waste.ReduceSeconds, base.ReduceSeconds)
+	}
+	wr := cfg.EstimateJobWithWaste(maps, reduces, nil, []Task{{CPUSeconds: 3}})
+	if wr.WastedReduceSeconds != 3 {
+		t.Errorf("wasted reduce seconds = %v, want 3", wr.WastedReduceSeconds)
+	}
+}

@@ -109,7 +109,14 @@ type Report struct {
 	// PartitionSplits and OverlapSplits count the Section IV-B key splits.
 	PartitionSplits int64
 	OverlapSplits   int64
-	// Estimate is the modeled runtime on the configured cluster.
+	// FailedAttempts, TaskRetries, CorruptSegments, and RecoveredMaps
+	// describe the recovery machinery's activity; all zero on a clean run.
+	FailedAttempts  int64
+	TaskRetries     int64
+	CorruptSegments int64
+	RecoveredMaps   int64
+	// Estimate is the modeled runtime on the configured cluster, including
+	// slot time wasted on discarded attempts.
 	Estimate cluster.JobEstimate
 	// Output holds the decoded per-cell results when requested.
 	Output scihadoop.CellResults
@@ -191,6 +198,10 @@ func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, c
 		ShuffleBytes:      c.ReduceShuffleBytes.Value(),
 		PartitionSplits:   c.PartitionKeySplits.Value(),
 		OverlapSplits:     c.OverlapKeySplits.Value(),
+		FailedAttempts:    c.MapAttemptsFailed.Value() + c.ReduceAttemptsFailed.Value(),
+		TaskRetries:       c.TaskRetries.Value(),
+		CorruptSegments:   c.CorruptSegmentsDetected.Value(),
+		RecoveredMaps:     c.MapTasksRecovered.Value(),
 		Estimate:          res.Estimate(clus),
 	}
 	if decodeOutput {

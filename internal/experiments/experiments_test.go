@@ -408,3 +408,26 @@ func TestA8SortPhases(t *testing.T) {
 		}
 	}
 }
+
+func TestE12FaultRecovery(t *testing.T) {
+	r, err := E12FaultRecovery(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OutputsIdentical {
+		t.Error("recovered output differs from the fault-free run")
+	}
+	if !r.CountersIdentical {
+		t.Errorf("payload counters differ: clean materialized %d vs faulty %d",
+			r.Clean.MaterializedBytes, r.Faulty.MaterializedBytes)
+	}
+	if r.Faulty.TaskRetries == 0 || r.Faulty.CorruptSegments == 0 || r.Faulty.RecoveredMaps == 0 {
+		t.Errorf("recovery counters did not fire: %+v", r.Faulty)
+	}
+	if r.Faulty.Estimate.WastedMapSeconds <= 0 {
+		t.Error("recovery charged no wasted map slot time")
+	}
+	if r.RuntimeOverheadPct < 0 {
+		t.Errorf("recovery made the modeled runtime faster? %+v%%", r.RuntimeOverheadPct)
+	}
+}

@@ -1,0 +1,404 @@
+// Package faults is a deterministic fault-injection harness for the
+// MapReduce engine. A Schedule — parsed from a compact spec string or built
+// programmatically — names which task attempts fail, panic, slow down, or
+// produce bit-flipped IFile segments. Every decision is a pure function of
+// (seed, site, task, partition, attempt), so a schedule replays identically
+// across runs and regardless of task scheduling order or parallelism: the
+// property the engine's recovery tests rely on.
+//
+// Sites:
+//
+//   - map / reduce: injected at attempt start, before user code runs.
+//     Actions error (transient), panic, slow.
+//   - segment: bit-flips a map task's final IFile segment at materialization
+//     time, modeling at-rest corruption of intermediate data. The flip is
+//     silent; the reducer's IFile CRC check detects it.
+//   - codec: injects a transient read error partway through a reducer's
+//     decompression stream of a given map task's output, modeling a failed
+//     shuffle fetch.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Site names an injection point in the engine.
+type Site string
+
+// The injection sites.
+const (
+	SiteMap     Site = "map"
+	SiteReduce  Site = "reduce"
+	SiteSegment Site = "segment"
+	SiteCodec   Site = "codec"
+)
+
+// Action names what a rule does when it fires.
+type Action string
+
+// The injectable actions.
+const (
+	ActError   Action = "error"
+	ActPanic   Action = "panic"
+	ActSlow    Action = "slow"
+	ActCorrupt Action = "corrupt"
+)
+
+// ErrInjected marks transient injected failures (error and codec actions).
+// The engine retries these; it distinguishes them from data corruption,
+// which instead triggers re-execution of the producing map task.
+var ErrInjected = errors.New("faults: injected transient error")
+
+// IsTransient reports whether err is an injected transient failure.
+func IsTransient(err error) bool { return errors.Is(err, ErrInjected) }
+
+// Rule fires an action at one site for matching (task, partition, attempt)
+// coordinates.
+type Rule struct {
+	Site   Site
+	Action Action
+	// Task selects the task ID; -1 matches any task. For segment and codec
+	// rules this is the *producing map task*.
+	Task int
+	// Part selects the partition of a segment rule; -1 matches any.
+	Part int
+	// Attempts lists the attempt numbers the rule fires on. Empty means
+	// attempt 0 only unless AllAttempts is set. For segment rules this is
+	// the producing map attempt; for codec rules, the reading reduce
+	// attempt.
+	Attempts    []int
+	AllAttempts bool
+	// Prob, when in (0,1), gates firing on a deterministic seeded draw per
+	// coordinate. 0 (or >=1) means the rule always fires when it matches.
+	Prob float64
+	// Delay is the sleep for slow rules.
+	Delay time.Duration
+	// Flips is how many deterministic bit-flips a corrupt rule applies
+	// (default 3).
+	Flips int
+}
+
+func (r Rule) matches(site Site, task, part, attempt int) bool {
+	if r.Site != site {
+		return false
+	}
+	if r.Task != -1 && r.Task != task {
+		return false
+	}
+	if r.Part != -1 && part != -1 && r.Part != part {
+		return false
+	}
+	if !r.AllAttempts {
+		if len(r.Attempts) == 0 {
+			if attempt != 0 {
+				return false
+			}
+		} else {
+			ok := false
+			for _, a := range r.Attempts {
+				if a == attempt {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the rule in the spec syntax Parse accepts.
+func (r Rule) String() string {
+	var sb strings.Builder
+	sb.WriteString(string(r.Site))
+	sb.WriteByte(':')
+	if r.Task == -1 {
+		sb.WriteByte('*')
+	} else {
+		fmt.Fprintf(&sb, "%d", r.Task)
+		if r.Part != -1 {
+			fmt.Fprintf(&sb, ".%d", r.Part)
+		}
+	}
+	sb.WriteByte(':')
+	switch r.Action {
+	case ActSlow:
+		fmt.Fprintf(&sb, "slow=%s", r.Delay)
+	case ActCorrupt:
+		if r.Flips > 0 {
+			fmt.Fprintf(&sb, "corrupt=%d", r.Flips)
+		} else {
+			sb.WriteString("corrupt")
+		}
+	default:
+		sb.WriteString(string(r.Action))
+	}
+	if r.AllAttempts {
+		sb.WriteString("@*")
+	} else if len(r.Attempts) > 0 {
+		sb.WriteByte('@')
+		for i, a := range r.Attempts {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", a)
+		}
+	}
+	if r.Prob > 0 && r.Prob < 1 {
+		fmt.Fprintf(&sb, "%%%g", r.Prob)
+	}
+	return sb.String()
+}
+
+// Schedule is a seeded set of rules.
+type Schedule struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// String renders the schedule in the spec syntax Parse accepts.
+func (s *Schedule) String() string {
+	parts := make([]string, 0, len(s.Rules)+1)
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	for _, r := range s.Rules {
+		parts = append(parts, r.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// Injector applies a Schedule at the engine's injection sites and records
+// what fired. All methods are safe for concurrent use and tolerate a nil
+// receiver (no faults).
+type Injector struct {
+	sched Schedule
+
+	mu    sync.Mutex
+	fired map[string]int
+
+	// sleep is a test seam for slow rules.
+	sleep func(time.Duration)
+}
+
+// New builds an Injector for the schedule.
+func New(s Schedule) *Injector {
+	return &Injector{sched: s, fired: make(map[string]int), sleep: time.Sleep}
+}
+
+// NewFromSpec parses spec and builds an Injector. An empty spec yields a nil
+// Injector (no faults).
+func NewFromSpec(spec string) (*Injector, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	s, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(*s), nil
+}
+
+// Schedule returns the injector's schedule.
+func (in *Injector) Schedule() Schedule {
+	if in == nil {
+		return Schedule{}
+	}
+	return in.sched
+}
+
+func (in *Injector) record(r Rule) {
+	in.mu.Lock()
+	in.fired[string(r.Site)+"/"+string(r.Action)]++
+	in.mu.Unlock()
+}
+
+// Fired returns how many times each "site/action" pair has fired.
+func (in *Injector) Fired() map[string]int {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int, len(in.fired))
+	for k, v := range in.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// FiredString renders the fired counts as a stable one-line summary.
+func (in *Injector) FiredString() string {
+	m := in.Fired()
+	if len(m) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// draw is the deterministic [0,1) coin for probabilistic rules: a pure
+// function of the schedule seed, the rule index, and the coordinates.
+func (in *Injector) draw(ruleIdx int, site Site, task, part, attempt int) float64 {
+	h := hash64(in.sched.Seed, int64(ruleIdx), int64(len(site)), int64(task), int64(part), int64(attempt))
+	return float64(h%1_000_000) / 1_000_000
+}
+
+func (in *Injector) fires(i int, r Rule, site Site, task, part, attempt int) bool {
+	if !r.matches(site, task, part, attempt) {
+		return false
+	}
+	if r.Prob > 0 && r.Prob < 1 && in.draw(i, site, task, part, attempt) >= r.Prob {
+		return false
+	}
+	return true
+}
+
+// Attempt runs the map/reduce-site rules for one task attempt. Slow rules
+// sleep; an error rule returns a transient error; a panic rule panics (the
+// engine's attempt scheduler must convert it). Call it at attempt start —
+// the engine does, and user code may call it again around its own work.
+func (in *Injector) Attempt(site Site, task, attempt int) error {
+	if in == nil {
+		return nil
+	}
+	for i, r := range in.sched.Rules {
+		if !in.fires(i, r, site, task, -1, attempt) {
+			continue
+		}
+		switch r.Action {
+		case ActSlow:
+			in.record(r)
+			in.sleep(r.Delay)
+		case ActError:
+			in.record(r)
+			return fmt.Errorf("%w: %s task %d attempt %d", ErrInjected, site, task, attempt)
+		case ActPanic:
+			in.record(r)
+			panic(fmt.Sprintf("faults: injected panic in %s task %d attempt %d", site, task, attempt))
+		}
+	}
+	return nil
+}
+
+// CorruptSegment applies segment-site corrupt rules to the final IFile
+// segment (task, part) produced by the given map attempt. It returns a
+// bit-flipped copy and true when a rule fired; the input is never modified.
+// Flip offsets are deterministic in the seed and coordinates.
+func (in *Injector) CorruptSegment(task, part, attempt int, data []byte) ([]byte, bool) {
+	if in == nil || len(data) == 0 {
+		return nil, false
+	}
+	var out []byte
+	for i, r := range in.sched.Rules {
+		if r.Site != SiteSegment || r.Action != ActCorrupt {
+			continue
+		}
+		if !in.fires(i, r, SiteSegment, task, part, attempt) {
+			continue
+		}
+		if out == nil {
+			out = append([]byte(nil), data...)
+		}
+		flips := r.Flips
+		if flips <= 0 {
+			flips = 3
+		}
+		for f := 0; f < flips; f++ {
+			h := hash64(in.sched.Seed, int64(i), int64(task), int64(part), int64(attempt), int64(f))
+			off := int(h % uint64(len(out)))
+			bit := byte(1) << ((h >> 32) % 8)
+			out[off] ^= bit
+		}
+		in.record(r)
+	}
+	return out, out != nil
+}
+
+// WrapSegmentRead applies codec-site rules to a reducer's read of the raw
+// (pre-decompression) bytes of map task src's output. When a rule fires for
+// (src, readerAttempt) the returned reader fails with a transient error
+// halfway through size bytes; otherwise r is returned unchanged.
+func (in *Injector) WrapSegmentRead(src, readerAttempt, size int, r io.Reader) io.Reader {
+	if in == nil || src < 0 {
+		return r
+	}
+	for i, rule := range in.sched.Rules {
+		if rule.Site != SiteCodec || rule.Action != ActError {
+			continue
+		}
+		if !in.fires(i, rule, SiteCodec, src, -1, readerAttempt) {
+			continue
+		}
+		in.record(rule)
+		return &failingReader{
+			r:      r,
+			remain: size / 2,
+			err: fmt.Errorf("%w: codec stream of map task %d (reduce attempt %d)",
+				ErrInjected, src, readerAttempt),
+		}
+	}
+	return r
+}
+
+// failingReader passes through remain bytes, then returns err.
+type failingReader struct {
+	r      io.Reader
+	remain int
+	err    error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.remain <= 0 {
+		return 0, f.err
+	}
+	if len(p) > f.remain {
+		p = p[:f.remain]
+	}
+	n, err := f.r.Read(p)
+	f.remain -= n
+	if err != nil && err != io.EOF {
+		return n, err
+	}
+	if f.remain <= 0 || err == io.EOF {
+		err = f.err
+		if n > 0 {
+			// Deliver the bytes first; fail on the next call.
+			f.remain = 0
+			err = nil
+		}
+	}
+	return n, err
+}
+
+// hash64 is a stable FNV-1a mix of the given values — the package's only
+// source of randomness, so schedules replay bit-identically.
+func hash64(vs ...int64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range vs {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,236 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	specs := []string{
+		"seed=42;map:1:error",
+		"map:*:error@*",
+		"reduce:2:panic@0,2",
+		"map:3:slow=5ms@1",
+		"segment:1.0:corrupt@0",
+		"segment:2:corrupt=4",
+		"codec:3:error@0",
+		"map:*:error@*%0.25",
+	}
+	for _, spec := range specs {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		s2, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", spec, s.String(), err)
+		}
+		if s.String() != s2.String() {
+			t.Errorf("round trip drifted: %q -> %q", s.String(), s2.String())
+		}
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"seed=42",                // no rules
+		"map:1",                  // missing action
+		"bogus:1:error",          // unknown site
+		"map:x:error",            // bad task
+		"map:1:explode",          // unknown action
+		"map:1:slow",             // missing duration
+		"map:1:corrupt",          // corrupt is segment-only
+		"segment:1.0:error",      // segment is corrupt-only
+		"codec:1:panic",          // codec is error-only
+		"map:1.2:error",          // map targets have no partition
+		"map:1:error%2",          // probability out of range
+		"map:1:error@-1",         // bad attempt
+		"segment:1.-2:corrupt@0", // bad partition
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestAttemptMatching(t *testing.T) {
+	in, err := NewFromSpec("seed=1;map:1:error@1;reduce:*:error@*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Attempt(SiteMap, 1, 0); err != nil {
+		t.Errorf("map task 1 attempt 0 should pass: %v", err)
+	}
+	if err := in.Attempt(SiteMap, 1, 1); err == nil {
+		t.Error("map task 1 attempt 1 should fail")
+	} else if !IsTransient(err) {
+		t.Errorf("injected error not transient: %v", err)
+	}
+	if err := in.Attempt(SiteMap, 2, 1); err != nil {
+		t.Errorf("map task 2 should pass: %v", err)
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := in.Attempt(SiteReduce, 7, attempt); err == nil {
+			t.Errorf("reduce attempt %d should fail under @*", attempt)
+		}
+	}
+	fired := in.Fired()
+	if fired["map/error"] != 1 || fired["reduce/error"] != 3 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestDefaultAttemptIsZero(t *testing.T) {
+	in, _ := NewFromSpec("map:0:error")
+	if err := in.Attempt(SiteMap, 0, 0); err == nil {
+		t.Error("attempt 0 should fail")
+	}
+	if err := in.Attempt(SiteMap, 0, 1); err != nil {
+		t.Errorf("attempt 1 should pass: %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	in, _ := NewFromSpec("map:0:panic@0")
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("expected injected panic")
+		}
+	}()
+	in.Attempt(SiteMap, 0, 0)
+}
+
+func TestSlowAction(t *testing.T) {
+	in, _ := NewFromSpec("map:0:slow=3s@0")
+	var slept time.Duration
+	in.sleep = func(d time.Duration) { slept += d }
+	if err := in.Attempt(SiteMap, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 3*time.Second {
+		t.Errorf("slept %v, want 3s", slept)
+	}
+}
+
+func TestCorruptSegmentDeterministic(t *testing.T) {
+	in, _ := NewFromSpec("seed=7;segment:2.1:corrupt@0")
+	data := bytes.Repeat([]byte{0xAA}, 64)
+	orig := append([]byte(nil), data...)
+
+	got1, ok := in.CorruptSegment(2, 1, 0, data)
+	if !ok {
+		t.Fatal("rule did not fire")
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("input mutated")
+	}
+	if bytes.Equal(got1, orig) {
+		t.Fatal("no bits flipped")
+	}
+	got2, _ := in.CorruptSegment(2, 1, 0, data)
+	if !bytes.Equal(got1, got2) {
+		t.Error("corruption not deterministic")
+	}
+	// Non-matching coordinates stay clean.
+	if _, ok := in.CorruptSegment(2, 0, 0, data); ok {
+		t.Error("wrong partition fired")
+	}
+	if _, ok := in.CorruptSegment(2, 1, 1, data); ok {
+		t.Error("recovery attempt 1 should produce a clean segment")
+	}
+}
+
+func TestProbDeterministicAndSeedSensitive(t *testing.T) {
+	run := func(seed string) []bool {
+		in, err := NewFromSpec(seed + "map:*:error@*%0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for task := range out {
+			out[task] = in.Attempt(SiteMap, task, 0) != nil
+		}
+		return out
+	}
+	a, b := run("seed=1;"), run("seed=1;")
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("task %d differs across identical runs", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Errorf("p=0.5 draw fired %d/%d times", hits, len(a))
+	}
+	c := run("seed=2;")
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestWrapSegmentRead(t *testing.T) {
+	in, _ := NewFromSpec("codec:4:error@0")
+	payload := bytes.Repeat([]byte{1}, 100)
+
+	r := in.WrapSegmentRead(4, 0, len(payload), bytes.NewReader(payload))
+	n, err := io.Copy(io.Discard, r)
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("wrapped read: n=%d err=%v, want transient failure", n, err)
+	}
+	if n >= int64(len(payload)) {
+		t.Errorf("read all %d bytes before failing", n)
+	}
+
+	// Other tasks and attempts pass through untouched.
+	for _, c := range []struct{ src, attempt int }{{3, 0}, {4, 1}, {-1, 0}} {
+		r := in.WrapSegmentRead(c.src, c.attempt, len(payload), bytes.NewReader(payload))
+		if n, err := io.Copy(io.Discard, r); err != nil || n != int64(len(payload)) {
+			t.Errorf("src=%d attempt=%d: n=%d err=%v", c.src, c.attempt, n, err)
+		}
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Attempt(SiteMap, 0, 0); err != nil {
+		t.Error(err)
+	}
+	if _, ok := in.CorruptSegment(0, 0, 0, []byte{1}); ok {
+		t.Error("nil injector corrupted data")
+	}
+	if r := in.WrapSegmentRead(0, 0, 1, strings.NewReader("x")); r == nil {
+		t.Error("nil injector returned nil reader")
+	}
+	if in.Fired() != nil {
+		t.Error("nil injector has fired stats")
+	}
+	in2, err := NewFromSpec("   ")
+	if err != nil || in2 != nil {
+		t.Errorf("empty spec: %v %v", in2, err)
+	}
+}
+
+func TestTransientErrorIdentity(t *testing.T) {
+	in, _ := NewFromSpec("map:0:error@0")
+	err := in.Attempt(SiteMap, 0, 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("errors.Is(err, ErrInjected) false for %v", err)
+	}
+	if !strings.Contains(err.Error(), "map task 0 attempt 0") {
+		t.Errorf("error does not name the attempt: %v", err)
+	}
+}

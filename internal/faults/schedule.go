@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse reads a fault schedule from its compact spec syntax:
+//
+//	spec    := [ "seed=" int ";" ] rule *( ";" rule )
+//	rule    := site ":" target ":" action
+//	site    := "map" | "reduce" | "segment" | "codec"
+//	target  := "*" | task [ "." part ]          (task/part are ints)
+//	action  := kind [ "@" attempts ] [ "%" prob ]
+//	kind    := "error" | "panic" | "slow=" dur | "corrupt" [ "=" flips ]
+//	attempts:= "*" | int *( "," int )           (default: attempt 0 only)
+//
+// Examples:
+//
+//	seed=42;map:1:error@0;segment:1.0:corrupt@0
+//	map:*:slow=5ms@*;codec:3:error@0
+//	map:*:error%0.2@*                           (seeded 20% of attempts)
+func Parse(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(part, "seed="); ok {
+			seed, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %v", rest, err)
+			}
+			s.Seed = seed
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		s.Rules = append(s.Rules, r)
+	}
+	if len(s.Rules) == 0 {
+		return nil, fmt.Errorf("faults: schedule %q has no rules", spec)
+	}
+	return s, nil
+}
+
+func parseRule(text string) (Rule, error) {
+	fields := strings.SplitN(text, ":", 3)
+	if len(fields) != 3 {
+		return Rule{}, fmt.Errorf("faults: rule %q is not site:target:action", text)
+	}
+	r := Rule{Task: -1, Part: -1}
+
+	switch Site(fields[0]) {
+	case SiteMap, SiteReduce, SiteSegment, SiteCodec:
+		r.Site = Site(fields[0])
+	default:
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown site %q (map|reduce|segment|codec)", text, fields[0])
+	}
+
+	if fields[1] != "*" {
+		task, part, hasPart := strings.Cut(fields[1], ".")
+		n, err := strconv.Atoi(task)
+		if err != nil || n < 0 {
+			return Rule{}, fmt.Errorf("faults: rule %q: bad task %q", text, task)
+		}
+		r.Task = n
+		if hasPart {
+			p, err := strconv.Atoi(part)
+			if err != nil || p < 0 {
+				return Rule{}, fmt.Errorf("faults: rule %q: bad partition %q", text, part)
+			}
+			r.Part = p
+		}
+	}
+
+	action := fields[2]
+	if action, probText, ok := cutLast(action, '%'); ok {
+		p, err := strconv.ParseFloat(probText, 64)
+		if err != nil || p <= 0 || p > 1 {
+			return Rule{}, fmt.Errorf("faults: rule %q: bad probability %q", text, probText)
+		}
+		r.Prob = p
+		fields[2] = action
+	}
+	action = fields[2]
+	if action, attemptsText, ok := cutLast(action, '@'); ok {
+		if attemptsText == "*" {
+			r.AllAttempts = true
+		} else {
+			for _, a := range strings.Split(attemptsText, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(a))
+				if err != nil || n < 0 {
+					return Rule{}, fmt.Errorf("faults: rule %q: bad attempt %q", text, a)
+				}
+				r.Attempts = append(r.Attempts, n)
+			}
+		}
+		fields[2] = action
+	}
+	action = fields[2]
+
+	kind, arg, hasArg := strings.Cut(action, "=")
+	switch Action(kind) {
+	case ActError, ActPanic:
+		if hasArg {
+			return Rule{}, fmt.Errorf("faults: rule %q: %s takes no argument", text, kind)
+		}
+		r.Action = Action(kind)
+	case ActSlow:
+		if !hasArg {
+			return Rule{}, fmt.Errorf("faults: rule %q: slow needs a duration (slow=5ms)", text)
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			return Rule{}, fmt.Errorf("faults: rule %q: bad duration %q", text, arg)
+		}
+		r.Action = ActSlow
+		r.Delay = d
+	case ActCorrupt:
+		r.Action = ActCorrupt
+		if hasArg {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n <= 0 {
+				return Rule{}, fmt.Errorf("faults: rule %q: bad flip count %q", text, arg)
+			}
+			r.Flips = n
+		}
+	default:
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown action %q (error|panic|slow=dur|corrupt[=n])", text, kind)
+	}
+
+	if err := checkRuleShape(r); err != nil {
+		return Rule{}, fmt.Errorf("faults: rule %q: %v", text, err)
+	}
+	return r, nil
+}
+
+// checkRuleShape rejects site/action pairings the engine has no hook for.
+func checkRuleShape(r Rule) error {
+	switch r.Site {
+	case SiteMap, SiteReduce:
+		if r.Action == ActCorrupt {
+			return fmt.Errorf("corrupt applies to the segment site")
+		}
+		if r.Part != -1 {
+			return fmt.Errorf("%s targets have no partition", r.Site)
+		}
+	case SiteSegment:
+		if r.Action != ActCorrupt {
+			return fmt.Errorf("segment site only supports corrupt")
+		}
+	case SiteCodec:
+		if r.Action != ActError {
+			return fmt.Errorf("codec site only supports error")
+		}
+		if r.Part != -1 {
+			return fmt.Errorf("codec targets have no partition")
+		}
+	}
+	return nil
+}
+
+// cutLast splits s at the last occurrence of sep.
+func cutLast(s string, sep byte) (before, after string, found bool) {
+	if i := strings.LastIndexByte(s, sep); i >= 0 {
+		return s[:i], s[i+1:], true
+	}
+	return s, "", false
+}

@@ -269,6 +269,25 @@ func (fs *FileSystem) List() []string {
 	return out
 }
 
+// Rename atomically moves oldPath to newPath, the commit step of the
+// MapReduce output protocol: task attempts write to attempt-private temp
+// paths and the winning attempt renames its file into place. Renaming onto
+// an existing file fails with ErrExists (HDFS rename does not overwrite).
+func (fs *FileSystem) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	e, ok := fs.files[oldPath]
+	if !ok || e == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, oldPath)
+	}
+	if cur, ok := fs.files[newPath]; ok && cur != nil {
+		return fmt.Errorf("%w: %s", ErrExists, newPath)
+	}
+	fs.files[newPath] = e
+	delete(fs.files, oldPath)
+	return nil
+}
+
 // Delete removes path.
 func (fs *FileSystem) Delete(path string) error {
 	fs.mu.Lock()

@@ -205,3 +205,35 @@ func TestReadRange(t *testing.T) {
 		t.Error("missing file must report ErrNotFound")
 	}
 }
+
+func TestRename(t *testing.T) {
+	fs := New(16, 1, []string{"n0"})
+	if err := fs.WriteFile("/tmp/part-0", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/tmp/part-0", "/out/part-0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/tmp/part-0"); err == nil {
+		t.Error("old path still readable after rename")
+	}
+	data, err := fs.ReadAll("/out/part-0")
+	if err != nil || string(data) != "payload" {
+		t.Errorf("renamed file = %q, %v", data, err)
+	}
+	// Rename of a missing source fails.
+	if err := fs.Rename("/nope", "/out/x"); err == nil {
+		t.Error("rename of missing file succeeded")
+	}
+	// Rename onto an existing file fails (HDFS does not overwrite).
+	fs.WriteFile("/tmp/other", []byte("x"))
+	if err := fs.Rename("/tmp/other", "/out/part-0"); err == nil {
+		t.Error("rename onto existing file succeeded")
+	}
+	// A reserved-but-unmaterialized destination may be replaced: temp names
+	// from failed attempts must not block commits.
+	fs.Create("/out/reserved")
+	if err := fs.Rename("/tmp/other", "/out/reserved"); err != nil {
+		t.Errorf("rename onto reserved name failed: %v", err)
+	}
+}

@@ -196,3 +196,53 @@ func TestLargeRandomRoundTrip(t *testing.T) {
 		t.Fatalf("tail: %v", err)
 	}
 }
+
+// TestAnySingleBitFlipDetected sweeps every bit of a multi-record stream:
+// whatever a flip breaks — VInt framing, the EOF marker, or the CRC trailer —
+// the reader must report an error rather than hand back silently wrong data,
+// and the verdict must be deterministic for a given flip.
+func TestAnySingleBitFlipDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append([]byte("alpha"), []byte("one"))
+	w.Append([]byte("beta"), []byte("two"))
+	w.Append([]byte("gamma"), []byte("three"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	readAll := func(data []byte) ([]string, error) {
+		r := NewReader(bytes.NewReader(data))
+		var recs []string
+		for {
+			k, v, err := r.Next()
+			if err == io.EOF {
+				return recs, nil
+			}
+			if err != nil {
+				return recs, err
+			}
+			recs = append(recs, string(k)+"="+string(v))
+		}
+	}
+	want, err := readAll(clean)
+	if err != nil || len(want) != 3 {
+		t.Fatalf("clean stream: %v %v", want, err)
+	}
+
+	for pos := 0; pos < len(clean); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), clean...)
+			bad[pos] ^= 1 << bit
+			got1, err1 := readAll(bad)
+			if err1 == nil {
+				t.Fatalf("flip at byte %d bit %d went undetected (read %v)", pos, bit, got1)
+			}
+			_, err2 := readAll(bad)
+			if (err1 == nil) != (err2 == nil) || err1.Error() != err2.Error() {
+				t.Fatalf("flip at byte %d bit %d: nondeterministic verdict %v vs %v", pos, bit, err1, err2)
+			}
+		}
+	}
+}

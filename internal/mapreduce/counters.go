@@ -51,6 +51,54 @@ type Counters struct {
 	ReduceInputRecords  Counter
 	ReduceOutputRecords Counter
 	ReduceOutputBytes   Counter
+
+	// Fault-tolerance counters. Payload counters above reflect only
+	// committed (winning) attempts; the ones below describe the recovery
+	// machinery itself and are maintained by the attempt scheduler.
+
+	// MapAttemptsFailed / ReduceAttemptsFailed count attempts that ended
+	// in an error or panic (including injected faults).
+	MapAttemptsFailed    Counter
+	ReduceAttemptsFailed Counter
+	// TaskRetries counts re-executions granted after a failed attempt.
+	TaskRetries Counter
+	// SpeculativeAttempts counts backup attempts launched for stragglers;
+	// SpeculativeWasted counts attempts whose twin finished first.
+	SpeculativeAttempts Counter
+	SpeculativeWasted   Counter
+	// CorruptSegmentsDetected counts shuffle reads that failed the IFile
+	// CRC (or framing/codec decode) check.
+	CorruptSegmentsDetected Counter
+	// MapTasksRecovered counts map tasks re-executed to replace corrupt
+	// output segments.
+	MapTasksRecovered Counter
+}
+
+// Merge adds every counter of o into c. The engine gives each attempt its
+// own Counters and merges only the winning attempt's, so failed and
+// speculatively-discarded attempts never skew the job totals.
+func (c *Counters) Merge(o *Counters) {
+	dst, src := c.rows(), o.rows()
+	for i := range dst {
+		dst[i].Add(src[i].Value())
+	}
+}
+
+// rows lists the counters in render order.
+func (c *Counters) rows() []*Counter {
+	return []*Counter{
+		&c.MapInputRecords, &c.MapInputBytes,
+		&c.MapOutputRecords, &c.MapOutputBytes,
+		&c.MapOutputKeyBytes, &c.MapOutputValueBytes,
+		&c.MapOutputMaterializedBytes,
+		&c.CombineInputRecords, &c.CombineOutputRecords, &c.SpilledRecords,
+		&c.PartitionKeySplits, &c.OverlapKeySplits,
+		&c.ReduceShuffleBytes, &c.ReduceInputGroups,
+		&c.ReduceInputRecords, &c.ReduceOutputRecords, &c.ReduceOutputBytes,
+		&c.MapAttemptsFailed, &c.ReduceAttemptsFailed, &c.TaskRetries,
+		&c.SpeculativeAttempts, &c.SpeculativeWasted,
+		&c.CorruptSegmentsDetected, &c.MapTasksRecovered,
+	}
 }
 
 // String renders the counters in Hadoop's log style.
@@ -77,5 +125,12 @@ func (c *Counters) String() string {
 	row("Reduce input records", c.ReduceInputRecords.Value())
 	row("Reduce output records", c.ReduceOutputRecords.Value())
 	row("Reduce output bytes", c.ReduceOutputBytes.Value())
+	row("Failed map attempts", c.MapAttemptsFailed.Value())
+	row("Failed reduce attempts", c.ReduceAttemptsFailed.Value())
+	row("Task retries", c.TaskRetries.Value())
+	row("Speculative attempts", c.SpeculativeAttempts.Value())
+	row("Speculative wasted attempts", c.SpeculativeWasted.Value())
+	row("Corrupt segments detected", c.CorruptSegmentsDetected.Value())
+	row("Map tasks recovered", c.MapTasksRecovered.Value())
 	return sb.String()
 }

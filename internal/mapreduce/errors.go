@@ -1,0 +1,53 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AttemptError reports a task that exhausted its attempt budget. It names
+// the phase, task, and final failing attempt, and wraps that attempt's
+// error.
+type AttemptError struct {
+	Phase   string // "map" or "reduce"
+	Task    int
+	Attempt int // the last attempt that failed (0-based)
+	Err     error
+}
+
+// Error implements error.
+func (e *AttemptError) Error() string {
+	return fmt.Sprintf("mapreduce: %s task %d attempt %d: %v", e.Phase, e.Task, e.Attempt, e.Err)
+}
+
+// Unwrap exposes the final attempt's error.
+func (e *AttemptError) Unwrap() error { return e.Err }
+
+// ErrCorruptSegment reports that a reducer detected corruption — a CRC
+// mismatch, broken IFile framing, or a codec decode failure — while reading
+// the final map output segment identified by (MapTask, Partition). With
+// retries enabled the engine recovers by re-executing the producing map
+// task; with retries disabled the job fails with this error (wrapped in an
+// AttemptError naming the detecting reduce attempt).
+type ErrCorruptSegment struct {
+	MapTask   int
+	Partition int
+	// Attempt is the map attempt that produced the corrupt segment.
+	Attempt int
+	Err     error
+}
+
+// Error implements error.
+func (e *ErrCorruptSegment) Error() string {
+	return fmt.Sprintf("mapreduce: corrupt segment from map task %d attempt %d, partition %d: %v",
+		e.MapTask, e.Attempt, e.Partition, e.Err)
+}
+
+// Unwrap exposes the underlying read error.
+func (e *ErrCorruptSegment) Unwrap() error { return e.Err }
+
+// errAttemptCanceled aborts an attempt whose result can no longer be used:
+// the phase failed fatally elsewhere, or a speculative twin already
+// committed. It is engine-internal — canceled attempts are discarded
+// silently, never surfaced as job errors.
+var errAttemptCanceled = errors.New("mapreduce: attempt canceled")

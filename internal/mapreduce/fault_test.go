@@ -1,0 +1,368 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scikey/internal/faults"
+	"scikey/internal/hdfs"
+)
+
+func mustInjector(t *testing.T, spec string) *faults.Injector {
+	t.Helper()
+	inj, err := faults.NewFromSpec(spec)
+	if err != nil {
+		t.Fatalf("bad fault spec %q: %v", spec, err)
+	}
+	return inj
+}
+
+// faultDocs feeds every reducer from every mapper so any partition's segment
+// is a meaningful corruption target.
+var faultDocs = []string{
+	"the quick brown fox jumps over the lazy dog",
+	"pack my box with five dozen liquor jugs",
+	"how vexingly quick daft zebras jump",
+}
+
+func runFaultJob(t *testing.T, spec string, policy RetryPolicy, parallelism int) (*hdfs.FileSystem, *Result, error) {
+	t.Helper()
+	fs := testFS()
+	job := wordCountJob(fs, faultDocs, 2, false)
+	job.Parallelism = parallelism
+	job.Retry = policy
+	job.Faults = mustInjector(t, spec)
+	res, err := Run(job)
+	return fs, res, err
+}
+
+// readRawOutputs returns the exact bytes of each output file, for
+// byte-identical comparisons between faulty and fault-free runs.
+func readRawOutputs(t *testing.T, fs *hdfs.FileSystem, paths []string) []string {
+	t.Helper()
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		data, err := fs.ReadAll(p)
+		if err != nil {
+			t.Fatalf("reading %s: %v", p, err)
+		}
+		out[i] = string(data)
+	}
+	return out
+}
+
+// TestMapperPanicBecomesErrorSequential is the sequential twin of the
+// parallel panic test: the one-goroutine path must contain panics too.
+func TestMapperPanicBecomesErrorSequential(t *testing.T) {
+	fs := testFS()
+	job := wordCountJob(fs, []string{"a", "b", "c", "d"}, 1, false)
+	job.Parallelism = 1
+	job.NewMapper = func() Mapper {
+		return MapperFunc(func(ctx *TaskContext, split Split, emit Emit) error {
+			if split.ID == 2 {
+				panic("map panic")
+			}
+			emit([]byte("k"), []byte{0, 0, 0, 1})
+			return nil
+		})
+	}
+	_, err := Run(job)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("panic not converted to error: %v", err)
+	}
+}
+
+// TestRetryRecoversTransientMapError kills map task 1's first attempt; with a
+// retry budget the job must succeed with fault-free output and account the
+// failure.
+func TestRetryRecoversTransientMapError(t *testing.T) {
+	_, clean, err := runFaultJob(t, "", RetryPolicy{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, res, err := runFaultJob(t, "map:1:error@0", RetryPolicy{MaxAttempts: 2}, 1)
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	got := readWordCounts(t, fs, res.OutputPaths)
+	if got["quick"] != 2 || got["the"] != 2 {
+		t.Errorf("recovered output wrong: %v", got)
+	}
+	c := res.Counters
+	if c.MapAttemptsFailed.Value() != 1 {
+		t.Errorf("failed map attempts = %d, want 1", c.MapAttemptsFailed.Value())
+	}
+	if c.TaskRetries.Value() != 1 {
+		t.Errorf("task retries = %d, want 1", c.TaskRetries.Value())
+	}
+	// Payload counters must match the fault-free run exactly: the failed
+	// attempt's partial work must not leak into the totals.
+	if got, want := c.MapOutputRecords.Value(), clean.Counters.MapOutputRecords.Value(); got != want {
+		t.Errorf("map output records = %d, fault-free run = %d", got, want)
+	}
+	if got, want := c.MapOutputMaterializedBytes.Value(), clean.Counters.MapOutputMaterializedBytes.Value(); got != want {
+		t.Errorf("materialized bytes = %d, fault-free run = %d", got, want)
+	}
+	if len(res.WastedMapTasks) != 1 {
+		t.Errorf("wasted map tasks = %d, want 1", len(res.WastedMapTasks))
+	}
+}
+
+// TestRetryRecoversMapPanic: injected panics are contained and retried like
+// errors.
+func TestRetryRecoversMapPanic(t *testing.T) {
+	fs, res, err := runFaultJob(t, "map:0:panic@0", RetryPolicy{MaxAttempts: 3}, 1)
+	if err != nil {
+		t.Fatalf("retry did not recover from panic: %v", err)
+	}
+	if got := readWordCounts(t, fs, res.OutputPaths); got["the"] != 2 {
+		t.Errorf("output after panic recovery: %v", got)
+	}
+	if res.Counters.MapAttemptsFailed.Value() != 1 {
+		t.Errorf("failed attempts = %d, want 1", res.Counters.MapAttemptsFailed.Value())
+	}
+}
+
+// TestRetryRecoversReduceError: a failing reduce attempt leaves no partial
+// output behind and the retry commits cleanly.
+func TestRetryRecoversReduceError(t *testing.T) {
+	fs, res, err := runFaultJob(t, "reduce:0:error@0", RetryPolicy{MaxAttempts: 2}, 1)
+	if err != nil {
+		t.Fatalf("reduce retry did not recover: %v", err)
+	}
+	if got := readWordCounts(t, fs, res.OutputPaths); got["quick"] != 2 {
+		t.Errorf("output after reduce recovery: %v", got)
+	}
+	if res.Counters.ReduceAttemptsFailed.Value() != 1 {
+		t.Errorf("failed reduce attempts = %d, want 1", res.Counters.ReduceAttemptsFailed.Value())
+	}
+	for _, p := range fs.List() {
+		if strings.Contains(p, "_attempt") {
+			t.Errorf("leaked attempt temp file: %s", p)
+		}
+	}
+}
+
+// TestNoRetryFailsWithTypedError: the same fault schedule with retries
+// disabled must fail with an AttemptError naming the task and attempt, and
+// the injected cause must remain inspectable.
+func TestNoRetryFailsWithTypedError(t *testing.T) {
+	_, _, err := runFaultJob(t, "map:1:error@0", RetryPolicy{}, 1)
+	if err == nil {
+		t.Fatal("expected failure with retries disabled")
+	}
+	var ae *AttemptError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is not an AttemptError: %v", err)
+	}
+	if ae.Phase != "map" || ae.Task != 1 || ae.Attempt != 0 {
+		t.Errorf("AttemptError = %+v, want map task 1 attempt 0", ae)
+	}
+	if !faults.IsTransient(err) {
+		t.Errorf("injected cause not inspectable through the chain: %v", err)
+	}
+}
+
+// TestCorruptSegmentRecovery is the headline acceptance check: a schedule
+// that kills one map attempt AND silently corrupts one materialized segment
+// must still produce byte-identical output to the fault-free run, with the
+// recovery visible only in the fault counters.
+func TestCorruptSegmentRecovery(t *testing.T) {
+	cleanFS, clean, err := runFaultJob(t, "", RetryPolicy{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := "seed=7;map:1:error@0;segment:2.0:corrupt@0"
+	fs, res, err := runFaultJob(t, spec, RetryPolicy{MaxAttempts: 3}, 1)
+	if err != nil {
+		t.Fatalf("corruption recovery failed: %v", err)
+	}
+
+	wantOut := readRawOutputs(t, cleanFS, clean.OutputPaths)
+	gotOut := readRawOutputs(t, fs, res.OutputPaths)
+	for i := range wantOut {
+		if gotOut[i] != wantOut[i] {
+			t.Errorf("output %s differs from fault-free run", res.OutputPaths[i])
+		}
+	}
+	c := res.Counters
+	if c.CorruptSegmentsDetected.Value() == 0 {
+		t.Error("corruption was never detected — schedule did not fire?")
+	}
+	if c.MapTasksRecovered.Value() == 0 {
+		t.Error("no map task re-executed for corruption recovery")
+	}
+	if c.MapAttemptsFailed.Value() == 0 {
+		t.Error("injected map failure not counted")
+	}
+	// The paper's headline counter must be unpolluted by discarded attempts.
+	if got, want := c.MapOutputMaterializedBytes.Value(), clean.Counters.MapOutputMaterializedBytes.Value(); got != want {
+		t.Errorf("materialized bytes = %d, fault-free run = %d", got, want)
+	}
+	if got, want := c.ReduceOutputRecords.Value(), clean.Counters.ReduceOutputRecords.Value(); got != want {
+		t.Errorf("reduce output records = %d, fault-free run = %d", got, want)
+	}
+	if len(res.WastedMapTasks) == 0 {
+		t.Error("corrupt attempt's work not recorded as waste")
+	}
+}
+
+// TestCorruptSegmentWithoutRetriesFails: without a retry budget, corruption
+// is fatal and the typed error names the producing map task.
+func TestCorruptSegmentWithoutRetriesFails(t *testing.T) {
+	_, _, err := runFaultJob(t, "seed=7;segment:2.0:corrupt@0", RetryPolicy{}, 1)
+	if err == nil {
+		t.Fatal("expected corruption to fail the job without retries")
+	}
+	var ce *ErrCorruptSegment
+	if !errors.As(err, &ce) {
+		t.Fatalf("error chain has no ErrCorruptSegment: %v", err)
+	}
+	if ce.MapTask != 2 || ce.Attempt != 0 {
+		t.Errorf("corruption blamed on map %d attempt %d, want map 2 attempt 0", ce.MapTask, ce.Attempt)
+	}
+}
+
+// TestSpeculativeExecution: a straggling map attempt is raced by a backup;
+// the first finisher wins and the loser is charged as waste.
+func TestSpeculativeExecution(t *testing.T) {
+	policy := RetryPolicy{
+		MaxAttempts:      2,
+		Speculative:      true,
+		SpeculativeAfter: 10 * time.Millisecond,
+	}
+	fs, res, err := runFaultJob(t, "map:0:slow=300ms@0", policy, 2)
+	if err != nil {
+		t.Fatalf("speculative run failed: %v", err)
+	}
+	if got := readWordCounts(t, fs, res.OutputPaths); got["the"] != 2 {
+		t.Errorf("speculative output wrong: %v", got)
+	}
+	c := res.Counters
+	if c.SpeculativeAttempts.Value() == 0 {
+		t.Error("no speculative attempt launched for the straggler")
+	}
+	if c.SpeculativeWasted.Value() == 0 {
+		t.Error("losing attempt not recorded as speculative waste")
+	}
+	if len(res.WastedMapTasks) == 0 {
+		t.Error("speculative loser's footprint not recorded")
+	}
+}
+
+// TestBackoffDeterministic: the retry delay is a pure function of
+// (seed, task, failures), jittered within [base/2, base).
+func TestBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, Backoff: 100 * time.Millisecond, BackoffMax: time.Second, Seed: 42}
+	for task := 0; task < 3; task++ {
+		for failures := 1; failures <= 4; failures++ {
+			d1 := p.delay(task, failures)
+			d2 := p.delay(task, failures)
+			if d1 != d2 {
+				t.Fatalf("delay(%d,%d) not deterministic: %v vs %v", task, failures, d1, d2)
+			}
+			base := p.Backoff << (failures - 1)
+			if base > p.BackoffMax {
+				base = p.BackoffMax
+			}
+			if d1 < base/2 || d1 >= base {
+				t.Errorf("delay(%d,%d) = %v outside [%v,%v)", task, failures, d1, base/2, base)
+			}
+		}
+	}
+	if p.delay(0, 0) != 0 {
+		t.Error("no failures must mean no delay")
+	}
+	if (RetryPolicy{MaxAttempts: 3}).delay(0, 2) != 0 {
+		t.Error("zero base backoff must retry immediately")
+	}
+	// Different seeds should shift the jitter for at least one slot.
+	q := p
+	q.Seed = 43
+	var moved bool
+	for task := 0; task < 8 && !moved; task++ {
+		moved = p.delay(task, 1) != q.delay(task, 1)
+	}
+	if !moved {
+		t.Error("seed does not influence jitter")
+	}
+}
+
+// TestWastedWorkCharged: recovery overhead must surface in the cluster
+// estimate, not silently vanish.
+func TestWastedWorkCharged(t *testing.T) {
+	_, res, err := runFaultJob(t, "map:1:error@0", RetryPolicy{MaxAttempts: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := res.Estimate(clusterPaper())
+	if est.WastedMapSeconds <= 0 {
+		t.Errorf("wasted map seconds = %v, want > 0", est.WastedMapSeconds)
+	}
+	base := clusterPaper().EstimateJob(res.MapTasks, res.ReduceTasks)
+	if est.MapSeconds < base.MapSeconds {
+		t.Errorf("waste-charged map phase %v shorter than committed-only %v", est.MapSeconds, base.MapSeconds)
+	}
+}
+
+// TestEarlyTerminationSequential: after the first failure, queued tasks must
+// never start.
+func TestEarlyTerminationSequential(t *testing.T) {
+	fs := testFS()
+	var started atomic.Int32
+	job := wordCountJob(fs, []string{"a", "b", "c", "d"}, 1, false)
+	job.NewMapper = func() Mapper {
+		return MapperFunc(func(ctx *TaskContext, split Split, emit Emit) error {
+			started.Add(1)
+			if split.ID == 1 {
+				return fmt.Errorf("boom")
+			}
+			emit([]byte("k"), []byte{0, 0, 0, 1})
+			return nil
+		})
+	}
+	if _, err := Run(job); err == nil {
+		t.Fatal("expected failure")
+	}
+	if n := started.Load(); n != 2 {
+		t.Errorf("%d mappers started, want 2 (tasks after the failure must not run)", n)
+	}
+}
+
+// TestCancellationReachesInFlightAttempts: a failure in one task must cancel
+// attempts already running, and a canceled attempt's emits are dropped.
+func TestCancellationReachesInFlightAttempts(t *testing.T) {
+	fs := testFS()
+	var sawCancel atomic.Bool
+	job := wordCountJob(fs, []string{"a", "b"}, 1, false)
+	job.Parallelism = 2
+	job.NewMapper = func() Mapper {
+		return MapperFunc(func(ctx *TaskContext, split Split, emit Emit) error {
+			if split.ID == 1 {
+				time.Sleep(5 * time.Millisecond)
+				return fmt.Errorf("boom")
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for !ctx.Canceled() {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("cancel signal never arrived")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			sawCancel.Store(true)
+			emit([]byte("late"), []byte{0, 0, 0, 1}) // must be dropped
+			return nil
+		})
+	}
+	_, err := Run(job)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("expected the failing task's error, got: %v", err)
+	}
+	if !sawCancel.Load() {
+		t.Error("in-flight attempt never observed cancellation")
+	}
+}

@@ -6,15 +6,19 @@ import (
 	"time"
 
 	"scikey/internal/cluster"
+	"scikey/internal/faults"
 )
 
-// mapTask executes one mapper: collect, partition (splitting aggregate keys
-// when configured), sort, combine, spill, and merge spills into one final
-// segment per partition.
+// mapTask executes one attempt of a mapper: collect, partition (splitting
+// aggregate keys when configured), sort, combine, spill, and merge spills
+// into one final segment per partition. Each attempt owns its buffers and
+// counters, so concurrent attempts of the same task (retries racing
+// speculative twins) never share state; the scheduler commits exactly one.
 type mapTask struct {
-	job *Job
-	id  int
-	ctx *TaskContext
+	job     *Job
+	id      int
+	attempt int
+	ctx     *TaskContext
 
 	parts    []partBuffer
 	buffered int
@@ -30,35 +34,62 @@ type partBuffer struct {
 	bytes int
 }
 
-func newMapTask(job *Job, id int, counters *Counters) *mapTask {
+func newMapTask(job *Job, id, attempt int, canceled func() bool) *mapTask {
 	return &mapTask{
-		job:    job,
-		id:     id,
-		ctx:    &TaskContext{TaskID: id, IsMap: true, FS: job.FS, counters: counters},
+		job:     job,
+		id:      id,
+		attempt: attempt,
+		ctx: &TaskContext{
+			TaskID:   id,
+			Attempt:  attempt,
+			IsMap:    true,
+			FS:       job.FS,
+			counters: &Counters{},
+			canceled: canceled,
+		},
 		parts:  make([]partBuffer, job.NumReducers),
 		spills: make([][]segment, job.NumReducers),
 	}
 }
 
+// counters returns this attempt's private counters, merged into the job
+// totals only if the attempt commits.
+func (t *mapTask) counters() *Counters { return t.ctx.counters }
+
 func (t *mapTask) run(split Split) error {
 	start := time.Now()
+	// Charge elapsed compute on every exit so failed attempts still show
+	// up as wasted work in the cost model.
+	defer func() {
+		t.footprint.CPUSeconds += time.Since(start).Seconds()
+	}()
 	t.hosts = split.Hosts
+	if err := t.job.Faults.Attempt(faults.SiteMap, t.id, t.attempt); err != nil {
+		return fmt.Errorf("mapreduce: map task %d: %w", t.id, err)
+	}
 	mapper := t.job.NewMapper()
 	if err := mapper.Map(t.ctx, split, t.emit); err != nil {
 		return fmt.Errorf("mapreduce: map task %d: %w", t.id, err)
 	}
+	if t.ctx.Canceled() {
+		return errAttemptCanceled
+	}
 	if err := t.finalize(); err != nil {
 		return err
 	}
-	t.footprint.CPUSeconds += time.Since(start).Seconds()
 	// Input scan and final output both travel through the local disk (the
 	// locality-aware estimate may later re-route the input bytes).
 	t.footprint.DiskBytes += t.ctx.inputBytes
 	return nil
 }
 
-// emit is the mapper-facing output path (step 2 of Fig. 1).
+// emit is the mapper-facing output path (step 2 of Fig. 1). Once the
+// attempt is canceled it stops accepting records: a discarded attempt must
+// not keep buffering and spilling.
 func (t *mapTask) emit(key, value []byte) {
+	if t.ctx.Canceled() {
+		return
+	}
 	c := t.ctx.counters
 	c.MapOutputRecords.Add(1)
 	c.MapOutputBytes.Add(int64(len(key) + len(value)))
@@ -149,12 +180,16 @@ func (t *mapTask) combine(pairs []KV) ([]KV, error) {
 }
 
 // finalize flushes the last buffer and merges multi-spill partitions into
-// one segment each, producing the task's final map output.
+// one segment each, producing the task's final map output, tagged with this
+// attempt's provenance. Segment-site fault rules bit-flip the materialized
+// bytes here — silently, exactly like at-rest disk corruption: the counters
+// record the intact size and nothing notices until a reducer's CRC check.
 func (t *mapTask) finalize() error {
 	if err := t.spill(); err != nil {
 		return err
 	}
 	c := t.ctx.counters
+	env := readEnv{codec: t.job.codec(), part: -1}
 	t.finals = make([]segment, t.job.NumReducers)
 	for p := range t.spills {
 		segs := t.spills[p]
@@ -167,7 +202,7 @@ func (t *mapTask) finalize() error {
 			// Multi-pass merge down to a single final segment. Hadoop
 			// counts records written during merge passes as spilled
 			// records too.
-			merged, err := mergeDown(segs, t.job.codec(), t.job.Compare,
+			merged, err := mergeDown(segs, env, t.job.Compare,
 				t.job.mergeFactor(), 1, func(read, written, records int64) {
 					t.footprint.DiskBytes += read + written
 					c.SpilledRecords.Add(records)
@@ -178,6 +213,11 @@ func (t *mapTask) finalize() error {
 			t.finals[p] = merged[0]
 		}
 		c.MapOutputMaterializedBytes.Add(int64(len(t.finals[p].data)))
+		t.finals[p].src = t.id
+		t.finals[p].attempt = t.attempt
+		if data, ok := t.job.Faults.CorruptSegment(t.id, p, t.attempt, t.finals[p].data); ok {
+			t.finals[p].data = data
+		}
 	}
 	t.spills = nil
 	return nil

@@ -7,14 +7,43 @@ import (
 	"io"
 
 	"scikey/internal/codec"
+	"scikey/internal/faults"
 	"scikey/internal/ifile"
 )
 
 // segment is one sorted run of intermediate pairs in its on-disk form
-// (IFile framing, optionally compressed).
+// (IFile framing, optionally compressed). Final map output segments carry
+// their provenance (src, attempt) so a reducer that detects corruption can
+// name — and re-execute — the producing map attempt; engine-internal runs
+// (spills, merge passes) use src -1.
 type segment struct {
 	data    []byte
 	records int64
+	src     int // producing map task, or -1 for engine-internal segments
+	attempt int // producing map attempt (meaningful when src >= 0)
+}
+
+// readEnv bundles what the segment read path needs: the codec, the optional
+// fault injector, and the reading attempt's coordinates for fault rules and
+// corruption reports.
+type readEnv struct {
+	codec codec.Codec
+	inj   *faults.Injector
+	// attempt is the reading (reduce) attempt, for codec-site fault rules.
+	attempt int
+	// part is the reducer partition being read, or -1 on the map side.
+	part int
+}
+
+// wrapErr classifies a segment read error. Injected transient errors pass
+// through (the scheduler retries the reading attempt); anything else from a
+// provenance-tagged segment — CRC mismatch, broken framing, codec decode
+// failure — is corruption of that map task's output.
+func (e readEnv) wrapErr(src, srcAttempt int, err error) error {
+	if err == nil || src < 0 || faults.IsTransient(err) {
+		return err
+	}
+	return &ErrCorruptSegment{MapTask: src, Partition: e.part, Attempt: srcAttempt, Err: err}
 }
 
 // writeSegment encodes sorted pairs through the codec into IFile form.
@@ -33,13 +62,17 @@ func writeSegment(pairs []KV, c codec.Codec) (segment, error) {
 	if err := cw.Close(); err != nil {
 		return segment{}, err
 	}
-	return segment{data: buf.Bytes(), records: int64(len(pairs))}, nil
+	return segment{data: buf.Bytes(), records: int64(len(pairs)), src: -1}, nil
 }
 
 // segIter streams the records of one segment.
 type segIter struct {
-	rc io.ReadCloser
-	ir *ifile.Reader
+	rc  io.ReadCloser
+	ir  *ifile.Reader
+	env readEnv
+	// src/attempt are the segment's provenance, for corruption reports.
+	src        int
+	srcAttempt int
 	// cur holds copies of the current record (the ifile reader reuses its
 	// buffers).
 	cur KV
@@ -47,12 +80,14 @@ type segIter struct {
 	err error
 }
 
-func openSegment(seg segment, c codec.Codec) (*segIter, error) {
-	rc, err := c.NewReader(bytes.NewReader(seg.data))
+func openSegment(seg segment, env readEnv) (*segIter, error) {
+	var raw io.Reader = bytes.NewReader(seg.data)
+	raw = env.inj.WrapSegmentRead(seg.src, env.attempt, len(seg.data), raw)
+	rc, err := env.codec.NewReader(raw)
 	if err != nil {
-		return nil, err
+		return nil, env.wrapErr(seg.src, seg.attempt, err)
 	}
-	it := &segIter{rc: rc, ir: ifile.NewReader(rc)}
+	it := &segIter{rc: rc, ir: ifile.NewReader(rc), env: env, src: seg.src, srcAttempt: seg.attempt}
 	it.advance()
 	return it, it.err
 }
@@ -65,7 +100,7 @@ func (it *segIter) advance() {
 		return
 	}
 	if err != nil {
-		it.err = err
+		it.err = it.env.wrapErr(it.src, it.srcAttempt, err)
 		it.ok = false
 		it.rc.Close()
 		return
@@ -99,15 +134,17 @@ func (h *mergeHeap) Pop() any {
 }
 
 // mergeSegments k-way merges sorted segments into one sorted in-memory run,
-// the reducer-side "merge sort" of Fig. 1 step 5.
-func mergeSegments(segs []segment, c codec.Codec, cmp func(a, b []byte) int) ([]KV, error) {
+// the reducer-side "merge sort" of Fig. 1 step 5. Reading every segment to
+// its end also verifies each stream's IFile CRC, so corruption anywhere in
+// a fetched segment surfaces here as an ErrCorruptSegment.
+func mergeSegments(segs []segment, env readEnv, cmp func(a, b []byte) int) ([]KV, error) {
 	h := &mergeHeap{cmp: cmp}
 	var total int64
 	for _, s := range segs {
 		if len(s.data) == 0 {
 			continue
 		}
-		it, err := openSegment(s, c)
+		it, err := openSegment(s, env)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: opening segment: %w", err)
 		}
@@ -140,7 +177,7 @@ func mergeSegments(segs []segment, c codec.Codec, cmp func(a, b []byte) int) ([]
 // Every intermediate pass re-reads and re-writes its inputs; acct receives
 // those byte counts so the cost model sees why bulky intermediate data
 // hurts twice.
-func mergeDown(segs []segment, c codec.Codec, cmp func(a, b []byte) int, factor, target int, acct func(read, written, records int64)) ([]segment, error) {
+func mergeDown(segs []segment, env readEnv, cmp func(a, b []byte) int, factor, target int, acct func(read, written, records int64)) ([]segment, error) {
 	if factor < 2 {
 		factor = 2
 	}
@@ -156,11 +193,11 @@ func mergeDown(segs []segment, c codec.Codec, cmp func(a, b []byte) int, factor,
 		for _, s := range batch {
 			read += int64(len(s.data))
 		}
-		pairs, err := mergeSegments(batch, c, cmp)
+		pairs, err := mergeSegments(batch, env, cmp)
 		if err != nil {
 			return nil, err
 		}
-		merged, err := writeSegment(pairs, c)
+		merged, err := writeSegment(pairs, env.codec)
 		if err != nil {
 			return nil, err
 		}
@@ -181,9 +218,13 @@ func sortSegmentsBySize(segs []segment) {
 }
 
 // groupReduce walks a sorted run, invoking red once per group of equal keys
-// (per cmp), as Hadoop's reduce-phase grouping iterator does.
+// (per cmp), as Hadoop's reduce-phase grouping iterator does. It aborts
+// between groups when the attempt is canceled.
 func groupReduce(ctx *TaskContext, pairs []KV, cmp func(a, b []byte) int, red Reducer, emit Emit, counters *Counters, isCombine bool) error {
 	for i := 0; i < len(pairs); {
+		if ctx.Canceled() {
+			return errAttemptCanceled
+		}
 		j := i + 1
 		for j < len(pairs) && cmp(pairs[i].Key, pairs[j].Key) == 0 {
 			j++

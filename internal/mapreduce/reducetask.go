@@ -5,31 +5,65 @@ import (
 	"time"
 
 	"scikey/internal/cluster"
+	"scikey/internal/faults"
 	"scikey/internal/ifile"
 )
 
-// reduceTask executes one reducer: fetch its partition's segments from
-// every map output, merge-sort them, apply the SciHadoop merge transform
-// (overlap splitting), group, reduce, and write output to HDFS (steps 4-7
-// of Fig. 1).
+// reduceTask executes one attempt of a reducer: fetch its partition's
+// segments from every map output, merge-sort them (verifying IFile CRCs
+// along the way), apply the SciHadoop merge transform (overlap splitting),
+// group, reduce, and write output to HDFS (steps 4-7 of Fig. 1).
+//
+// Output lands in an attempt-private temp file; the scheduler renames it to
+// the final part path only for the winning attempt (Hadoop's output
+// committer), so retries and speculative twins never collide.
 type reduceTask struct {
 	job       *Job
 	id        int
+	attempt   int
 	ctx       *TaskContext
 	footprint cluster.Task
+	tmpPath   string
 	outPath   string
 }
 
-func newReduceTask(job *Job, id int, counters *Counters) *reduceTask {
+func newReduceTask(job *Job, id, attempt int, canceled func() bool) *reduceTask {
 	return &reduceTask{
-		job: job,
-		id:  id,
-		ctx: &TaskContext{TaskID: id, IsMap: false, FS: job.FS, counters: counters},
+		job:     job,
+		id:      id,
+		attempt: attempt,
+		ctx: &TaskContext{
+			TaskID:   id,
+			Attempt:  attempt,
+			IsMap:    false,
+			FS:       job.FS,
+			counters: &Counters{},
+			canceled: canceled,
+		},
+		tmpPath: fmt.Sprintf("%s/_attempt/part-%05d-%d", job.OutputPath, id, attempt),
+		outPath: fmt.Sprintf("%s/part-%05d", job.OutputPath, id),
 	}
+}
+
+// counters returns this attempt's private counters, merged into the job
+// totals only if the attempt commits.
+func (t *reduceTask) counters() *Counters { return t.ctx.counters }
+
+// commit promotes this attempt's temp output to the final part path.
+func (t *reduceTask) commit() error {
+	return t.job.FS.Rename(t.tmpPath, t.outPath)
+}
+
+// abort discards this attempt's temp output, if any was materialized.
+func (t *reduceTask) abort() {
+	_ = t.job.FS.Delete(t.tmpPath)
 }
 
 func (t *reduceTask) run(mapOutputs [][]segment) error {
 	c := t.ctx.counters
+	if err := t.job.Faults.Attempt(faults.SiteReduce, t.id, t.attempt); err != nil {
+		return fmt.Errorf("mapreduce: reduce task %d: %w", t.id, err)
+	}
 
 	// Shuffle: fetch this partition's final segment from every map. The
 	// bytes cross the network and are staged on local disk (write + later
@@ -48,18 +82,25 @@ func (t *reduceTask) run(mapOutputs [][]segment) error {
 	}
 
 	start := time.Now()
+	defer func() {
+		t.footprint.CPUSeconds += time.Since(start).Seconds()
+	}()
+	env := readEnv{codec: t.job.codec(), inj: t.job.Faults, attempt: t.attempt, part: t.id}
 	// Reduce-side multi-pass merge: more fetched segments than the merge
 	// factor force extra on-disk passes first — the mechanism by which
 	// intermediate-data volume "possibly requir[es] multiple on-disk sort
 	// phases" (Fig. 1 step 5) and taxes reducers beyond the shuffle.
-	segs, err := mergeDown(segs, t.job.codec(), t.job.Compare,
+	// Reading every fetched segment to its end also verifies its IFile
+	// CRC; a mismatch surfaces as an ErrCorruptSegment naming the
+	// producing map attempt.
+	segs, err := mergeDown(segs, env, t.job.Compare,
 		t.job.mergeFactor(), t.job.mergeFactor(), func(read, written, _ int64) {
 			t.footprint.DiskBytes += read + written
 		})
 	if err != nil {
 		return fmt.Errorf("mapreduce: reduce task %d merge pass: %w", t.id, err)
 	}
-	pairs, err := mergeSegments(segs, t.job.codec(), t.job.Compare)
+	pairs, err := mergeSegments(segs, env, t.job.Compare)
 	if err != nil {
 		return fmt.Errorf("mapreduce: reduce task %d merge: %w", t.id, err)
 	}
@@ -73,14 +114,19 @@ func (t *reduceTask) run(mapOutputs [][]segment) error {
 		}
 	}
 
-	t.outPath = fmt.Sprintf("%s/part-%05d", t.job.OutputPath, t.id)
-	w, err := t.job.FS.Create(t.outPath)
+	w, err := t.job.FS.Create(t.tmpPath)
 	if err != nil {
 		return err
 	}
+	// Always materialize the temp file (Close is idempotent) so abort can
+	// clean up after a failed or canceled attempt.
+	defer w.Close()
 	iw := ifile.NewWriter(w)
 	var outBytes int64
 	emit := func(k, v []byte) {
+		if t.ctx.Canceled() {
+			return
+		}
 		c.ReduceOutputRecords.Add(1)
 		outBytes += int64(len(k) + len(v))
 		if err := iw.Append(k, v); err != nil {
@@ -96,6 +142,9 @@ func (t *reduceTask) run(mapOutputs [][]segment) error {
 			return fmt.Errorf("mapreduce: reduce task %d finish: %w", t.id, err)
 		}
 	}
+	if t.ctx.Canceled() {
+		return errAttemptCanceled
+	}
 	if err := iw.Close(); err != nil {
 		return err
 	}
@@ -103,7 +152,6 @@ func (t *reduceTask) run(mapOutputs [][]segment) error {
 		return err
 	}
 	c.ReduceOutputBytes.Add(outBytes)
-	t.footprint.CPUSeconds += time.Since(start).Seconds()
 	t.footprint.DiskBytes += iw.Stats().Total()
 	return nil
 }

@@ -1,7 +1,7 @@
 package mapreduce
 
 import (
-	"fmt"
+	"errors"
 	"sync"
 
 	"scikey/internal/cluster"
@@ -17,12 +17,18 @@ type Result struct {
 	MapSpecs    []cluster.MapSpec
 	ReduceTasks []cluster.Task
 	OutputPaths []string
+	// WastedMapTasks / WastedReduceTasks are the footprints of attempts
+	// whose work was discarded: failures, corruption-replaced map attempts,
+	// and speculative losers. The cost model schedules them alongside the
+	// committed tasks so recovery overhead shows up in the estimate.
+	WastedMapTasks    []cluster.Task
+	WastedReduceTasks []cluster.Task
 }
 
 // Estimate models the job's runtime on the given cluster, treating all map
-// input as node-local.
+// input as node-local. Discarded attempts are charged as wasted slot time.
 func (r *Result) Estimate(cfg cluster.Config) cluster.JobEstimate {
-	return cfg.EstimateJob(r.MapTasks, r.ReduceTasks)
+	return cfg.EstimateJobWithWaste(r.MapTasks, r.ReduceTasks, r.WastedMapTasks, r.WastedReduceTasks)
 }
 
 // EstimateLocality models the runtime with Hadoop's locality-preferring
@@ -31,103 +37,180 @@ func (r *Result) EstimateLocality(cfg cluster.Config, nodes []string) cluster.Lo
 	return cfg.EstimateJobLocality(nodes, r.MapSpecs, r.ReduceTasks)
 }
 
-// Run executes the job to completion.
+// Run executes the job to completion under the job's RetryPolicy: each task
+// runs as a sequence of attempts, failures retry within the budget (with
+// deterministic backoff), stragglers may be speculatively re-executed, and
+// corrupt shuffle segments trigger re-execution of the producing map task.
+// Only winning attempts contribute output, counters, and footprints; every
+// discarded attempt's work is recorded as waste.
 func Run(job *Job) (*Result, error) {
 	if err := job.validate(); err != nil {
 		return nil, err
 	}
-	counters := &Counters{}
+	// jc holds the scheduling counters during the run; winning attempts'
+	// payload counters merge in at the end.
+	jc := &Counters{}
 
-	// Map phase.
-	tasks := make([]*mapTask, len(job.Splits))
-	if err := forEachLimit(len(job.Splits), job.parallelism(), func(i int) error {
-		t := newMapTask(job, i, counters)
-		tasks[i] = t
-		return t.run(job.Splits[i])
-	}); err != nil {
+	var (
+		outMu      sync.Mutex
+		tasks      = make([]*mapTask, len(job.Splits))
+		mapOutputs = make([][]segment, len(job.Splits))
+		wastedMaps []cluster.Task
+	)
+	addMapWaste := func(t *mapTask) {
+		if t == nil {
+			return
+		}
+		outMu.Lock()
+		wastedMaps = append(wastedMaps, t.footprint)
+		outMu.Unlock()
+	}
+
+	mapRunner := &phaseRunner{
+		phase:  "map",
+		n:      len(job.Splits),
+		limit:  job.parallelism(),
+		policy: job.Retry,
+		jc:     jc,
+		run: func(task, attempt int, canceled func() bool) (any, error) {
+			t := newMapTask(job, task, attempt, canceled)
+			return t, t.run(job.Splits[task])
+		},
+		commit: func(task, attempt int, result any) error {
+			t := result.(*mapTask)
+			outMu.Lock()
+			tasks[task] = t
+			mapOutputs[task] = t.finals
+			outMu.Unlock()
+			return nil
+		},
+		discard: func(task, attempt int, result any, err error) {
+			t, _ := result.(*mapTask)
+			addMapWaste(t)
+		},
+	}
+	if err := mapRunner.runAll(); err != nil {
 		return nil, err
 	}
 
-	mapOutputs := make([][]segment, len(tasks))
-	mapFootprints := make([]cluster.Task, len(tasks))
-	mapSpecs := make([]cluster.MapSpec, len(tasks))
-	for i, t := range tasks {
-		mapOutputs[i] = t.finals
-		mapFootprints[i] = t.footprint
-		mapSpecs[i] = cluster.MapSpec{Task: t.footprint, InputBytes: t.ctx.inputBytes, Hosts: t.hosts}
+	// recoverMap re-executes the map task named by a corrupt-segment report,
+	// replacing its output so the reducer's retry reads intact bytes. The
+	// corrupt attempt's work becomes waste. Serialized: two reducers hitting
+	// the same bad segment repair it once.
+	var repairMu sync.Mutex
+	recoverMap := func(ce *ErrCorruptSegment) bool {
+		repairMu.Lock()
+		defer repairMu.Unlock()
+		outMu.Lock()
+		cur := tasks[ce.MapTask]
+		outMu.Unlock()
+		if cur == nil {
+			return false
+		}
+		if cur.attempt != ce.Attempt {
+			// A newer attempt already replaced the reported output; the
+			// reducer's retry will fetch the fresh segments.
+			return true
+		}
+		for rerun := 0; rerun < job.Retry.maxAttempts(); rerun++ {
+			a := mapRunner.nextAttempt(ce.MapTask)
+			res, err := mapRunner.runOne(ce.MapTask, a, nil)
+			nt, _ := res.(*mapTask)
+			if err == nil {
+				outMu.Lock()
+				tasks[ce.MapTask] = nt
+				mapOutputs[ce.MapTask] = nt.finals
+				outMu.Unlock()
+				addMapWaste(cur)
+				jc.MapTasksRecovered.Add(1)
+				jc.TaskRetries.Add(1)
+				return true
+			}
+			mapRunner.countFailure(ce.MapTask, a, err)
+			addMapWaste(nt)
+		}
+		return false
 	}
 
-	// Reduce phase.
-	rtasks := make([]*reduceTask, job.NumReducers)
-	if err := forEachLimit(job.NumReducers, job.parallelism(), func(r int) error {
-		t := newReduceTask(job, r, counters)
-		rtasks[r] = t
-		return t.run(mapOutputs)
-	}); err != nil {
+	var (
+		rtasks        = make([]*reduceTask, job.NumReducers)
+		wastedReduces []cluster.Task
+	)
+	reduceRunner := &phaseRunner{
+		phase:  "reduce",
+		n:      job.NumReducers,
+		limit:  job.parallelism(),
+		policy: job.Retry,
+		jc:     jc,
+		run: func(task, attempt int, canceled func() bool) (any, error) {
+			// Snapshot the map outputs under the lock: a concurrent repair
+			// may be swapping a recovered task's segments in.
+			outMu.Lock()
+			outs := make([][]segment, len(mapOutputs))
+			copy(outs, mapOutputs)
+			outMu.Unlock()
+			t := newReduceTask(job, task, attempt, canceled)
+			return t, t.run(outs)
+		},
+		commit: func(task, attempt int, result any) error {
+			t := result.(*reduceTask)
+			if err := t.commit(); err != nil {
+				return err
+			}
+			outMu.Lock()
+			rtasks[task] = t
+			outMu.Unlock()
+			return nil
+		},
+		discard: func(task, attempt int, result any, err error) {
+			t, _ := result.(*reduceTask)
+			if t == nil {
+				return
+			}
+			t.abort()
+			outMu.Lock()
+			wastedReduces = append(wastedReduces, t.footprint)
+			outMu.Unlock()
+		},
+		repair: func(task, attempt int, err error) bool {
+			var ce *ErrCorruptSegment
+			if !errors.As(err, &ce) {
+				return false
+			}
+			return recoverMap(ce)
+		},
+		onFailure: func(task, attempt int, err error) {
+			var ce *ErrCorruptSegment
+			if errors.As(err, &ce) {
+				jc.CorruptSegmentsDetected.Add(1)
+			}
+		},
+	}
+	if err := reduceRunner.runAll(); err != nil {
 		return nil, err
 	}
 
+	// Assemble the result from the surviving attempts only. Their private
+	// counters merge into the job totals here, so a faulty run that recovers
+	// reports byte-for-byte the same payload counters as a fault-free one.
 	res := &Result{
-		Counters:    counters,
-		MapTasks:    mapFootprints,
-		MapSpecs:    mapSpecs,
-		ReduceTasks: make([]cluster.Task, job.NumReducers),
-		OutputPaths: make([]string, job.NumReducers),
+		Counters:          jc,
+		MapTasks:          make([]cluster.Task, len(tasks)),
+		MapSpecs:          make([]cluster.MapSpec, len(tasks)),
+		ReduceTasks:       make([]cluster.Task, job.NumReducers),
+		OutputPaths:       make([]string, job.NumReducers),
+		WastedMapTasks:    wastedMaps,
+		WastedReduceTasks: wastedReduces,
+	}
+	for i, t := range tasks {
+		jc.Merge(t.counters())
+		res.MapTasks[i] = t.footprint
+		res.MapSpecs[i] = cluster.MapSpec{Task: t.footprint, InputBytes: t.ctx.inputBytes, Hosts: t.hosts}
 	}
 	for r, t := range rtasks {
+		jc.Merge(t.counters())
 		res.ReduceTasks[r] = t.footprint
 		res.OutputPaths[r] = t.outPath
 	}
 	return res, nil
-}
-
-// forEachLimit runs fn(0..n-1) with at most limit goroutines, returning the
-// first error.
-func forEachLimit(n, limit int, fn func(i int) error) error {
-	if limit <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	sem := make(chan struct{}, limit)
-	for i := 0; i < n; i++ {
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
-			break
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() {
-				<-sem
-				if r := recover(); r != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("mapreduce: task %d panicked: %v", i, r)
-					}
-					mu.Unlock()
-				}
-			}()
-			if err := fn(i); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(i)
-	}
-	wg.Wait()
-	return firstErr
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"scikey/internal/codec"
+	"scikey/internal/faults"
 	"scikey/internal/hdfs"
 )
 
@@ -90,17 +91,31 @@ func (f ReducerFunc) Reduce(ctx *TaskContext, key []byte, values [][]byte, emit 
 type TaskContext struct {
 	// TaskID identifies the map or reduce task.
 	TaskID int
+	// Attempt is this execution's attempt number, 0 for the first try.
+	// Retries and speculative twins see higher numbers.
+	Attempt int
 	// IsMap distinguishes map from reduce tasks.
 	IsMap bool
 	// FS is the job filesystem, for mappers that read their split's data.
 	FS *hdfs.FileSystem
 
 	counters   *Counters
-	inputBytes int64 // this task's reported input volume
+	inputBytes int64         // this task's reported input volume
+	canceled   func() bool   // non-nil when the scheduler may cancel this attempt
 }
 
-// Counters exposes the job-wide counters for user-code increments.
+// Counters exposes this attempt's counters for user-code increments. The
+// engine folds them into the job totals only if the attempt wins, so
+// retried and speculatively-discarded attempts never double-count.
 func (c *TaskContext) Counters() *Counters { return c.counters }
+
+// Canceled reports whether this attempt's result is no longer wanted — the
+// job failed fatally elsewhere, or a speculative twin already finished.
+// The framework stops accepting emits once this turns true; long-running
+// user code may poll it to bail out early.
+func (c *TaskContext) Canceled() bool {
+	return c.canceled != nil && c.canceled()
+}
 
 // CountInput records input consumed by a mapper, feeding both the
 // MapInput counters and the task's modeled disk traffic.
@@ -154,6 +169,14 @@ type Job struct {
 	// sequentially, which keeps per-task CPU measurements clean for the
 	// cost model. Benchmarks wanting wall-clock speed can raise it.
 	Parallelism int
+	// Retry configures the attempt scheduler: per-task retry budgets,
+	// deterministic backoff, and speculative execution. The zero value
+	// keeps the historical fail-fast behaviour.
+	Retry RetryPolicy
+	// Faults optionally injects deterministic failures into task attempts,
+	// IFile segments, and codec streams — the harness recovery tests and
+	// chaos runs use. Nil disables injection.
+	Faults *faults.Injector
 }
 
 func (j *Job) validate() error {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"scikey/internal/codec"
+	"scikey/internal/faults"
 	"scikey/internal/grid"
 	"scikey/internal/hdfs"
 	"scikey/internal/keys"
@@ -78,6 +79,12 @@ type QueryConfig struct {
 	Reaggregate bool
 	// OutputPath is the HDFS output directory.
 	OutputPath string
+	// Retry configures the engine's attempt scheduler (retries, backoff,
+	// speculation). The zero value fails the job on the first task error.
+	Retry mapreduce.RetryPolicy
+	// Faults optionally injects deterministic failures for recovery
+	// experiments. Nil disables injection.
+	Faults *faults.Injector
 }
 
 func (c QueryConfig) withDefaults() QueryConfig {
@@ -144,6 +151,8 @@ func SimpleKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, *keys.C
 		Partition:      keys.HashPartition,
 		MapOutputCodec: cfg.MapOutputCodec,
 		OutputPath:     cfg.OutputPath,
+		Retry:          cfg.Retry,
+		Faults:         cfg.Faults,
 		NewMapper: func() mapreduce.Mapper {
 			return mapreduce.MapperFunc(func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {
 				box := split.Data.(grid.Box)

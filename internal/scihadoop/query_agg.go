@@ -49,6 +49,8 @@ func AggKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, aggregate.
 		Compare:        kc.RawCompareAgg,
 		MapOutputCodec: cfg.MapOutputCodec,
 		OutputPath:     cfg.OutputPath,
+		Retry:          cfg.Retry,
+		Faults:         cfg.Faults,
 
 		// Section IV-B, case one: split aggregate keys at routing time.
 		PartitionSplit: func(key, value []byte, n int) []mapreduce.RoutedKV {

@@ -42,6 +42,8 @@ func BoxKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, error) {
 		Compare:        kc.RawCompareBox,
 		MapOutputCodec: cfg.MapOutputCodec,
 		OutputPath:     cfg.OutputPath,
+		Retry:          cfg.Retry,
+		Faults:         cfg.Faults,
 
 		PartitionSplit: func(key, value []byte, n int) []mapreduce.RoutedKV {
 			k, err := kc.DecodeBox(serial.NewDataInput(key))
