@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-all
 
 # The full gate: compile everything, vet, and run the test suite under the
 # race detector (the attempt scheduler and fault tests exercise real
@@ -19,5 +19,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The shuffle/transform hot-path benchmarks tracked across PRs. Results land
+# in BENCH_shuffle.json with the committed baseline's numbers embedded per
+# benchmark (speedup_mb_per_s / allocs_ratio > 1 means faster / fewer allocs
+# than the baseline).
+SHUFFLE_BENCH = BenchmarkTransformSteadyState|BenchmarkWriteSegmentPooled|BenchmarkMapSpillPipeline|BenchmarkMergeSegments|BenchmarkE4_
+
 bench:
+	$(GO) test -run '^$$' -bench '$(SHUFFLE_BENCH)' -benchmem ./... > bench.out
+	$(GO) run ./cmd/benchjson -baseline bench_baseline.json < bench.out > BENCH_shuffle.json
+	@rm -f bench.out
+	@echo wrote BENCH_shuffle.json
+
+# All benchmarks, raw text output.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...

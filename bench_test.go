@@ -73,6 +73,32 @@ func BenchmarkE4_TransformTimeVsSize(b *testing.B) {
 	}
 }
 
+// BenchmarkTransformSteadyState measures the predictor kernel in its
+// locked-in regime: a long structured stream where the stride detector has
+// settled, so nearly every byte should travel the batch fast path. This is
+// the MB/s number the inline map→reduce transform of Section III lives or
+// dies by.
+func BenchmarkTransformSteadyState(b *testing.B) {
+	data := workload.GridWalkTriples(60) // 2.6 MB, stride-12 structure
+	cfgs := map[string]predictor.Config{
+		"adaptive": {},
+		"fixed12":  {Mode: predictor.Fixed, Strides: []int{12}},
+	}
+	for _, name := range []string{"adaptive", "fixed12"} {
+		b.Run(name, func(b *testing.B) {
+			tr := predictor.NewTransformer(cfgs[name])
+			dst := make([]byte, 0, len(data))
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Reset()
+				dst = tr.Forward(dst[:0], data)
+			}
+		})
+	}
+}
+
 // BenchmarkE5_StrideStrategies times the three stride-selection modes on
 // the same stream (brute force vs adaptive is the paper's 4x/17x claim).
 func BenchmarkE5_StrideStrategies(b *testing.B) {

@@ -1,0 +1,170 @@
+// benchjson converts `go test -bench` text output into JSON so benchmark
+// results can be committed and diffed across PRs. It reads benchmark lines
+// from stdin and writes a JSON document to stdout:
+//
+//	go test -bench 'Shuffle' -benchmem ./... | benchjson -baseline bench_baseline.json
+//
+// With -baseline, each benchmark that also appears in the baseline file
+// carries the baseline's numbers plus speedup ratios (current MB/s over
+// baseline MB/s, baseline allocs over current allocs — both >1 means the
+// change helped), making the emitted file a self-contained before/after
+// record.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+
+	Baseline      *Bench  `json:"baseline,omitempty"`
+	SpeedupMBPerS float64 `json:"speedup_mb_per_s,omitempty"`
+	AllocsRatio   float64 `json:"allocs_ratio,omitempty"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []*Bench          `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix strips the trailing -N goroutine-count suffix Go appends
+// to benchmark names, so results match across machines with different core
+// counts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func parseLine(line string) (*Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return nil, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, false
+	}
+	b := &Bench{
+		Name:       gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+		Iterations: iters,
+	}
+	// The rest of the line is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "MB/s":
+			b.MBPerS = v
+		case "B/op":
+			b.BPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+	}
+	return b, true
+}
+
+func parseContext(ctx map[string]string, line string) {
+	for _, key := range []string{"goos", "goarch", "cpu"} {
+		if rest, ok := strings.CutPrefix(line, key+": "); ok {
+			ctx[key] = strings.TrimSpace(rest)
+		}
+	}
+}
+
+func loadBaseline(path string) (map[string]*Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]*Bench, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "JSON file of prior results to embed per-benchmark")
+	flag.Parse()
+
+	var baseline map[string]*Bench
+	if *baselinePath != "" {
+		var err error
+		if baseline, err = loadBaseline(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		parseContext(rep.Context, line)
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if prior := baseline[b.Name]; prior != nil {
+			// Drop the baseline's own comparison fields so they don't nest.
+			flat := *prior
+			flat.Baseline, flat.SpeedupMBPerS, flat.AllocsRatio = nil, 0, 0
+			b.Baseline = &flat
+			if prior.MBPerS > 0 && b.MBPerS > 0 {
+				b.SpeedupMBPerS = round2(b.MBPerS / prior.MBPerS)
+			} else if prior.NsPerOp > 0 && b.NsPerOp > 0 {
+				b.SpeedupMBPerS = round2(prior.NsPerOp / b.NsPerOp)
+			}
+			if b.AllocsPerOp > 0 && prior.AllocsPerOp > 0 {
+				b.AllocsRatio = round2(prior.AllocsPerOp / b.AllocsPerOp)
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Context) == 0 {
+		rep.Context = nil
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

@@ -1,0 +1,72 @@
+// Package bufpool recycles byte buffers for the shuffle hot path. The
+// map-side spill/merge loop and the segment codecs open and close short-lived
+// multi-kilobyte buffers at very high rate; routing them through a
+// size-classed sync.Pool turns that steady-state allocation churn into
+// reuse, which is where most of the allocs/op reduction of the pooled
+// writeSegment/merge path comes from.
+//
+// Buffers are grouped in power-of-two size classes from 512 B to 16 MiB. Get
+// returns a zero-length slice with at least the requested capacity; Put
+// files a buffer under the largest class it can fully serve. Buffers outside
+// the class range are allocated directly and dropped on Put, so pathological
+// sizes cannot pin memory in the pool.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+const (
+	minShift = 9  // smallest pooled class: 512 B
+	maxShift = 24 // largest pooled class: 16 MiB
+)
+
+var classes [maxShift - minShift + 1]sync.Pool
+
+// wrap keeps the slice header off the heap-allocated interface path: pools
+// store *wrap, and Put reuses the wrapper the buffer arrived in.
+type wrap struct{ b []byte }
+
+var wrapPool = sync.Pool{New: func() any { return new(wrap) }}
+
+// classFor returns the index of the smallest class holding >= n bytes, or -1
+// when n exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<minShift {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minShift
+	if c > maxShift-minShift {
+		return -1
+	}
+	return c
+}
+
+// Get returns a zero-length buffer with capacity at least n.
+func Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, 0, n)
+	}
+	if v := classes[c].Get(); v != nil {
+		w := v.(*wrap)
+		b := w.b
+		w.b = nil
+		wrapPool.Put(w)
+		return b[:0]
+	}
+	return make([]byte, 0, 1<<(c+minShift))
+}
+
+// Put returns a buffer to the pool. The caller must not use b afterwards.
+// Small, oversized, or nil buffers are simply dropped.
+func Put(b []byte) {
+	c := bits.Len(uint(cap(b))) - 1 - minShift // largest class with size <= cap
+	if cap(b) == 0 || c < 0 || c > maxShift-minShift {
+		return
+	}
+	w := wrapPool.Get().(*wrap)
+	w.b = b[:0]
+	classes[c].Put(w)
+}

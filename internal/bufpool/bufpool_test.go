@@ -1,0 +1,87 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0},
+		{1, 0},
+		{512, 0},
+		{513, 1},
+		{1024, 1},
+		{1025, 2},
+		{1 << 24, maxShift - minShift},
+		{1<<24 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestGetCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 512, 513, 4096, 1 << 20, 1<<24 + 5} {
+		b := Get(n)
+		if len(b) != 0 {
+			t.Fatalf("Get(%d) returned len %d, want 0", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("Get(%d) returned cap %d", n, cap(b))
+		}
+		Put(b)
+	}
+}
+
+// TestReuse checks a Put buffer actually comes back for a compatible size.
+// sync.Pool gives no hard guarantee, but single-goroutine put/get without an
+// intervening GC reliably hits the per-P private slot.
+func TestReuse(t *testing.T) {
+	b := Get(4096)
+	b = append(b, make([]byte, 4096)...)
+	p := &b[0]
+	Put(b)
+	again := Get(4000) // same class: needs <= 4096
+	if cap(again) < 4000 {
+		t.Fatalf("cap %d after reuse", cap(again))
+	}
+	if len(again) != 0 {
+		t.Fatalf("reused buffer has len %d", len(again))
+	}
+	again = again[:1]
+	if &again[0] != p {
+		t.Log("pool did not return the same buffer (allowed, but unexpected here)")
+	}
+	Put(again)
+}
+
+// TestPutUndersizedClassing: a grown buffer must only serve requests its
+// capacity covers.
+func TestPutUndersizedClassing(t *testing.T) {
+	b := make([]byte, 0, 700) // between classes: files under the 512 class
+	Put(b)
+	got := Get(600) // class 1 wants >= 1024; must not see the 700-cap buffer
+	if cap(got) < 600 {
+		t.Fatalf("Get(600) cap %d", cap(got))
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := (g*131 + i*977) % (1 << 16)
+				b := Get(n)
+				b = append(b, byte(i))
+				Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -40,15 +40,26 @@ type noneCodec struct{}
 
 func (noneCodec) Name() string { return "none" }
 
-func (noneCodec) NewWriter(w io.Writer) io.WriteCloser { return nopWriteCloser{w} }
+func (noneCodec) NewWriter(w io.Writer) io.WriteCloser { return &nopWriteCloser{w} }
 
 func (noneCodec) NewReader(r io.Reader) (io.ReadCloser, error) {
-	return io.NopCloser(r), nil
+	return &nopReadCloser{r}, nil
 }
 
 type nopWriteCloser struct{ io.Writer }
 
-func (nopWriteCloser) Close() error { return nil }
+func (*nopWriteCloser) Close() error { return nil }
+
+func (w *nopWriteCloser) Reset(dst io.Writer) { w.Writer = dst }
+
+type nopReadCloser struct{ io.Reader }
+
+func (*nopReadCloser) Close() error { return nil }
+
+func (r *nopReadCloser) Reset(src io.Reader) error {
+	r.Reader = src
+	return nil
+}
 
 // Gzip wraps compress/gzip at the default level.
 var Gzip Codec = gzipCodec{}
@@ -135,13 +146,28 @@ type transformWriter struct {
 
 func (w *transformWriter) Write(p []byte) (int, error) {
 	w.buf = w.tr.Forward(w.buf[:0], p)
-	if _, err := w.inner.Write(w.buf); err != nil {
-		return 0, err
+	n, err := w.inner.Write(w.buf)
+	if err != nil {
+		// The transform is 1:1 in length, so the n transformed bytes the
+		// inner writer accepted correspond exactly to the first n input
+		// bytes — report that partial count, per the io.Writer contract.
+		if n > len(p) {
+			n = len(p)
+		}
+		return n, err
 	}
 	return len(p), nil
 }
 
 func (w *transformWriter) Close() error { return w.inner.Close() }
+
+// Reset rebinds the writer to a new destination and restarts the transform
+// stream, retaining the transformer and scratch buffer. It must only be
+// called when the inner writer is resettable (see poolableWriter).
+func (w *transformWriter) Reset(dst io.Writer) {
+	w.inner.(interface{ Reset(io.Writer) }).Reset(dst)
+	w.tr.Reset()
+}
 
 type transformReader struct {
 	inner io.ReadCloser
@@ -165,6 +191,17 @@ func (r *transformReader) Read(p []byte) (int, error) {
 }
 
 func (r *transformReader) Close() error { return r.inner.Close() }
+
+// Reset rebinds the reader to a new source stream, retaining the
+// transformer and scratch buffer. It must only be called when the inner
+// reader is resettable (see poolableReader).
+func (r *transformReader) Reset(src io.Reader) error {
+	if err := resetReader(r.inner, src); err != nil {
+		return err
+	}
+	r.tr.Reset()
+	return nil
+}
 
 // registry of named codecs for CLIs and experiment drivers.
 func registry() map[string]func() Codec {

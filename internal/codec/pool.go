@@ -1,0 +1,119 @@
+package codec
+
+import (
+	"compress/zlib"
+	"io"
+	"sync"
+)
+
+// The shuffle opens and closes a codec stream per segment, thousands of
+// times per job; a fresh gzip writer alone is ~800 KiB of compressor state.
+// WriterPool and ReaderPool recycle codec streams whose concrete types can
+// be rebound to a new underlying stream (gzip, zlib, the identity codec,
+// and transform stacks over those). Codecs without a reset facility (bzip2)
+// transparently fall back to fresh construction, so a pool is always safe
+// to use regardless of codec.
+
+// writerRebinder matches resettable compressors: *gzip.Writer,
+// *zlib.Writer, *nopWriteCloser, and *transformWriter over one of those.
+type writerRebinder interface {
+	Reset(io.Writer)
+}
+
+// readerRebinder matches resettable decompressors: *gzip.Reader,
+// *nopReadCloser, and *transformReader over a resettable inner reader.
+// (*zlib reader resets are dispatched separately via zlib.Resetter, whose
+// Reset takes a dictionary argument.)
+type readerRebinder interface {
+	Reset(io.Reader) error
+}
+
+// resetReader rebinds rc to src whichever reset interface it implements.
+// Returns false, nil when rc is not resettable.
+func resetReader(rc io.ReadCloser, src io.Reader) error {
+	switch r := rc.(type) {
+	case readerRebinder:
+		return r.Reset(src)
+	case zlib.Resetter:
+		return r.Reset(src, nil)
+	}
+	// Unreachable for pooled readers: Put files only resettable ones.
+	panic("codec: resetReader on non-resettable reader")
+}
+
+func poolableWriter(wc io.WriteCloser) bool {
+	if tw, ok := wc.(*transformWriter); ok {
+		_, ok = tw.inner.(writerRebinder)
+		return ok
+	}
+	_, ok := wc.(writerRebinder)
+	return ok
+}
+
+func poolableReader(rc io.ReadCloser) bool {
+	if tr, ok := rc.(*transformReader); ok {
+		return poolableReader(tr.inner)
+	}
+	switch rc.(type) {
+	case readerRebinder, zlib.Resetter:
+		return true
+	}
+	return false
+}
+
+// WriterPool recycles one codec's compressing writers.
+type WriterPool struct {
+	c Codec
+	p sync.Pool
+}
+
+// NewWriterPool returns a pool of c's writers.
+func NewWriterPool(c Codec) *WriterPool { return &WriterPool{c: c} }
+
+// Get returns a writer compressing to dst, reusing a pooled one when
+// possible. Close it before Put, as usual.
+func (p *WriterPool) Get(dst io.Writer) io.WriteCloser {
+	if v := p.p.Get(); v != nil {
+		wc := v.(io.WriteCloser)
+		wc.(writerRebinder).Reset(dst)
+		return wc
+	}
+	return p.c.NewWriter(dst)
+}
+
+// Put returns a closed writer to the pool; non-resettable writers are
+// dropped.
+func (p *WriterPool) Put(wc io.WriteCloser) {
+	if wc != nil && poolableWriter(wc) {
+		p.p.Put(wc)
+	}
+}
+
+// ReaderPool recycles one codec's decompressing readers.
+type ReaderPool struct {
+	c Codec
+	p sync.Pool
+}
+
+// NewReaderPool returns a pool of c's readers.
+func NewReaderPool(c Codec) *ReaderPool { return &ReaderPool{c: c} }
+
+// Get returns a reader decompressing src, reusing a pooled one when
+// possible. Errors mirror Codec.NewReader (e.g. a bad stream header).
+func (p *ReaderPool) Get(src io.Reader) (io.ReadCloser, error) {
+	if v := p.p.Get(); v != nil {
+		rc := v.(io.ReadCloser)
+		if err := resetReader(rc, src); err != nil {
+			return nil, err
+		}
+		return rc, nil
+	}
+	return p.c.NewReader(src)
+}
+
+// Put returns a reader to the pool; non-resettable readers are dropped.
+func (p *ReaderPool) Put(rc io.ReadCloser) {
+	if rc != nil && poolableReader(rc) {
+		p.p.Put(rc)
+	}
+}

@@ -1,0 +1,85 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestWriterPoolRoundTrip: every registered codec must produce identical,
+// decodable output through a pooled writer reused several times.
+func TestWriterPoolRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh12345678"), 512)
+	for _, name := range Names() {
+		c, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Compress(c, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp := NewWriterPool(c)
+		rp := NewReaderPool(c)
+		for round := 0; round < 3; round++ {
+			var buf bytes.Buffer
+			w := wp.Get(&buf)
+			if _, err := w.Write(data); err != nil {
+				t.Fatalf("%s round %d: %v", name, round, err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("%s round %d: %v", name, round, err)
+			}
+			wp.Put(w)
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s round %d: pooled writer output differs from fresh writer", name, round)
+			}
+			r, err := rp.Get(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s round %d: %v", name, round, err)
+			}
+			got, err := io.ReadAll(r)
+			if err != nil {
+				t.Fatalf("%s round %d: %v", name, round, err)
+			}
+			r.Close()
+			rp.Put(r)
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%s round %d: pooled reader did not reconstruct input", name, round)
+			}
+		}
+	}
+}
+
+// errAfter accepts n bytes then fails.
+type errAfter struct {
+	n   int
+	err error
+}
+
+func (w *errAfter) Write(p []byte) (int, error) {
+	if len(p) <= w.n {
+		w.n -= len(p)
+		return len(p), nil
+	}
+	n := w.n
+	w.n = 0
+	return n, w.err
+}
+
+// TestTransformWriterPartialWrite: when the inner writer accepts only part
+// of the transformed bytes, Write must report the corresponding count of
+// consumed input bytes, not zero (the 1:1 transform makes them equal).
+func TestTransformWriterPartialWrite(t *testing.T) {
+	boom := errors.New("disk full")
+	inner := &errAfter{n: 10, err: boom}
+	w := NewTransform(None).NewWriter(inner)
+	n, err := w.Write(make([]byte, 64))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n != 10 {
+		t.Fatalf("n = %d, want 10", n)
+	}
+}

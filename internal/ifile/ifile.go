@@ -19,7 +19,6 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"hash"
 	"hash/crc32"
 	"io"
 	"math"
@@ -53,10 +52,12 @@ func (s Stats) Total() int64 {
 // Overhead returns all non-value bytes: keys plus framing plus trailer.
 func (s Stats) Overhead() int64 { return s.Total() - s.ValBytes }
 
-// Writer emits records in IFile framing.
+// Writer emits records in IFile framing. The zero value is not ready for
+// use; call NewWriter, or Reset to (re)bind an existing Writer — possibly a
+// pooled one — to a destination.
 type Writer struct {
 	w       io.Writer
-	crc     hash.Hash32
+	crc     uint32
 	stats   Stats
 	closed  bool
 	scratch [2 * binutil.MaxVLongLen]byte
@@ -64,11 +65,21 @@ type Writer struct {
 
 // NewWriter returns a Writer emitting to w.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: w, crc: crc32.NewIEEE()}
+	nw := &Writer{}
+	nw.Reset(w)
+	return nw
+}
+
+// Reset rebinds the Writer to a new destination stream, clearing all state.
+func (w *Writer) Reset(dst io.Writer) {
+	w.w = dst
+	w.crc = 0
+	w.stats = Stats{}
+	w.closed = false
 }
 
 func (w *Writer) emit(p []byte) error {
-	w.crc.Write(p)
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, p)
 	_, err := w.w.Write(p)
 	return err
 }
@@ -103,10 +114,11 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	w.closed = true
-	if err := w.emit([]byte{0xff, 0xff}); err != nil { // VInt(-1), VInt(-1)
+	w.scratch[0], w.scratch[1] = 0xff, 0xff // VInt(-1), VInt(-1)
+	if err := w.emit(w.scratch[:2]); err != nil {
 		return err
 	}
-	sum := w.crc.Sum32()
+	sum := w.crc
 	var tail [4]byte
 	tail[0] = byte(sum >> 24)
 	tail[1] = byte(sum >> 16)
@@ -127,30 +139,50 @@ func (w *Writer) Stats() Stats { return w.stats }
 // when the EOF marker is reached.
 type Reader struct {
 	r    *bufio.Reader
-	crc  hash.Hash32
+	crc  uint32
 	done bool
 	key  []byte
 	val  []byte
+	// scratch collects one VLong's framing bytes so they reach the CRC in
+	// a single update from Reader-owned storage (a stack buffer would
+	// escape into crc32.Update, one heap allocation per length field).
+	scratch [binutil.MaxVLongLen]byte
 }
 
 // NewReader returns a Reader over r.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReader(r), crc: crc32.NewIEEE()}
+	nr := &Reader{}
+	nr.Reset(r)
+	return nr
+}
+
+// Reset rebinds the Reader to a new stream. The internal buffered reader and
+// the key/value scratch buffers are retained, so a pooled Reader iterates
+// segment after segment without per-segment allocation.
+func (r *Reader) Reset(src io.Reader) {
+	if r.r == nil {
+		r.r = bufio.NewReader(src)
+	} else {
+		r.r.Reset(src)
+	}
+	r.crc = 0
+	r.done = false
+	r.key = r.key[:0]
+	r.val = r.val[:0]
 }
 
 // crcByteReader routes every byte consumed for record framing through the
 // checksum.
 func (r *Reader) readVLong() (int64, error) {
-	var buf [1]byte
 	first, err := r.r.ReadByte()
 	if err != nil {
 		// A well-formed stream always ends with the EOF marker and
 		// checksum, so running out of bytes here means truncation.
 		return 0, unexpected(err)
 	}
-	buf[0] = first
-	r.crc.Write(buf[:1])
+	r.scratch[0] = first
 	if int8(first) >= -112 {
+		r.crc = crc32.Update(r.crc, crc32.IEEETable, r.scratch[:1])
 		return int64(int8(first)), nil
 	}
 	var n int
@@ -170,10 +202,10 @@ func (r *Reader) readVLong() (int64, error) {
 			}
 			return 0, err
 		}
-		buf[0] = c
-		r.crc.Write(buf[:1])
+		r.scratch[1+i] = c
 		v = v<<8 | int64(c)
 	}
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, r.scratch[:1+n])
 	if neg {
 		v = ^v
 	}
@@ -199,7 +231,7 @@ func (r *Reader) Next() (key, value []byte, err error) {
 		if valLen != -1 {
 			return nil, nil, fmt.Errorf("ifile: bad EOF marker (%d)", valLen)
 		}
-		want := r.crc.Sum32()
+		want := r.crc
 		var tail [4]byte
 		if _, err := io.ReadFull(r.r, tail[:]); err != nil {
 			return nil, nil, unexpected(err)
@@ -224,17 +256,18 @@ func (r *Reader) Next() (key, value []byte, err error) {
 	if r.val, err = readBody(r.r, r.val, valLen); err != nil {
 		return nil, nil, err
 	}
-	r.crc.Write(r.key)
-	r.crc.Write(r.val)
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, r.key)
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, r.val)
 	return r.key, r.val, nil
 }
 
-// readBody reads exactly n bytes into (a resized) buf. It grows the buffer
-// incrementally while reading rather than trusting the declared length, so
-// a corrupt header cannot force a giant allocation before the stream runs
-// dry.
+// readBody reads exactly n bytes into (a resized) buf. When the buffer must
+// grow it does so geometrically as bytes actually arrive — seeded at 1 MiB
+// and capped at n — so the steady-state path is a single capacity check and
+// one ReadFull, yet a corrupt header still cannot force an allocation more
+// than ~2x the bytes the stream really delivers.
 func readBody(r io.Reader, buf []byte, n int64) ([]byte, error) {
-	const chunk = 1 << 20
+	const seed = 1 << 20
 	if int64(cap(buf)) >= n {
 		buf = buf[:n]
 		if _, err := io.ReadFull(r, buf); err != nil {
@@ -244,9 +277,14 @@ func readBody(r io.Reader, buf []byte, n int64) ([]byte, error) {
 	}
 	buf = buf[:0]
 	for int64(len(buf)) < n {
-		take := min(n-int64(len(buf)), chunk)
+		if len(buf) == cap(buf) {
+			newCap := min(max(2*int64(cap(buf)), seed), n)
+			grown := make([]byte, len(buf), newCap)
+			copy(grown, buf)
+			buf = grown
+		}
 		start := len(buf)
-		buf = append(buf, make([]byte, take)...)
+		buf = buf[:min(int64(cap(buf)), n)]
 		if _, err := io.ReadFull(r, buf[start:]); err != nil {
 			return buf[:0], unexpected(err)
 		}

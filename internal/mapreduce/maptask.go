@@ -2,7 +2,9 @@ package mapreduce
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"scikey/internal/cluster"
@@ -14,6 +16,14 @@ import (
 // into one final segment per partition. Each attempt owns its buffers and
 // counters, so concurrent attempts of the same task (retries racing
 // speculative twins) never share state; the scheduler commits exactly one.
+//
+// Spilling is pipelined: when the collection buffer fills, the filled
+// partition buffers are swapped out and handed to a single background
+// worker that sorts, combines, transforms and compresses them while the
+// mapper keeps collecting the next spill's records. One worker draining a
+// one-slot queue keeps spill segments in exactly the order a synchronous
+// spill would produce (the output bytes are identical) and bounds the
+// attempt at roughly three spill buffers of memory.
 type mapTask struct {
 	job     *Job
 	id      int
@@ -22,16 +32,54 @@ type mapTask struct {
 
 	parts    []partBuffer
 	buffered int
-	spills   [][]segment // per partition
+	spills   [][]segment // per partition; owned by the spill worker until drained
+
+	// Spill pipeline state. spillErr and spillBytes are written only by the
+	// worker goroutine and read only after drainSpills observes spillDone.
+	spillCh     chan []partBuffer
+	spillDone   chan struct{}
+	spillClosed bool
+	spillErr    error
+	spillBytes  int64
 
 	footprint cluster.Task
 	hosts     []string
 	finals    []segment // one per partition after finalize
 }
 
+// partBuffer collects one partition's records. Key/value copies
+// bump-allocate into the arena, so steady-state collection costs no
+// per-record heap allocations.
 type partBuffer struct {
 	pairs []KV
+	arena kvArena
 	bytes int
+}
+
+// partBufferPool recycles whole partition-buffer sets (including each
+// buffer's pairs slice and arena storage) between spills and attempts.
+var partBufferPool sync.Pool
+
+func getPartBuffers(n int) []partBuffer {
+	if v := partBufferPool.Get(); v != nil {
+		if parts := *(v.(*[]partBuffer)); len(parts) == n {
+			return parts
+		}
+	}
+	return make([]partBuffer, n)
+}
+
+func putPartBuffers(parts []partBuffer) {
+	for i := range parts {
+		pb := &parts[i]
+		clear(pb.pairs) // drop record references so the pool pins no arenas
+		pb.pairs = pb.pairs[:0]
+		pb.arena.reset()
+		pb.bytes = 0
+	}
+	v := new([]partBuffer)
+	*v = parts
+	partBufferPool.Put(v)
 }
 
 func newMapTask(job *Job, id, attempt int, canceled func() bool) *mapTask {
@@ -47,7 +95,7 @@ func newMapTask(job *Job, id, attempt int, canceled func() bool) *mapTask {
 			counters: &Counters{},
 			canceled: canceled,
 		},
-		parts:  make([]partBuffer, job.NumReducers),
+		parts:  getPartBuffers(job.NumReducers),
 		spills: make([][]segment, job.NumReducers),
 	}
 }
@@ -63,6 +111,8 @@ func (t *mapTask) run(split Split) error {
 	defer func() {
 		t.footprint.CPUSeconds += time.Since(start).Seconds()
 	}()
+	// Never leave the spill worker running, whatever exit path is taken.
+	defer t.drainSpills()
 	t.hosts = split.Hosts
 	if err := t.job.Faults.Attempt(faults.SiteMap, t.id, t.attempt); err != nil {
 		return fmt.Errorf("mapreduce: map task %d: %w", t.id, err)
@@ -114,25 +164,71 @@ func (t *mapTask) buffer(part int, key, value []byte) {
 		panic(fmt.Sprintf("mapreduce: partition %d out of [0,%d)", part, t.job.NumReducers))
 	}
 	// Copy: mappers legitimately reuse their serialization buffers.
-	kv := KV{Key: append([]byte(nil), key...), Value: append([]byte(nil), value...)}
 	pb := &t.parts[part]
+	kv := KV{Key: pb.arena.copy(key), Value: pb.arena.copy(value)}
 	pb.pairs = append(pb.pairs, kv)
 	pb.bytes += len(kv.Key) + len(kv.Value)
 	t.buffered += len(kv.Key) + len(kv.Value)
 	if t.buffered >= t.job.spillLimit() {
-		if err := t.spill(); err != nil {
-			// Spill failures surface at finalize; record and drop.
-			panic(fmt.Sprintf("mapreduce: spill failed: %v", err))
-		}
+		// Spill failures (like combiner errors) surface at finalize.
+		t.enqueueSpill()
 	}
 }
 
-// spill sorts, combines and writes each partition buffer as a segment
-// (steps 2-3 of Fig. 1).
-func (t *mapTask) spill() error {
+// enqueueSpill hands the filled partition buffers to the spill worker and
+// installs fresh ones. The one-slot queue means a second enqueue while a
+// spill is in flight blocks — the pipeline never holds more than one
+// collecting, one queued, and one in-flight buffer set.
+func (t *mapTask) enqueueSpill() {
+	if t.spillCh == nil {
+		t.spillCh = make(chan []partBuffer, 1)
+		t.spillDone = make(chan struct{})
+		go t.spillWorker()
+	}
+	parts := t.parts
+	t.parts = getPartBuffers(t.job.NumReducers)
+	t.buffered = 0
+	t.spillCh <- parts
+}
+
+// spillWorker drains queued spills in FIFO order. The first error is sticky
+// — later spills are skipped (their buffers still recycled) and the error
+// is reported by drainSpills.
+func (t *mapTask) spillWorker() {
+	defer close(t.spillDone)
+	for parts := range t.spillCh {
+		if t.spillErr == nil {
+			if err := t.spillParts(parts); err != nil {
+				t.spillErr = err
+			}
+		}
+		putPartBuffers(parts)
+	}
+}
+
+// drainSpills shuts down the spill pipeline (idempotently) and returns its
+// sticky error. After it returns, spills, spillErr and spillBytes are safe
+// to read from the caller's goroutine.
+func (t *mapTask) drainSpills() error {
+	if t.spillCh == nil {
+		return nil
+	}
+	if !t.spillClosed {
+		t.spillClosed = true
+		close(t.spillCh)
+	}
+	<-t.spillDone
+	return t.spillErr
+}
+
+// spillParts sorts, combines and writes each partition buffer as a segment
+// (steps 2-3 of Fig. 1). It runs on the spill worker goroutine; everything
+// it touches is either worker-owned until drainSpills (spills, spillBytes)
+// or concurrency-safe (counters, the buffer pools).
+func (t *mapTask) spillParts(parts []partBuffer) error {
 	c := t.ctx.counters
-	for p := range t.parts {
-		pb := &t.parts[p]
+	for p := range parts {
+		pb := &parts[p]
 		if len(pb.pairs) == 0 {
 			continue
 		}
@@ -152,11 +248,9 @@ func (t *mapTask) spill() error {
 			return err
 		}
 		c.SpilledRecords.Add(int64(len(pairs)))
-		t.footprint.DiskBytes += int64(len(seg.data))
+		t.spillBytes += int64(len(seg.data))
 		t.spills[p] = append(t.spills[p], seg)
-		t.parts[p] = partBuffer{}
 	}
-	t.buffered = 0
 	return nil
 }
 
@@ -179,18 +273,47 @@ func (t *mapTask) combine(pairs []KV) ([]KV, error) {
 	return out, nil
 }
 
-// finalize flushes the last buffer and merges multi-spill partitions into
-// one segment each, producing the task's final map output, tagged with this
-// attempt's provenance. Segment-site fault rules bit-flip the materialized
-// bytes here — silently, exactly like at-rest disk corruption: the counters
-// record the intact size and nothing notices until a reducer's CRC check.
+// finalize flushes the last buffer, drains the spill pipeline, and merges
+// multi-spill partitions into one segment each — concurrently across
+// partitions, since they share nothing — producing the task's final map
+// output, tagged with this attempt's provenance. Segment-site fault rules
+// bit-flip the materialized bytes here — silently, exactly like at-rest
+// disk corruption: the counters record the intact size and nothing notices
+// until a reducer's CRC check.
 func (t *mapTask) finalize() error {
-	if err := t.spill(); err != nil {
-		return err
+	tail := false
+	for p := range t.parts {
+		if len(t.parts[p].pairs) > 0 {
+			tail = true
+			break
+		}
 	}
+	if t.spillCh != nil {
+		// A worker is running: route the tail through it to keep spill
+		// order, then wait it out.
+		if tail {
+			t.enqueueSpill()
+		}
+		if err := t.drainSpills(); err != nil {
+			return err
+		}
+	} else if tail {
+		if err := t.spillParts(t.parts); err != nil {
+			return err
+		}
+		putPartBuffers(t.parts)
+		t.parts = nil
+	}
+	t.footprint.DiskBytes += t.spillBytes
+	t.spillBytes = 0
+
 	c := t.ctx.counters
 	env := readEnv{codec: t.job.codec(), part: -1}
 	t.finals = make([]segment, t.job.NumReducers)
+	diskDelta := make([]int64, t.job.NumReducers)
+	merr := make([]error, t.job.NumReducers)
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
 	for p := range t.spills {
 		segs := t.spills[p]
 		switch len(segs) {
@@ -202,16 +325,32 @@ func (t *mapTask) finalize() error {
 			// Multi-pass merge down to a single final segment. Hadoop
 			// counts records written during merge passes as spilled
 			// records too.
-			merged, err := mergeDown(segs, env, t.job.Compare,
-				t.job.mergeFactor(), 1, func(read, written, records int64) {
-					t.footprint.DiskBytes += read + written
-					c.SpilledRecords.Add(records)
-				})
-			if err != nil {
-				return err
-			}
-			t.finals[p] = merged[0]
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(p int, segs []segment) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				merged, err := mergeDown(segs, env, t.job.Compare,
+					t.job.mergeFactor(), 1, func(read, written, records int64) {
+						diskDelta[p] += read + written
+						c.SpilledRecords.Add(records)
+					})
+				if err != nil {
+					merr[p] = err
+					return
+				}
+				t.finals[p] = merged[0]
+			}(p, segs)
 		}
+	}
+	wg.Wait()
+	for _, err := range merr {
+		if err != nil {
+			return err
+		}
+	}
+	for p := range t.finals {
+		t.footprint.DiskBytes += diskDelta[p]
 		c.MapOutputMaterializedBytes.Add(int64(len(t.finals[p].data)))
 		t.finals[p].src = t.id
 		t.finals[p].attempt = t.attempt

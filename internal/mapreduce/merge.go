@@ -5,7 +5,9 @@ import (
 	"container/heap"
 	"fmt"
 	"io"
+	"sync"
 
+	"scikey/internal/bufpool"
 	"scikey/internal/codec"
 	"scikey/internal/faults"
 	"scikey/internal/ifile"
@@ -33,6 +35,49 @@ type readEnv struct {
 	attempt int
 	// part is the reducer partition being read, or -1 on the map side.
 	part int
+	// arena, when non-nil, receives the record copies the merge produces
+	// instead of per-record heap allocations. The caller owns the arena's
+	// lifetime: merged pairs are only valid until it is reset or recycled.
+	arena *kvArena
+}
+
+// kvArena bump-allocates record copies into one contiguous buffer,
+// replacing the two heap allocations per merged record on the shuffle hot
+// path. Growth abandons the old backing array to the already-handed-out
+// slices (they stay valid), so reset/recycle only after every pair copied
+// from the arena is dead.
+type kvArena struct{ buf []byte }
+
+func (a *kvArena) copy(p []byte) []byte {
+	n := len(a.buf)
+	a.buf = append(a.buf, p...)
+	return a.buf[n : n+len(p) : n+len(p)]
+}
+
+func (a *kvArena) reset() { a.buf = a.buf[:0] }
+
+// writerPools / readerPools cache codec stream state (a gzip writer alone is
+// ~800 KiB) per codec instance across the thousands of segments a job
+// writes and reads.
+var (
+	writerPools sync.Map // codec.Codec -> *codec.WriterPool
+	readerPools sync.Map // codec.Codec -> *codec.ReaderPool
+)
+
+func writerPoolFor(c codec.Codec) *codec.WriterPool {
+	if v, ok := writerPools.Load(c); ok {
+		return v.(*codec.WriterPool)
+	}
+	v, _ := writerPools.LoadOrStore(c, codec.NewWriterPool(c))
+	return v.(*codec.WriterPool)
+}
+
+func readerPoolFor(c codec.Codec) *codec.ReaderPool {
+	if v, ok := readerPools.Load(c); ok {
+		return v.(*codec.ReaderPool)
+	}
+	v, _ := readerPools.LoadOrStore(c, codec.NewReaderPool(c))
+	return v.(*codec.ReaderPool)
 }
 
 // wrapErr classifies a segment read error. Injected transient errors pass
@@ -46,29 +91,80 @@ func (e readEnv) wrapErr(src, srcAttempt int, err error) error {
 	return &ErrCorruptSegment{MapTask: src, Partition: e.part, Attempt: srcAttempt, Err: err}
 }
 
-// writeSegment encodes sorted pairs through the codec into IFile form.
-func writeSegment(pairs []KV, c codec.Codec) (segment, error) {
-	var buf bytes.Buffer
-	cw := c.NewWriter(&buf)
-	iw := ifile.NewWriter(cw)
-	for _, p := range pairs {
-		if err := iw.Append(p.Key, p.Value); err != nil {
-			return segment{}, err
-		}
-	}
-	if err := iw.Close(); err != nil {
-		return segment{}, err
-	}
-	if err := cw.Close(); err != nil {
-		return segment{}, err
-	}
-	return segment{data: buf.Bytes(), records: int64(len(pairs)), src: -1}, nil
+// appendWriter is an io.Writer over a growable byte slice, the pooled
+// replacement for a per-segment bytes.Buffer.
+type appendWriter struct{ buf []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
 }
 
-// segIter streams the records of one segment.
+// segWriterState bundles the per-writeSegment scaffolding (output sink and
+// IFile framing state) so the steady-state spill/merge loop allocates only
+// the segment bytes it actually keeps.
+type segWriterState struct {
+	aw appendWriter
+	iw ifile.Writer
+}
+
+var segWriterStatePool = sync.Pool{New: func() any { return new(segWriterState) }}
+
+// writeSegment encodes sorted pairs through the codec into IFile form. The
+// returned segment's storage comes from the buffer pool; hand it to
+// recycleSegment once it is merged away.
+func writeSegment(pairs []KV, c codec.Codec) (segment, error) {
+	// Upper-bound the encoded size (payload + max framing + trailer) so the
+	// pooled output buffer never regrows through unpooled reallocations.
+	est := ifile.TrailerLen
+	for _, p := range pairs {
+		est += len(p.Key) + len(p.Value) + ifile.RecordOverhead(len(p.Key), len(p.Value))
+	}
+	sw := segWriterStatePool.Get().(*segWriterState)
+	sw.aw.buf = bufpool.Get(est)
+	cw := writerPoolFor(c).Get(&sw.aw)
+	sw.iw.Reset(cw)
+	fail := func(err error) (segment, error) {
+		// Mid-stream writers carry unknown state; drop rather than pool.
+		bufpool.Put(sw.aw.buf)
+		sw.aw.buf = nil
+		segWriterStatePool.Put(sw)
+		return segment{}, err
+	}
+	for _, p := range pairs {
+		if err := sw.iw.Append(p.Key, p.Value); err != nil {
+			return fail(err)
+		}
+	}
+	if err := sw.iw.Close(); err != nil {
+		return fail(err)
+	}
+	if err := cw.Close(); err != nil {
+		return fail(err)
+	}
+	writerPoolFor(c).Put(cw)
+	data := sw.aw.buf
+	sw.aw.buf = nil
+	segWriterStatePool.Put(sw)
+	return segment{data: data, records: int64(len(pairs)), src: -1}, nil
+}
+
+// recycleSegment returns an engine-internal segment's backing storage to
+// the buffer pool. Final map outputs (src >= 0) are never recycled: retried
+// and speculative reduce attempts re-read them.
+func recycleSegment(seg segment) {
+	if seg.src < 0 {
+		bufpool.Put(seg.data)
+	}
+}
+
+// segIter streams the records of one segment. Iterators are pooled: the
+// embedded bytes.Reader, IFile reader (with its buffered reader and
+// key/value scratch) and the codec reader survive from segment to segment.
 type segIter struct {
+	br  bytes.Reader
 	rc  io.ReadCloser
-	ir  *ifile.Reader
+	ir  ifile.Reader
 	env readEnv
 	// src/attempt are the segment's provenance, for corruption reports.
 	src        int
@@ -80,16 +176,37 @@ type segIter struct {
 	err error
 }
 
+var segIterPool = sync.Pool{New: func() any { return new(segIter) }}
+
 func openSegment(seg segment, env readEnv) (*segIter, error) {
-	var raw io.Reader = bytes.NewReader(seg.data)
+	it := segIterPool.Get().(*segIter)
+	it.br.Reset(seg.data)
+	var raw io.Reader = &it.br
 	raw = env.inj.WrapSegmentRead(seg.src, env.attempt, len(seg.data), raw)
-	rc, err := env.codec.NewReader(raw)
+	rc, err := readerPoolFor(env.codec).Get(raw)
 	if err != nil {
+		it.release()
 		return nil, env.wrapErr(seg.src, seg.attempt, err)
 	}
-	it := &segIter{rc: rc, ir: ifile.NewReader(rc), env: env, src: seg.src, srcAttempt: seg.attempt}
+	it.rc = rc
+	it.ir.Reset(rc)
+	it.env = env
+	it.src, it.srcAttempt = seg.src, seg.attempt
+	it.err = nil
 	it.advance()
 	return it, it.err
+}
+
+// release returns a cleanly-exhausted iterator (and its codec reader) to
+// the pools. It must not be called while cur is still referenced.
+func (it *segIter) release() {
+	if it.rc != nil {
+		readerPoolFor(it.env.codec).Put(it.rc)
+		it.rc = nil
+	}
+	it.env = readEnv{}
+	it.cur = KV{}
+	segIterPool.Put(it)
 }
 
 func (it *segIter) advance() {
@@ -105,7 +222,11 @@ func (it *segIter) advance() {
 		it.rc.Close()
 		return
 	}
-	it.cur = KV{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)}
+	if a := it.env.arena; a != nil {
+		it.cur = KV{Key: a.copy(k), Value: a.copy(v)}
+	} else {
+		it.cur = KV{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)}
+	}
 	it.ok = true
 }
 
@@ -150,6 +271,8 @@ func mergeSegments(segs []segment, env readEnv, cmp func(a, b []byte) int) ([]KV
 		}
 		if it.ok {
 			h.its = append(h.its, it)
+		} else {
+			it.release()
 		}
 		total += s.records
 	}
@@ -165,7 +288,7 @@ func mergeSegments(segs []segment, env readEnv, cmp func(a, b []byte) int) ([]KV
 		if it.ok {
 			heap.Fix(h, 0)
 		} else {
-			heap.Pop(h)
+			heap.Pop(h).(*segIter).release()
 		}
 	}
 	return out, nil
@@ -184,7 +307,17 @@ func mergeDown(segs []segment, env readEnv, cmp func(a, b []byte) int, factor, t
 	if target < 1 {
 		target = 1
 	}
+	if len(segs) <= target {
+		return segs, nil
+	}
+	// Each pass's merged pairs live only until the rewritten segment exists,
+	// so they go through one pooled arena, reset per pass; the consumed
+	// engine-internal input segments are recycled the same way.
+	arena := &kvArena{buf: bufpool.Get(64 << 10)}
+	defer func() { bufpool.Put(arena.buf) }()
+	env.arena = arena
 	for len(segs) > target {
+		arena.reset()
 		n := min(factor, len(segs))
 		// Hadoop merges the smallest segments first to minimize rewriting.
 		sortSegmentsBySize(segs)
@@ -203,6 +336,9 @@ func mergeDown(segs []segment, env readEnv, cmp func(a, b []byte) int, factor, t
 		}
 		if acct != nil {
 			acct(read, int64(len(merged.data)), merged.records)
+		}
+		for _, s := range batch {
+			recycleSegment(s)
 		}
 		segs = append([]segment{merged}, segs[n:]...)
 	}

@@ -104,6 +104,11 @@ func (t *reduceTask) run(mapOutputs [][]segment) error {
 	if err != nil {
 		return fmt.Errorf("mapreduce: reduce task %d merge: %w", t.id, err)
 	}
+	// Engine-internal merge-pass intermediates are fully copied into pairs
+	// now; fetched map outputs (src >= 0) stay untouched for retries.
+	for _, s := range segs {
+		recycleSegment(s)
+	}
 	c.ReduceInputRecords.Add(int64(len(pairs)))
 
 	if t.job.MergeTransform != nil {

@@ -1,0 +1,153 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"scikey/internal/codec"
+)
+
+// benchPairs builds n sorted key/value pairs shaped like the paper's
+// serialized-key workload: fixed-width big-endian-ish keys with small
+// values, so the transform codec has structure to exploit.
+func benchPairs(n int) []KV {
+	pairs := make([]KV, n)
+	for i := 0; i < n; i++ {
+		key := make([]byte, 12)
+		key[0] = byte(i >> 24)
+		key[1] = byte(i >> 16)
+		key[2] = byte(i >> 8)
+		key[3] = byte(i)
+		copy(key[4:], "gridkey.")
+		val := make([]byte, 8)
+		val[7] = byte(i)
+		pairs[i] = KV{Key: key, Value: val}
+	}
+	return pairs
+}
+
+// BenchmarkWriteSegmentPooled measures the steady-state segment write path:
+// one sorted spill buffer encoded through the codec into IFile form, with
+// the segment's backing storage recycled the way the map-side spill/merge
+// loop does. allocs/op is the headline metric.
+func BenchmarkWriteSegmentPooled(b *testing.B) {
+	pairs := benchPairs(4096)
+	for _, name := range []string{"none", "gzip", "transform+gzip"} {
+		b.Run(name, func(b *testing.B) {
+			c, err := codec.Get(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var bytes int64
+			for _, p := range pairs {
+				bytes += int64(len(p.Key) + len(p.Value))
+			}
+			b.SetBytes(bytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seg, err := writeSegment(pairs, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recycleSegment(seg)
+			}
+		})
+	}
+}
+
+// BenchmarkMapSpillPipeline measures one full map attempt with several
+// spills plus the final per-partition merge — the pipelined hot path of the
+// map side. The spill buffer is kept small so a run produces many spill
+// segments per partition and real merge work.
+func BenchmarkMapSpillPipeline(b *testing.B) {
+	const records = 20000
+	for _, name := range []string{"gzip", "transform+gzip"} {
+		b.Run(name, func(b *testing.B) {
+			c, err := codec.Get(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			job := &Job{
+				Name:             "spill-bench",
+				NumReducers:      4,
+				Compare:          func(a, b []byte) int { return compareBytes(a, b) },
+				Partition:        func(key []byte, n int) int { return int(key[3]) % n },
+				MapOutputCodec:   c,
+				SpillBufferBytes: 64 << 10,
+			}
+			pairs := benchPairs(records)
+			var bytes int64
+			for _, p := range pairs {
+				bytes += int64(len(p.Key) + len(p.Value))
+			}
+			b.SetBytes(bytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := newMapTask(job, 0, 0, nil)
+				for _, p := range pairs {
+					t.emit(p.Key, p.Value)
+				}
+				if err := t.finalize(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMergeSegments measures the reducer-side k-way merge of many
+// compressed segments, the other half of the shuffle hot path.
+func BenchmarkMergeSegments(b *testing.B) {
+	const nSegs = 8
+	c, err := codec.Get("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var segs []segment
+	var bytes int64
+	for s := 0; s < nSegs; s++ {
+		pairs := benchPairs(2048)
+		seg, err := writeSegment(pairs, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		segs = append(segs, seg)
+		bytes += int64(len(seg.data))
+	}
+	// Merge through an arena, the way the engine's merge passes do.
+	arena := &kvArena{}
+	env := readEnv{codec: c, part: -1, arena: arena}
+	cmp := func(a, b []byte) int { return compareBytes(a, b) }
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.reset()
+		if _, err := mergeSegments(segs, env, cmp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,255 @@
+package predictor
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// equivConfigs are the detector parameterizations the differential suite
+// sweeps: the paper's defaults, small and large search bounds, every mode,
+// aggressive and lazy selection cycles, and a settling factor that makes
+// eviction/re-admission churn.
+func equivConfigs() []Config {
+	return []Config{
+		{},
+		{MaxStride: 13},
+		{MaxStride: 40, SelectionCycle: 32},
+		{MaxStride: 25, SelectionCycle: 7, MinActiveFactor: 8},
+		{MaxStride: 30, HitRateNum: 1, HitRateDen: 2},
+		{MaxStride: 20, RunThreshold: 1},
+		{Mode: Exhaustive, MaxStride: 33},
+		{Mode: Fixed, Strides: []int{12}},
+		{Mode: Fixed, Strides: []int{5, 12, 24}},
+		{Mode: Fixed, Strides: []int{1}},
+	}
+}
+
+// equivStreams are the input shapes: the paper's grid walk, random noise
+// (max eviction churn), constant and short-period streams (max fast-path
+// residency), a structure change mid-stream, and tiny/empty edges.
+func equivStreams() map[string][]byte {
+	rng := rand.New(rand.NewSource(41))
+	random := make([]byte, 40<<10)
+	rng.Read(random)
+	ramp := make([]byte, 8192)
+	for i := range ramp {
+		ramp[i] = byte(i * 5)
+	}
+	multi := append([]byte{}, gridWalkStream(10)...)
+	multi = append(multi, random[:4096]...)
+	multi = append(multi, bytes.Repeat([]byte{3, 1, 4, 1, 5, 9}, 2000)...)
+	return map[string][]byte{
+		"grid":     gridWalkStream(14),
+		"random":   random,
+		"constant": bytes.Repeat([]byte{0x42}, 30000),
+		"period4":  bytes.Repeat([]byte{9, 8, 7, 6}, 8000),
+		"ramp":     ramp,
+		"multi":    multi,
+		"tiny":     {1, 2, 3},
+		"empty":    nil,
+	}
+}
+
+// diffCheck runs Transformer and Reference over the same stream with the
+// same chunking and fails on any divergence in output bytes or final
+// active-set state.
+func diffCheck(t *testing.T, cfg Config, data []byte, chunks []int) {
+	t.Helper()
+	fast := NewTransformer(cfg)
+	ref := NewReference(cfg)
+	var fwdFast, fwdRef []byte
+	feed := func(fn func(chunk []byte)) {
+		off := 0
+		ci := 0
+		for off < len(data) {
+			n := len(data) - off
+			if len(chunks) > 0 {
+				if c := chunks[ci%len(chunks)]; c < n {
+					n = c
+				}
+				ci++
+			}
+			fn(data[off : off+n])
+			off += n
+		}
+	}
+	feed(func(chunk []byte) {
+		fwdFast = fast.Forward(fwdFast, chunk)
+		fwdRef = ref.Forward(fwdRef, chunk)
+	})
+	if !bytes.Equal(fwdFast, fwdRef) {
+		for i := range fwdRef {
+			if fwdFast[i] != fwdRef[i] {
+				t.Fatalf("Forward diverges at byte %d/%d: got %#x want %#x (cfg %+v)",
+					i, len(data), fwdFast[i], fwdRef[i], cfg)
+			}
+		}
+		t.Fatalf("Forward length mismatch: %d vs %d", len(fwdFast), len(fwdRef))
+	}
+	if got, want := fast.ActiveStrides(), ref.ActiveStrides(); !equalInts(got, want) {
+		t.Fatalf("active set diverges after Forward: got %v want %v (cfg %+v)", got, want, cfg)
+	}
+
+	invFast := NewTransformer(cfg)
+	invRef := NewReference(cfg)
+	var backFast, backRef []byte
+	feedRes := func(fn func(chunk []byte)) {
+		off := 0
+		ci := 0
+		for off < len(fwdRef) {
+			n := len(fwdRef) - off
+			if len(chunks) > 0 {
+				if c := chunks[ci%len(chunks)]; c < n {
+					n = c
+				}
+				ci++
+			}
+			fn(fwdRef[off : off+n])
+			off += n
+		}
+	}
+	feedRes(func(chunk []byte) {
+		backFast = invFast.Inverse(backFast, chunk)
+		backRef = invRef.Inverse(backRef, chunk)
+	})
+	if !bytes.Equal(backFast, data) {
+		t.Fatalf("fast Inverse failed to reconstruct (cfg %+v)", cfg)
+	}
+	if !bytes.Equal(backRef, data) {
+		t.Fatalf("reference Inverse failed to reconstruct (cfg %+v)", cfg)
+	}
+	if got, want := invFast.ActiveStrides(), invRef.ActiveStrides(); !equalInts(got, want) {
+		t.Fatalf("active set diverges after Inverse: got %v want %v (cfg %+v)", got, want, cfg)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEquivalenceTable sweeps configs × streams × chunkings.
+func TestEquivalenceTable(t *testing.T) {
+	chunkings := [][]int{
+		nil,            // whole stream at once
+		{1},            // byte at a time
+		{7, 256, 3, 1}, // ragged, straddling cycle boundaries
+		{4096},
+	}
+	for name, data := range equivStreams() {
+		for ci, chunks := range chunkings {
+			for _, cfg := range equivConfigs() {
+				diffCheck(t, cfg, data, chunks)
+			}
+			_ = ci
+		}
+		_ = name
+	}
+}
+
+// TestEquivalenceResetReuse checks that a Reset transformer replays exactly
+// like a fresh reference — the codec pool reuses transformers this way.
+func TestEquivalenceResetReuse(t *testing.T) {
+	data := gridWalkStream(12)
+	for _, cfg := range equivConfigs() {
+		fast := NewTransformer(cfg)
+		// Dirty the state with an unrelated stream, then Reset.
+		fast.Forward(nil, bytes.Repeat([]byte{1, 2, 250}, 4000))
+		fast.Reset()
+		got := fast.Forward(nil, data)
+		want := NewReference(cfg).Forward(nil, data)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("post-Reset Forward diverges from fresh reference (cfg %+v)", cfg)
+		}
+		fast.Reset()
+		back := fast.Inverse(nil, want)
+		if !bytes.Equal(back, data) {
+			t.Fatalf("post-Reset Inverse failed (cfg %+v)", cfg)
+		}
+	}
+}
+
+// TestEquivalenceLongAdaptive runs a long adaptive stream whose structure
+// shifts, forcing many evictions, re-admissions, and fast-path entry/exit
+// transitions.
+func TestEquivalenceLongAdaptive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var data []byte
+	for block := 0; block < 12; block++ {
+		switch block % 3 {
+		case 0:
+			data = append(data, gridWalkStream(8)...)
+		case 1:
+			chunk := make([]byte, 10000)
+			rng.Read(chunk)
+			data = append(data, chunk...)
+		case 2:
+			unit := make([]byte, 17)
+			copy(unit, "varname_")
+			for i := 0; i < 1200; i++ {
+				unit[15] = byte(i >> 8)
+				unit[16] = byte(i)
+				data = append(data, unit...)
+			}
+		}
+	}
+	for _, cfg := range []Config{{}, {MaxStride: 50, SelectionCycle: 64}, {MaxStride: 34, MinActiveFactor: 8}} {
+		diffCheck(t, cfg, data, []int{5000, 1, 997})
+	}
+}
+
+// FuzzEquivalence drives arbitrary streams, parameters, and chunk sizes
+// through both implementations: outputs must match byte-for-byte and the
+// pair must stay lossless.
+func FuzzEquivalence(f *testing.F) {
+	f.Add([]byte("windspeed1windspeed1windspeed1"), 10, 3, 16, 0, 64)
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3}, 4, 1, 8, 1, 3)
+	f.Add([]byte{}, 1, 2, 256, 2, 1)
+	f.Add(bytes.Repeat([]byte{1, 2, 3, 4, 5}, 400), 30, 2, 32, 0, 2000)
+	f.Fuzz(func(t *testing.T, data []byte, maxStride, runThreshold, cycle, mode, chunk int) {
+		if maxStride < 1 || maxStride > 48 || runThreshold < 1 || runThreshold > 8 {
+			t.Skip()
+		}
+		if cycle < 1 || cycle > 512 || chunk < 1 {
+			t.Skip()
+		}
+		cfg := Config{
+			MaxStride:      maxStride,
+			RunThreshold:   runThreshold,
+			SelectionCycle: cycle,
+		}
+		switch mode % 3 {
+		case 1:
+			cfg.Mode = Exhaustive
+		case 2:
+			cfg.Mode = Fixed
+			cfg.Strides = []int{1 + maxStride/3, maxStride}
+		}
+		fast := NewTransformer(cfg)
+		ref := NewReference(cfg)
+		var resFast, resRef []byte
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			resFast = fast.Forward(resFast, data[off:end])
+			resRef = ref.Forward(resRef, data[off:end])
+		}
+		if !bytes.Equal(resFast, resRef) {
+			t.Fatal("Forward diverges from reference")
+		}
+		back := NewTransformer(cfg).Inverse(nil, resFast)
+		if !bytes.Equal(back, data) {
+			t.Fatal("roundtrip mismatch")
+		}
+	})
+}

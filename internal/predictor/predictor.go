@@ -21,6 +21,37 @@
 // being active for at least 2s bytes is evicted; every SelectionCycle bytes
 // one evicted stride is re-admitted, preferring those out of the set the
 // longest, with a stride of s eligible only once every s cycles.
+//
+// # Implementation
+//
+// Transformer is the production kernel. It is byte-for-byte equivalent to
+// the scalar algorithm retained in reference.go (the oracle the
+// differential tests and FuzzEquivalence check against) but restructured
+// for throughput:
+//
+//   - Per-stride state lives in flat, index-addressed slices (one shared
+//     delta array and one shared run array, offset per stride) instead of
+//     per-stride heap objects, killing the pointer chase in the hot loops.
+//
+//   - Eviction is amortized: from the current counters of each active
+//     stride an exact lower bound on the first position at which the
+//     eviction predicate could possibly hold (assuming worst-case misses)
+//     is maintained, and the per-byte eviction sweep is skipped until that
+//     horizon. In steady state the horizon sits many thousands of bytes
+//     out, so the sweep effectively runs at selection-cycle granularity
+//     instead of per byte — with identical results, since the predicate
+//     provably cannot fire in between.
+//
+//   - Forward processes warm streams in batches by loop interchange:
+//     instead of visiting every active stride for each byte, it visits
+//     every byte for each active stride, keeping one stride's sequence
+//     table hot in cache across a whole batch. A per-byte best-run/best-
+//     prediction table reproduces the reference's argmax (same iteration
+//     order, same strict-greater tie-break), and per-stride eviction is
+//     simulated at the exact byte it would fire. Batches stop at selection-
+//     cycle boundaries so admissions happen at the same positions as the
+//     reference. Inverse cannot be loop-interchanged (each reconstructed
+//     byte feeds the history the next byte needs) and stays scalar.
 package predictor
 
 import "fmt"
@@ -119,23 +150,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// seqEntry is the per-(stride, phase) state: the last difference seen and
-// how many consecutive bytes it has held.
-type seqEntry struct {
-	delta byte
-	run   int32
-}
+// batchCap bounds one forward batch, and with it the per-byte scratch
+// tables. Adaptive batches are already capped by the selection cycle; this
+// bound only matters for Fixed/Exhaustive streams.
+const batchCap = 1 << 12
 
-// strideState tracks one stride of the full set.
+// strideState is one stride of the full set. Sequence tables live outside
+// the struct, in the Transformer's flat delta/run arrays at [seqOff,
+// seqOff+stride).
 type strideState struct {
-	stride int
-	seqs   []seqEntry // one per phase
-	active bool
+	stride int32
 	// phase is pos mod stride and back is (pos - stride) mod MaxStride,
 	// maintained incrementally while the stride is active (recomputed on
-	// admission) so the per-byte hot loops avoid division.
-	phase int
-	back  int
+	// admission) so the hot loops avoid division.
+	phase int32
+	back  int32
+	// seqOff is this stride's base index into the shared deltas/runs.
+	seqOff int32
+	active bool
 	// activatedAt is the byte index at which the stride (re)entered the
 	// active set; hit accounting restarts there.
 	activatedAt int64
@@ -152,12 +184,23 @@ type strideState struct {
 // concurrent use.
 type Transformer struct {
 	cfg     Config
-	strides []*strideState
-	actives []*strideState // current active set, dense
-	window  []byte         // ring buffer of the last MaxStride original bytes
-	wpos    int            // ring index of the most recently written byte
-	pos     int64          // bytes processed
-	cycle   int64          // selection cycles elapsed
+	strides []strideState
+	// deltas/runs hold every stride's per-phase sequence state, flattened:
+	// stride i's phase p lives at strides[i].seqOff+p.
+	deltas  []byte
+	runs    []int32
+	actives []int32 // indices into strides; current active set, dense
+	window  []byte  // ring buffer of the last MaxStride original bytes
+	wpos    int     // ring index of the most recently written byte
+	pos     int64   // bytes processed
+	cycle   int64   // selection cycles elapsed
+	// evictCheckAt is an exact lower bound on the next position at which
+	// any active stride could satisfy the eviction predicate; the scalar
+	// path skips the eviction sweep until pos reaches it.
+	evictCheckAt int64
+	// bestRun/bestPred are the forward batch's per-byte argmax scratch.
+	bestRun  []int32
+	bestPred []byte
 }
 
 // NewTransformer returns a Transformer for cfg (zero-value fields take the
@@ -173,20 +216,24 @@ func NewTransformer(cfg Config) *Transformer {
 		}
 		return false
 	}
+	off := int32(0)
 	for s := 1; s <= cfg.MaxStride; s++ {
 		if cfg.Mode == Fixed && !inFixed(s) {
 			continue
 		}
-		st := &strideState{
-			stride:            s,
-			seqs:              make([]seqEntry, s),
+		t.strides = append(t.strides, strideState{
+			stride:            int32(s),
+			seqOff:            off,
 			active:            true,
-			back:              (cfg.MaxStride - s) % cfg.MaxStride,
+			back:              int32((cfg.MaxStride - s) % cfg.MaxStride),
 			lastSelectedCycle: -int64(s), // immediately eligible
-		}
-		t.strides = append(t.strides, st)
-		t.actives = append(t.actives, st)
+		})
+		off += int32(s)
+		t.actives = append(t.actives, int32(len(t.strides)-1))
 	}
+	t.deltas = make([]byte, off)
+	t.runs = make([]int32, off)
+	t.updateEvictHorizon()
 	return t
 }
 
@@ -196,59 +243,66 @@ func (t *Transformer) Reset() {
 	t.cycle = 0
 	t.wpos = t.cfg.MaxStride - 1
 	t.actives = t.actives[:0]
-	for _, st := range t.strides {
-		for i := range st.seqs {
-			st.seqs[i] = seqEntry{}
-		}
+	for i := range t.strides {
+		st := &t.strides[i]
 		st.active = true
 		st.activatedAt = 0
 		st.hits, st.total = 0, 0
 		st.phase = 0
-		st.back = (t.cfg.MaxStride - st.stride) % t.cfg.MaxStride
+		st.back = int32((t.cfg.MaxStride - int(st.stride)) % t.cfg.MaxStride)
 		st.evictedAtCycle = 0
 		st.lastSelectedCycle = -int64(st.stride)
-		t.actives = append(t.actives, st)
+		t.actives = append(t.actives, int32(i))
+	}
+	for i := range t.deltas {
+		t.deltas[i] = 0
+	}
+	for i := range t.runs {
+		t.runs[i] = 0
 	}
 	for i := range t.window {
 		t.window[i] = 0
 	}
+	t.updateEvictHorizon()
 }
 
 // predict returns the predicted value for the next byte and whether a
 // prediction is made. It must be called before step records the byte.
 func (t *Transformer) predict() (byte, bool) {
-	var best *strideState
+	bestIdx := int32(-1)
 	var bestRun int32 = -1
-	for _, st := range t.actives {
+	for _, si := range t.actives {
+		st := &t.strides[si]
 		if t.pos < int64(st.stride) {
 			continue
 		}
-		e := &st.seqs[st.phase]
-		if e.run > bestRun {
-			bestRun = e.run
-			best = st
+		if r := t.runs[st.seqOff+st.phase]; r > bestRun {
+			bestRun = r
+			bestIdx = si
 		}
 	}
-	if best == nil || bestRun <= int32(t.cfg.RunThreshold) {
+	if bestIdx < 0 || bestRun <= int32(t.cfg.RunThreshold) {
 		return 0, false
 	}
-	return t.window[best.back] + best.seqs[best.phase].delta, true
+	st := &t.strides[bestIdx]
+	return t.window[st.back] + t.deltas[st.seqOff+st.phase], true
 }
 
 // step records original byte x at the current position, updating sequence
 // tables, hit rates, the active set, and the history window.
 func (t *Transformer) step(x byte) {
-	max := t.cfg.MaxStride
-	for _, st := range t.actives {
+	max := int32(t.cfg.MaxStride)
+	for _, si := range t.actives {
+		st := &t.strides[si]
 		if t.pos >= int64(st.stride) {
 			d := x - t.window[st.back]
-			e := &st.seqs[st.phase]
-			if d == e.delta {
-				e.run++
+			e := st.seqOff + st.phase
+			if d == t.deltas[e] {
+				t.runs[e]++
 				st.hits++
 			} else {
-				e.delta = d
-				e.run = 0
+				t.deltas[e] = d
+				t.runs[e] = 0
 			}
 			st.total++
 		}
@@ -259,86 +313,368 @@ func (t *Transformer) step(x byte) {
 			st.back = 0
 		}
 	}
-	if t.wpos++; t.wpos == max {
+	if t.wpos++; t.wpos == t.cfg.MaxStride {
 		t.wpos = 0
 	}
 	t.window[t.wpos] = x
 	t.pos++
 
 	if t.cfg.Mode == Adaptive {
-		t.evict()
+		if t.pos >= t.evictCheckAt {
+			t.evictSweep()
+		}
 		if t.pos%int64(t.cfg.SelectionCycle) == 0 {
 			t.cycle++
 			t.admit()
+			t.updateEvictHorizon()
 		}
 	}
 }
 
-// evict removes active strides whose hit rate has fallen below the
-// threshold after the 2s settling period.
-func (t *Transformer) evict() {
+// evictSweep removes active strides whose hit rate has fallen below the
+// threshold after the settling period, then re-derives the horizon.
+func (t *Transformer) evictSweep() {
+	num, den := int64(t.cfg.HitRateNum), int64(t.cfg.HitRateDen)
+	factor := int64(t.cfg.MinActiveFactor)
 	kept := t.actives[:0]
-	for _, st := range t.actives {
-		if t.pos-st.activatedAt >= int64(t.cfg.MinActiveFactor*st.stride) &&
+	for _, si := range t.actives {
+		st := &t.strides[si]
+		if t.pos-st.activatedAt >= factor*int64(st.stride) &&
 			st.total > 0 &&
-			st.hits*int64(t.cfg.HitRateDen) < st.total*int64(t.cfg.HitRateNum) {
+			st.hits*den < st.total*num {
 			st.active = false
 			st.evictedAtCycle = t.cycle
 			continue
 		}
-		kept = append(kept, st)
+		kept = append(kept, si)
 	}
 	t.actives = kept
+	t.updateEvictHorizon()
+}
+
+// evictBound returns the smallest k >= 1 such that st could possibly
+// satisfy the eviction predicate after processing k more bytes from the
+// current position, assuming the worst case (every future byte a miss).
+// Until pos+k the predicate provably cannot hold, so eviction checks may be
+// skipped — this is what amortizes the reference's per-byte evict() without
+// changing a single decision.
+func (t *Transformer) evictBound(st *strideState) int64 {
+	num, den := int64(t.cfg.HitRateNum), int64(t.cfg.HitRateDen)
+	s := int64(st.stride)
+	k := int64(t.cfg.MinActiveFactor)*s - (t.pos - st.activatedAt)
+	// Counter bound: eviction needs hits*den < total'*num, i.e. total' must
+	// reach floor(hits*den/num)+1; each future byte adds one to total once
+	// the stride is warm (pos >= stride).
+	if needT := st.hits*den/num + 1 - st.total; needT > 0 {
+		kc := needT
+		if t.pos < s {
+			kc += s - t.pos // the first s-pos bytes don't update counters
+		}
+		if kc > k {
+			k = kc
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// updateEvictHorizon recomputes evictCheckAt from the active set's current
+// counters.
+func (t *Transformer) updateEvictHorizon() {
+	if t.cfg.Mode != Adaptive {
+		t.evictCheckAt = int64(^uint64(0) >> 1) // never
+		return
+	}
+	next := int64(^uint64(0) >> 1)
+	for _, si := range t.actives {
+		if h := t.pos + t.evictBound(&t.strides[si]); h < next {
+			next = h
+		}
+	}
+	t.evictCheckAt = next
 }
 
 // admit re-adds the evicted stride that has been out the longest among
 // those eligible this cycle.
 func (t *Transformer) admit() {
-	var pick *strideState
-	for _, st := range t.strides {
+	pick := -1
+	for i := range t.strides {
+		st := &t.strides[i]
 		if st.active {
 			continue
 		}
 		if t.cycle-st.lastSelectedCycle < int64(st.stride) {
 			continue
 		}
-		if pick == nil || st.evictedAtCycle < pick.evictedAtCycle {
-			pick = st
+		if pick < 0 || st.evictedAtCycle < t.strides[pick].evictedAtCycle {
+			pick = i
 		}
 	}
-	if pick == nil {
+	if pick < 0 {
 		return
 	}
-	pick.active = true
-	pick.activatedAt = t.pos
-	pick.hits, pick.total = 0, 0
+	st := &t.strides[pick]
+	st.active = true
+	st.activatedAt = t.pos
+	st.hits, st.total = 0, 0
 	// Recompute the incremental indices the stride missed while evicted.
 	max := int64(t.cfg.MaxStride)
-	pick.phase = int(t.pos % int64(pick.stride))
-	pick.back = int(((t.pos-int64(pick.stride))%max + max) % max)
-	pick.lastSelectedCycle = t.cycle
-	t.actives = append(t.actives, pick)
+	st.phase = int32(t.pos % int64(st.stride))
+	st.back = int32(((t.pos-int64(st.stride))%max + max) % max)
+	st.lastSelectedCycle = t.cycle
+	t.actives = append(t.actives, int32(pick))
 }
 
 // Forward transforms original bytes src, appending the residual stream to
 // dst and returning it. Chunks may be fed incrementally; state carries
 // across calls.
+//
+// Once the stream is warm (pos >= MaxStride) bytes travel the batched
+// stride-major fast path; the scalar path only covers the warmup prefix.
 func (t *Transformer) Forward(dst, src []byte) []byte {
-	for _, x := range src {
+	i := 0
+	for i < len(src) {
+		if n := t.forwardBatch(&dst, src, i); n > 0 {
+			i += n
+			continue
+		}
+		x := src[i]
 		if p, ok := t.predict(); ok {
 			dst = append(dst, x-p)
 		} else {
 			dst = append(dst, x)
 		}
 		t.step(x)
+		i++
 	}
 	return dst
+}
+
+// forwardBatch processes up to batchCap bytes of src[i:] stride-major and
+// returns how many bytes it consumed (0 when the stream is still warming
+// up). The batch never crosses a selection-cycle boundary, so admissions
+// happen at exactly the reference's positions; per-stride eviction is
+// simulated at the exact byte the reference would evict.
+func (t *Transformer) forwardBatch(dst *[]byte, src []byte, i int) int {
+	maxS := t.cfg.MaxStride
+	if t.pos < int64(maxS) {
+		return 0
+	}
+	L := len(src) - i
+	adaptive := t.cfg.Mode == Adaptive
+	if adaptive {
+		if tb := t.cfg.SelectionCycle - int(t.pos%int64(t.cfg.SelectionCycle)); tb < L {
+			L = tb
+		}
+	}
+	if L > batchCap {
+		L = batchCap
+	}
+	if cap(t.bestRun) < L {
+		t.bestRun = make([]int32, L)
+		t.bestPred = make([]byte, L)
+	}
+	bestRun := t.bestRun[:L]
+	bestPred := t.bestPred[:L]
+	for j := range bestRun {
+		bestRun[j] = -1
+	}
+
+	evicted := false
+	b := src[i : i+L]
+	runs, deltas, window := t.runs, t.deltas, t.window
+	for _, si := range t.actives {
+		st := &t.strides[si]
+		// evictFrom is the first batch byte index at which the eviction
+		// predicate could fire (exact lower bound); when it lies inside the
+		// batch the stride takes the byte-major path that simulates
+		// eviction at the exact byte, otherwise no check is needed at all.
+		evictFrom := L
+		if adaptive {
+			if k := t.evictBound(st); k <= int64(L) {
+				evictFrom = int(k) - 1
+			}
+		}
+		if evictFrom < L {
+			if t.forwardStrideEvictable(st, b, bestRun, bestPred, evictFrom) {
+				evicted = true
+			}
+			continue
+		}
+		s := int(st.stride)
+		off := int(st.seqOff)
+		ph := int(st.phase)
+		back := int(st.back)
+		hits := 0
+		// Phase-major: each (stride, phase) sequence entry is visited at
+		// batch offsets r, r+s, r+2s, … — walking one phase at a time
+		// keeps its run and delta in registers. The first visit still
+		// predates the batch's own bytes, so it reads the history ring;
+		// later visits read src directly.
+		for r := 0; r < s && r < L; r++ {
+			q := ph + r
+			if q >= s {
+				q -= s
+			}
+			e := off + q
+			run := runs[e]
+			delta := deltas[e]
+			wb := back + r
+			if wb >= maxS {
+				wb -= maxS
+			}
+			prev := window[wb]
+			cur := b[r]
+			if run > bestRun[r] {
+				bestRun[r] = run
+				bestPred[r] = prev + delta
+			}
+			if cur-prev == delta {
+				run++
+				hits++
+			} else {
+				delta = cur - prev
+				run = 0
+			}
+			for j := r + s; j < L; j += s {
+				prev = b[j-s]
+				cur = b[j]
+				if run > bestRun[j] {
+					bestRun[j] = run
+					bestPred[j] = prev + delta
+				}
+				if cur-prev == delta {
+					run++
+					hits++
+				} else {
+					delta = cur - prev
+					run = 0
+				}
+			}
+			runs[e] = run
+			deltas[e] = delta
+		}
+		st.hits += int64(hits)
+		st.total += int64(L)
+		st.phase = int32((ph + L) % s)
+		st.back = int32((back + L) % maxS)
+	}
+	if evicted {
+		kept := t.actives[:0]
+		for _, si := range t.actives {
+			if t.strides[si].active {
+				kept = append(kept, si)
+			}
+		}
+		t.actives = kept
+	}
+
+	// Emit the residuals from the per-byte argmax. bestRun == -1 marks "no
+	// active stride" and must never predict, so the threshold is clamped to
+	// at least -1 (matching the reference's best == nil guard even for
+	// pathological negative RunThresholds).
+	thr := int32(t.cfg.RunThreshold)
+	if thr < -1 {
+		thr = -1
+	}
+	n := len(*dst)
+	out := append(*dst, src[i:i+L]...)
+	o := out[n : n+L]
+	for j := 0; j < L; j++ {
+		if bestRun[j] > thr {
+			o[j] -= bestPred[j]
+		}
+	}
+	*dst = out
+
+	// Advance the history window by the batch's last min(L, MaxStride)
+	// original bytes: the byte at batch offset j belongs at ring slot
+	// (wpos+1+j) mod MaxStride.
+	start := L - min(L, maxS)
+	w := (t.wpos + start) % maxS
+	for j := start; j < L; j++ {
+		if w++; w == maxS {
+			w = 0
+		}
+		t.window[w] = src[i+j]
+	}
+	t.wpos = w
+	t.pos += int64(L)
+
+	if adaptive {
+		if t.pos%int64(t.cfg.SelectionCycle) == 0 {
+			t.cycle++
+			t.admit()
+		}
+		t.updateEvictHorizon()
+	}
+	return L
+}
+
+// forwardStrideEvictable is the byte-major fallback for a stride whose
+// eviction horizon lies inside the current batch: it replays the batch one
+// byte at a time so the eviction predicate fires at exactly the byte the
+// reference would evict at. From evictFrom on, the settling clause already
+// holds (evictBound guarantees it), so only the counter clause is tested.
+// Returns whether the stride was evicted.
+func (t *Transformer) forwardStrideEvictable(st *strideState, b []byte, bestRun []int32, bestPred []byte, evictFrom int) bool {
+	maxS := t.cfg.MaxStride
+	num, den := int64(t.cfg.HitRateNum), int64(t.cfg.HitRateDen)
+	s := int(st.stride)
+	off := int(st.seqOff)
+	ph := int(st.phase)
+	back := int(st.back)
+	hits, total := st.hits, st.total
+	evicted := false
+	for j := 0; j < len(b); j++ {
+		var prev byte
+		if j >= s {
+			prev = b[j-s]
+		} else {
+			prev = t.window[back]
+		}
+		e := off + ph
+		if r := t.runs[e]; r > bestRun[j] {
+			bestRun[j] = r
+			bestPred[j] = prev + t.deltas[e]
+		}
+		if d := b[j] - prev; d == t.deltas[e] {
+			t.runs[e]++
+			hits++
+		} else {
+			t.deltas[e] = d
+			t.runs[e] = 0
+		}
+		total++
+		if ph++; ph == s {
+			ph = 0
+		}
+		if back++; back == maxS {
+			back = 0
+		}
+		if j >= evictFrom && hits*den < total*num {
+			st.active = false
+			st.evictedAtCycle = t.cycle
+			evicted = true
+			break
+		}
+	}
+	st.phase = int32(ph)
+	st.back = int32(back)
+	st.hits, st.total = hits, total
+	return evicted
 }
 
 // Inverse reconstructs original bytes from residual bytes src, appending to
 // dst. It replays exactly the decision procedure of Forward against the
 // reconstructed history, so a fresh Transformer with the same Config
 // inverts any Forward stream.
+//
+// Inverse stays on the scalar path: each reconstructed byte becomes the
+// history the next byte's prediction needs, so the stride-major loop
+// interchange of the forward batch does not apply.
 func (t *Transformer) Inverse(dst, src []byte) []byte {
 	for _, y := range src {
 		var x byte
@@ -357,8 +693,8 @@ func (t *Transformer) Inverse(dst, src []byte) []byte {
 // diagnostics and tests.
 func (t *Transformer) ActiveStrides() []int {
 	out := make([]int, 0, len(t.actives))
-	for _, st := range t.actives {
-		out = append(out, st.stride)
+	for _, si := range t.actives {
+		out = append(out, int(t.strides[si].stride))
 	}
 	return out
 }
@@ -368,14 +704,15 @@ func (t *Transformer) ActiveStrides() []int {
 // φ=34) detection of Fig. 2 is observable through this.
 func (t *Transformer) BestSequence() (stride, phase int, delta byte, run int32) {
 	var bestRun int32 = -1
-	for _, st := range t.actives {
+	for _, si := range t.actives {
+		st := &t.strides[si]
 		if t.pos < int64(st.stride) {
 			continue
 		}
-		e := st.seqs[st.phase]
-		if e.run > bestRun {
-			bestRun = e.run
-			stride, phase, delta, run = st.stride, st.phase, e.delta, e.run
+		e := st.seqOff + st.phase
+		if r := t.runs[e]; r > bestRun {
+			bestRun = r
+			stride, phase, delta, run = int(st.stride), int(st.phase), t.deltas[e], r
 		}
 	}
 	return stride, phase, delta, run
