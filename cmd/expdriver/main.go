@@ -1,6 +1,6 @@
 // Command expdriver reruns the paper's experiments and prints
 // paper-vs-measured tables. Select experiments with -run (comma-separated
-// ids: e1-e9 for the paper's tables and figures, e10-e12 and a5-a8 for the
+// ids: e1-e9 for the paper's tables and figures, e10-e13 and a5-a8 for the
 // extension experiments, a1-a4 for the ablations, or "all") and control
 // the problem size with -scale:
 //
@@ -199,6 +199,27 @@ func main() {
 			r.Faulty.FailedAttempts, r.Faulty.TaskRetries, r.Faulty.CorruptSegments, r.Faulty.RecoveredMaps)
 		fmt.Printf("  wasted slot time: map %.2fs + reduce %.2fs; modeled runtime overhead %+.1f%%\n\n",
 			r.Faulty.Estimate.WastedMapSeconds, r.Faulty.Estimate.WastedReduceSeconds, r.RuntimeOverheadPct)
+	}
+	if sel("e13") {
+		side := 96
+		if full {
+			side = 256
+		}
+		r, err := experiments.E13ChaosSoak(side)
+		if err != nil {
+			exitErr("e13", err)
+		}
+		fmt.Printf("== E13 (extension): networked-shuffle chaos soak on the sliding median (%dx%d) ==\n", side, side)
+		fmt.Printf("  %-12s %9s %9s %9s %9s %10s %8s %6s\n",
+			"schedule", "fetches", "retries", "resumed", "wasted B", "breaker", "re-maps", "ident")
+		for _, run := range r.Runs {
+			rep := run.Report
+			fmt.Printf("  %-12s %9d %9d %9d %9s %10d %8d %6v\n",
+				run.Name, rep.ShuffleFetches, rep.ShuffleFetchRetries, rep.ShuffleFetchesResumed,
+				experiments.FormatBytes(rep.ShuffleFetchWastedBytes), rep.ShuffleBreakerTrips,
+				rep.RecoveredMaps, run.OutputsIdentical)
+		}
+		fmt.Println()
 	}
 	if sel("a5") {
 		side := 96

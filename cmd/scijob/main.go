@@ -6,6 +6,7 @@
 //	scijob -side 256 -strategy transform -codec zlib
 //	scijob -side 256 -strategy aggregation -curve zorder -verify
 //	scijob -side 128 -faults "seed=7;map:1:error@0;segment:2.0:corrupt@0" -retries 3 -verify
+//	scijob -side 128 -shuffle net -faults "seed=7;net:*:cut@0;node:0:down=50ms" -retries 5 -backoff 10ms -verify
 package main
 
 import (
@@ -38,6 +39,11 @@ func main() {
 	retries := flag.Int("retries", 1, "max attempts per task (1 = fail fast)")
 	backoff := flag.Duration("backoff", 0, "base retry backoff (doubles per failure, seeded jitter)")
 	speculate := flag.Duration("speculate", 0, "straggler threshold for speculative re-execution (0 = off)")
+	shuffle := flag.String("shuffle", "mem", "shuffle transport: mem | net (in-process pipes) | tcp (loopback sockets)")
+	nodes := flag.Int("nodes", 0, "simulated shuffle-server count for -shuffle net|tcp (0 = default)")
+	fetchAttempts := flag.Int("fetch-attempts", 0, "per-segment fetch attempts before the map output counts as lost (0 = default)")
+	fetchTimeout := flag.Duration("fetch-timeout", 0, "per-attempt fetch deadline (0 = default)")
+	timeout := flag.Duration("timeout", 0, "whole-job deadline (0 = none)")
 	flag.Parse()
 
 	var strat core.Strategy
@@ -73,6 +79,15 @@ func main() {
 		qcfg.Faults = inj
 	}
 	qcfg.Retry = mapreducePolicy(*retries, *backoff, *speculate)
+	qcfg.Timeout = *timeout
+	if *shuffle != mapreduce.ShuffleMem {
+		qcfg.Shuffle = &mapreduce.ShuffleConfig{
+			Mode:          *shuffle,
+			Nodes:         *nodes,
+			FetchAttempts: *fetchAttempts,
+			FetchTimeout:  *fetchTimeout,
+		}
+	}
 
 	rep, err := core.RunQuery(fs, qcfg, strat, cluster.Paper(), *verify)
 	if err != nil {
@@ -90,6 +105,11 @@ func main() {
 	fmt.Printf("  overlap key splits:            %s\n", experiments.FormatBytes(rep.OverlapSplits))
 	fmt.Printf("  modeled runtime (5-node cluster): map %.1fs + reduce %.1fs = %.1fs\n",
 		rep.Estimate.MapSeconds, rep.Estimate.ReduceSeconds, rep.Estimate.Total())
+	if rep.ShuffleFetches > 0 {
+		fmt.Printf("  shuffle transport: %d fetches, %d retries, %d resumed, %s wasted, %d breaker trips\n",
+			rep.ShuffleFetches, rep.ShuffleFetchRetries, rep.ShuffleFetchesResumed,
+			experiments.FormatBytes(rep.ShuffleFetchWastedBytes), rep.ShuffleBreakerTrips)
+	}
 	if rep.FailedAttempts > 0 || rep.TaskRetries > 0 {
 		fmt.Printf("  recovery: %d failed attempts, %d retries, %d corrupt segments, %d maps recovered\n",
 			rep.FailedAttempts, rep.TaskRetries, rep.CorruptSegments, rep.RecoveredMaps)

@@ -1,0 +1,94 @@
+// Package backoff is the engine's shared deterministic retry-delay
+// machinery. Both the attempt scheduler (task retries) and the networked
+// shuffle fetcher (fetch retries, circuit-breaker reopen schedule) draw
+// their delays from a Policy: exponential growth from Base, capped at Max,
+// with jitter in [d/2, d) that is a pure function of (Seed, key1, key2,
+// failures). The same coordinates always yield the same delay, so faulty
+// runs replay identically — the property every recovery test relies on.
+package backoff
+
+import (
+	"hash/fnv"
+	"math"
+	"time"
+)
+
+// Policy describes one exponential-backoff schedule.
+type Policy struct {
+	// Base is the delay before the first retry; each further failure
+	// doubles it. <= 0 means no delay (retry immediately).
+	Base time.Duration
+	// Max caps the exponential growth. 0 means uncapped (growth still
+	// saturates instead of overflowing).
+	Max time.Duration
+	// Seed drives the deterministic jitter.
+	Seed int64
+}
+
+// Delay returns the backoff before the retry following the given number of
+// consecutive failures of the work item identified by (key1, key2). The
+// result is jittered into [d/2, d) deterministically: the same (Seed, key1,
+// key2, failures) always produces the same delay.
+func (p Policy) Delay(key1, key2 int64, failures int) time.Duration {
+	if p.Base <= 0 || failures <= 0 {
+		return 0
+	}
+	d := p.Base
+	for i := 1; i < failures; i++ {
+		if d >= math.MaxInt64/2 {
+			d = math.MaxInt64 // saturate rather than overflow
+			break
+		}
+		d *= 2
+		if p.Max > 0 && d >= p.Max {
+			break
+		}
+	}
+	if p.Max > 0 && d > p.Max {
+		d = p.Max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	h := Hash(p.Seed, key1, key2, int64(failures))
+	// (half/1024)*(h%1024) rather than half*(h%1024)/1024: the product must
+	// not overflow even when growth has saturated near MaxInt64.
+	return half + time.Duration(half/1024)*time.Duration(h%1024)
+}
+
+// Hash is the deterministic jitter source (FNV-1a over the fixed-width
+// little-endian encoding of the inputs). Exported so sibling packages that
+// need coordinate-keyed determinism (fault draws, bit-flip offsets) mix
+// bits the same way.
+func Hash(vs ...int64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range vs {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Sleep waits for d or until cancel closes, whichever is first. It reports
+// whether the full delay elapsed (false means the wait was interrupted). A
+// nil cancel channel degrades to a plain timer wait; d <= 0 returns true
+// immediately. Waiters must never block a canceled job: a fatal error
+// elsewhere must not leave a retry sleeping.
+func Sleep(d time.Duration, cancel <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cancel:
+		return false
+	}
+}

@@ -1,0 +1,109 @@
+package backoff
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestDelayTable pins the delay envelope per failure count: exponential
+// growth from Base, capping at Max, saturation instead of overflow, and the
+// zero cases.
+func TestDelayTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		p        Policy
+		failures int
+		// wantBase is the un-jittered delay d; the result must land in
+		// [d/2, d). wantZero asserts an exact zero instead.
+		wantBase time.Duration
+		wantZero bool
+	}{
+		{"no failures", Policy{Base: time.Second}, 0, 0, true},
+		{"negative failures", Policy{Base: time.Second}, -3, 0, true},
+		{"zero base", Policy{Base: 0}, 4, 0, true},
+		{"negative base", Policy{Base: -time.Second}, 2, 0, true},
+		{"first retry", Policy{Base: 100 * time.Millisecond}, 1, 100 * time.Millisecond, false},
+		{"doubling", Policy{Base: 100 * time.Millisecond}, 3, 400 * time.Millisecond, false},
+		{"cap reached", Policy{Base: 100 * time.Millisecond, Max: 250 * time.Millisecond}, 3, 250 * time.Millisecond, false},
+		{"cap far exceeded", Policy{Base: time.Second, Max: 2 * time.Second}, 40, 2 * time.Second, false},
+		{"uncapped saturates", Policy{Base: time.Second}, 80, math.MaxInt64, false},
+		{"one nanosecond", Policy{Base: 1}, 1, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.p.Delay(7, 3, tc.failures)
+			if tc.wantZero {
+				if got != 0 {
+					t.Fatalf("Delay = %v, want 0", got)
+				}
+				return
+			}
+			if got <= 0 {
+				t.Fatalf("Delay = %v, want > 0", got)
+			}
+			lo, hi := tc.wantBase/2, tc.wantBase
+			if lo == 0 {
+				// Sub-2ns delays cannot jitter; the exact base is returned.
+				if got != tc.wantBase {
+					t.Fatalf("Delay = %v, want exactly %v", got, tc.wantBase)
+				}
+				return
+			}
+			if got < lo || got >= hi {
+				t.Fatalf("Delay = %v outside [%v, %v)", got, lo, hi)
+			}
+		})
+	}
+}
+
+// TestDelayDeterministic: the jitter is a pure function of
+// (Seed, key1, key2, failures), and each coordinate matters.
+func TestDelayDeterministic(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second, Seed: 42}
+	for k1 := int64(0); k1 < 4; k1++ {
+		for k2 := int64(0); k2 < 3; k2++ {
+			for f := 1; f <= 5; f++ {
+				if a, b := p.Delay(k1, k2, f), p.Delay(k1, k2, f); a != b {
+					t.Fatalf("Delay(%d,%d,%d) not deterministic: %v vs %v", k1, k2, f, a, b)
+				}
+			}
+		}
+	}
+	differs := func(name string, alt func(int64) time.Duration) {
+		base := p.Delay(0, 0, 1)
+		for i := int64(1); i < 64; i++ {
+			if alt(i) != base {
+				return
+			}
+		}
+		t.Errorf("%s never changes the jitter", name)
+	}
+	differs("key1", func(i int64) time.Duration { return p.Delay(i, 0, 1) })
+	differs("key2", func(i int64) time.Duration { return p.Delay(0, i, 1) })
+	differs("seed", func(i int64) time.Duration {
+		q := p
+		q.Seed = i
+		return q.Delay(0, 0, 1)
+	})
+}
+
+// TestSleepInterruptible: a canceled sleep returns promptly and reports the
+// interruption; nil cancel still waits the full delay.
+func TestSleepInterruptible(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	start := time.Now()
+	if Sleep(10*time.Second, cancel) {
+		t.Fatal("canceled sleep reported a full wait")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("canceled sleep blocked for %v", el)
+	}
+	if !Sleep(time.Millisecond, nil) {
+		t.Fatal("uncanceled sleep reported an interruption")
+	}
+	if !Sleep(0, cancel) {
+		t.Fatal("zero-delay sleep must report a full wait")
+	}
+}

@@ -115,6 +115,13 @@ type Report struct {
 	TaskRetries     int64
 	CorruptSegments int64
 	RecoveredMaps   int64
+	// ShuffleFetches through ShuffleBreakerTrips describe the networked
+	// shuffle transport's work; all zero under the in-memory shuffle.
+	ShuffleFetches          int64
+	ShuffleFetchRetries     int64
+	ShuffleFetchesResumed   int64
+	ShuffleFetchWastedBytes int64
+	ShuffleBreakerTrips     int64
 	// Estimate is the modeled runtime on the configured cluster, including
 	// slot time wasted on discarded attempts.
 	Estimate cluster.JobEstimate
@@ -190,19 +197,24 @@ func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, c
 	}
 	c := res.Counters
 	rep := &Report{
-		Strategy:          strat.Name(),
-		MapOutputRecords:  c.MapOutputRecords.Value(),
-		KeyBytes:          c.MapOutputKeyBytes.Value(),
-		ValueBytes:        c.MapOutputValueBytes.Value(),
-		MaterializedBytes: c.MapOutputMaterializedBytes.Value(),
-		ShuffleBytes:      c.ReduceShuffleBytes.Value(),
-		PartitionSplits:   c.PartitionKeySplits.Value(),
-		OverlapSplits:     c.OverlapKeySplits.Value(),
-		FailedAttempts:    c.MapAttemptsFailed.Value() + c.ReduceAttemptsFailed.Value(),
-		TaskRetries:       c.TaskRetries.Value(),
-		CorruptSegments:   c.CorruptSegmentsDetected.Value(),
-		RecoveredMaps:     c.MapTasksRecovered.Value(),
-		Estimate:          res.Estimate(clus),
+		Strategy:                strat.Name(),
+		MapOutputRecords:        c.MapOutputRecords.Value(),
+		KeyBytes:                c.MapOutputKeyBytes.Value(),
+		ValueBytes:              c.MapOutputValueBytes.Value(),
+		MaterializedBytes:       c.MapOutputMaterializedBytes.Value(),
+		ShuffleBytes:            c.ReduceShuffleBytes.Value(),
+		PartitionSplits:         c.PartitionKeySplits.Value(),
+		OverlapSplits:           c.OverlapKeySplits.Value(),
+		FailedAttempts:          c.MapAttemptsFailed.Value() + c.ReduceAttemptsFailed.Value(),
+		TaskRetries:             c.TaskRetries.Value(),
+		CorruptSegments:         c.CorruptSegmentsDetected.Value(),
+		RecoveredMaps:           c.MapTasksRecovered.Value(),
+		ShuffleFetches:          c.ShuffleFetches.Value(),
+		ShuffleFetchRetries:     c.ShuffleFetchRetries.Value(),
+		ShuffleFetchesResumed:   c.ShuffleFetchesResumed.Value(),
+		ShuffleFetchWastedBytes: c.ShuffleFetchWastedBytes.Value(),
+		ShuffleBreakerTrips:     c.ShuffleBreakerTrips.Value(),
+		Estimate:                res.Estimate(clus),
 	}
 	if decodeOutput {
 		out, derr := decoder(res)

@@ -431,3 +431,27 @@ func TestE12FaultRecovery(t *testing.T) {
 		t.Errorf("recovery made the modeled runtime faster? %+v%%", r.RuntimeOverheadPct)
 	}
 }
+
+func TestE13ChaosSoak(t *testing.T) {
+	r, err := E13ChaosSoak(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != len(E13Schedules) {
+		t.Fatalf("ran %d schedules, want %d", len(r.Runs), len(E13Schedules))
+	}
+	for _, run := range r.Runs {
+		if !run.OutputsIdentical {
+			t.Errorf("%s: output differs from the fault-free in-memory run", run.Name)
+		}
+		if run.Report.MaterializedBytes != r.Clean.MaterializedBytes ||
+			run.Report.ShuffleBytes != r.Clean.ShuffleBytes {
+			t.Errorf("%s: payload counters drifted: materialized %d vs %d, shuffle %d vs %d",
+				run.Name, run.Report.MaterializedBytes, r.Clean.MaterializedBytes,
+				run.Report.ShuffleBytes, r.Clean.ShuffleBytes)
+		}
+		if run.Report.ShuffleFetches == 0 {
+			t.Errorf("%s: no networked fetches recorded", run.Name)
+		}
+	}
+}

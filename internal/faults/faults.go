@@ -16,6 +16,13 @@
 //   - codec: injects a transient read error partway through a reducer's
 //     decompression stream of a given map task's output, modeling a failed
 //     shuffle fetch.
+//   - net: fires on one networked shuffle fetch attempt of a (producing map
+//     task, partition) pair — connection refused, mid-stream disconnect,
+//     stall past the fetch deadline, truncated transfer, or wire bit-flips
+//     the chunk CRCs catch.
+//   - node: takes a whole shuffle node down for a duration, measured from
+//     the first dial the injector observes for that node; every dial inside
+//     the window is refused.
 package faults
 
 import (
@@ -38,6 +45,8 @@ const (
 	SiteReduce  Site = "reduce"
 	SiteSegment Site = "segment"
 	SiteCodec   Site = "codec"
+	SiteNet     Site = "net"
+	SiteNode    Site = "node"
 )
 
 // Action names what a rule does when it fires.
@@ -49,6 +58,13 @@ const (
 	ActPanic   Action = "panic"
 	ActSlow    Action = "slow"
 	ActCorrupt Action = "corrupt"
+	// Net-site actions (the shuffle transport's failure modes).
+	ActRefuse   Action = "refuse"
+	ActCut      Action = "cut"
+	ActStall    Action = "stall"
+	ActTruncate Action = "truncate"
+	// ActDown is the node-site outage action.
+	ActDown Action = "down"
 )
 
 // ErrInjected marks transient injected failures (error and codec actions).
@@ -131,8 +147,8 @@ func (r Rule) String() string {
 	}
 	sb.WriteByte(':')
 	switch r.Action {
-	case ActSlow:
-		fmt.Fprintf(&sb, "slow=%s", r.Delay)
+	case ActSlow, ActStall, ActDown:
+		fmt.Fprintf(&sb, "%s=%s", r.Action, r.Delay)
 	case ActCorrupt:
 		if r.Flips > 0 {
 			fmt.Fprintf(&sb, "corrupt=%d", r.Flips)
@@ -185,14 +201,27 @@ type Injector struct {
 
 	mu    sync.Mutex
 	fired map[string]int
+	// outageStart records, per (node, rule), when the injector first saw a
+	// dial to a node a down rule targets; the outage window runs from there.
+	outageStart map[outageKey]time.Time
 
 	// sleep is a test seam for slow rules.
 	sleep func(time.Duration)
 }
 
+type outageKey struct {
+	node int
+	rule int
+}
+
 // New builds an Injector for the schedule.
 func New(s Schedule) *Injector {
-	return &Injector{sched: s, fired: make(map[string]int), sleep: time.Sleep}
+	return &Injector{
+		sched:       s,
+		fired:       make(map[string]int),
+		outageStart: make(map[outageKey]time.Time),
+		sleep:       time.Sleep,
+	}
 }
 
 // NewFromSpec parses spec and builds an Injector. An empty spec yields a nil
@@ -386,6 +415,99 @@ func (f *failingReader) Read(p []byte) (int, error) {
 		}
 	}
 	return n, err
+}
+
+// NetFault describes what a fired net-site rule does to one shuffle fetch.
+// The shuffle transport interprets the action: refuse closes the connection
+// before any response, cut disconnects mid-stream, stall sleeps Delay while
+// serving (so the client's deadline expires), truncate ends the response
+// early but cleanly, and corrupt flips bits in the payload for the chunk
+// CRCs to catch.
+type NetFault struct {
+	Action Action
+	// Delay is the stall duration.
+	Delay time.Duration
+	flips int
+	seed  [5]int64
+}
+
+// FetchFault consults the net-site rules for one shuffle fetch attempt of
+// the given (producing map task, partition) pair. The first firing rule
+// wins and is recorded; nil means the fetch proceeds cleanly. Like every
+// injector decision it is a pure function of (seed, coordinates), so chaos
+// runs replay identically.
+func (in *Injector) FetchFault(task, part, attempt int) *NetFault {
+	if in == nil {
+		return nil
+	}
+	for i, r := range in.sched.Rules {
+		if r.Site != SiteNet {
+			continue
+		}
+		if !in.fires(i, r, SiteNet, task, part, attempt) {
+			continue
+		}
+		in.record(r)
+		flips := r.Flips
+		if flips <= 0 {
+			flips = 3
+		}
+		return &NetFault{
+			Action: r.Action,
+			Delay:  r.Delay,
+			flips:  flips,
+			seed:   [5]int64{in.sched.Seed, int64(i), int64(task), int64(part), int64(attempt)},
+		}
+	}
+	return nil
+}
+
+// CorruptBytes returns a copy of data with the fault's deterministic bit
+// flips applied — the on-the-wire corruption of a net corrupt rule. The
+// input is never modified.
+func (f *NetFault) CorruptBytes(data []byte) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	for n := 0; n < f.flips; n++ {
+		h := hash64(f.seed[0], f.seed[1], f.seed[2], f.seed[3], f.seed[4], int64(n))
+		out[h%uint64(len(out))] ^= 1 << ((h >> 32) % 8)
+	}
+	return out
+}
+
+// NodeDown reports whether a node-site down rule currently has the node
+// refusing connections. The outage window opens at the first dial the
+// injector observes for that (node, rule) pair and lasts the rule's
+// duration, so with enough retry budget and backoff the caller outlives it.
+func (in *Injector) NodeDown(node int) bool {
+	if in == nil {
+		return false
+	}
+	now := time.Now()
+	down := false
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, r := range in.sched.Rules {
+		if r.Site != SiteNode || r.Action != ActDown {
+			continue
+		}
+		if !in.fires(i, r, SiteNode, node, -1, 0) {
+			continue
+		}
+		key := outageKey{node: node, rule: i}
+		first, ok := in.outageStart[key]
+		if !ok {
+			first = now
+			in.outageStart[key] = now
+		}
+		if now.Sub(first) < r.Delay {
+			in.fired[string(SiteNode)+"/"+string(ActDown)]++
+			down = true
+		}
+	}
+	return down
 }
 
 // hash64 is a stable FNV-1a mix of the given values — the package's only

@@ -234,3 +234,115 @@ func TestTransientErrorIdentity(t *testing.T) {
 		t.Errorf("error does not name the attempt: %v", err)
 	}
 }
+
+func TestParseNetAndNodeRules(t *testing.T) {
+	for _, spec := range []string{
+		"net:1:refuse@0",
+		"net:*:cut@*",
+		"net:2.0:corrupt=5@1",
+		"net:3:stall=20ms@0,1",
+		"net:*:truncate@*%0.5",
+		"node:1:down=50ms",
+		"seed=9;net:*:cut@*%0.3;node:0:down=10ms",
+	} {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		s2, err := Parse(s.String())
+		if err != nil || s.String() != s2.String() {
+			t.Errorf("round trip of %q drifted: %q -> %v, %v", spec, s.String(), s2, err)
+		}
+	}
+	for _, spec := range []string{
+		"net:1:panic",       // not a net action
+		"net:1:down=5ms",    // down is node-only
+		"net:1:stall",       // missing duration
+		"node:1:refuse",     // node is down-only
+		"node:1:down",       // missing duration
+		"node:1.0:down=5ms", // node targets have no partition
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestFetchFaultDeterministic: net rules fire as a pure function of
+// (task, part, fetch attempt), and CorruptBytes flips the same bits on
+// every replay without touching the input.
+func TestFetchFaultDeterministic(t *testing.T) {
+	mk := func() *Injector {
+		inj, err := NewFromSpec("seed=3;net:1:cut@0;net:2.0:corrupt@1;net:*:stall=7ms@3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	in := mk()
+	if f := in.FetchFault(1, 0, 0); f == nil || f.Action != ActCut {
+		t.Fatalf("FetchFault(1,0,0) = %+v, want cut", f)
+	}
+	if f := in.FetchFault(1, 0, 1); f != nil {
+		t.Fatalf("FetchFault(1,0,1) = %+v, want nil (rule is @0)", f)
+	}
+	if f := in.FetchFault(2, 1, 1); f != nil {
+		t.Fatalf("FetchFault(2,1,1) = %+v, want nil (rule targets partition 0)", f)
+	}
+	if f := in.FetchFault(0, 0, 3); f == nil || f.Action != ActStall || f.Delay != 7*time.Millisecond {
+		t.Fatalf("FetchFault(0,0,3) = %+v, want stall=7ms", f)
+	}
+	data := []byte("hello shuffle chunk payload")
+	orig := append([]byte(nil), data...)
+	f1 := mk().FetchFault(2, 0, 1)
+	f2 := mk().FetchFault(2, 0, 1)
+	if f1 == nil || f1.Action != ActCorrupt {
+		t.Fatalf("corrupt rule did not fire: %+v", f1)
+	}
+	c1, c2 := f1.CorruptBytes(data), f2.CorruptBytes(data)
+	if !bytes.Equal(data, orig) {
+		t.Error("CorruptBytes modified its input")
+	}
+	if bytes.Equal(c1, data) {
+		t.Error("CorruptBytes flipped nothing")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("CorruptBytes not deterministic across replays")
+	}
+	if got := mk().Fired(); got["net/cut"] != 0 {
+		// Fired counts accumulate only on firing injectors.
+		t.Errorf("fresh injector has fired counts: %v", got)
+	}
+}
+
+// TestNodeDownWindow: the outage opens at the first observed dial, refuses
+// dials inside the window, and lifts after the configured duration.
+func TestNodeDownWindow(t *testing.T) {
+	inj, err := NewFromSpec("node:1:down=60ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.NodeDown(0) {
+		t.Error("untargeted node reported down")
+	}
+	if !inj.NodeDown(1) {
+		t.Error("first dial inside the window not refused")
+	}
+	if !inj.NodeDown(1) {
+		t.Error("second dial inside the window not refused")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for inj.NodeDown(1) {
+		if time.Now().After(deadline) {
+			t.Fatal("node never came back up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if inj.Fired()["node/down"] < 2 {
+		t.Errorf("refused dials not recorded: %v", inj.Fired())
+	}
+	var nilInj *Injector
+	if nilInj.NodeDown(1) || nilInj.FetchFault(0, 0, 0) != nil {
+		t.Error("nil injector must be inert for net/node sites")
+	}
+}

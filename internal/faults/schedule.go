@@ -11,17 +11,24 @@ import (
 //
 //	spec    := [ "seed=" int ";" ] rule *( ";" rule )
 //	rule    := site ":" target ":" action
-//	site    := "map" | "reduce" | "segment" | "codec"
+//	site    := "map" | "reduce" | "segment" | "codec" | "net" | "node"
 //	target  := "*" | task [ "." part ]          (task/part are ints)
 //	action  := kind [ "@" attempts ] [ "%" prob ]
 //	kind    := "error" | "panic" | "slow=" dur | "corrupt" [ "=" flips ]
+//	         | "refuse" | "cut" | "stall=" dur | "truncate" | "down=" dur
 //	attempts:= "*" | int *( "," int )           (default: attempt 0 only)
+//
+// Net rules target the *producing map task* (optionally one partition) and
+// their attempt numbers are shuffle *fetch* attempts; node rules target a
+// shuffle node index and take it down for the given duration.
 //
 // Examples:
 //
 //	seed=42;map:1:error@0;segment:1.0:corrupt@0
 //	map:*:slow=5ms@*;codec:3:error@0
-//	map:*:error%0.2@*                           (seeded 20% of attempts)
+//	map:*:error@*%0.2                           (seeded 20% of attempts)
+//	net:2:cut@0;net:1.0:corrupt@0;node:1:down=50ms
+//	net:*:stall=100ms@*%0.1                     (seeded 10% of fetches stall)
 func Parse(spec string) (*Schedule, error) {
 	s := &Schedule{}
 	for _, part := range strings.Split(spec, ";") {
@@ -57,10 +64,10 @@ func parseRule(text string) (Rule, error) {
 	r := Rule{Task: -1, Part: -1}
 
 	switch Site(fields[0]) {
-	case SiteMap, SiteReduce, SiteSegment, SiteCodec:
+	case SiteMap, SiteReduce, SiteSegment, SiteCodec, SiteNet, SiteNode:
 		r.Site = Site(fields[0])
 	default:
-		return Rule{}, fmt.Errorf("faults: rule %q: unknown site %q (map|reduce|segment|codec)", text, fields[0])
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown site %q (map|reduce|segment|codec|net|node)", text, fields[0])
 	}
 
 	if fields[1] != "*" {
@@ -107,20 +114,20 @@ func parseRule(text string) (Rule, error) {
 
 	kind, arg, hasArg := strings.Cut(action, "=")
 	switch Action(kind) {
-	case ActError, ActPanic:
+	case ActError, ActPanic, ActRefuse, ActCut, ActTruncate:
 		if hasArg {
 			return Rule{}, fmt.Errorf("faults: rule %q: %s takes no argument", text, kind)
 		}
 		r.Action = Action(kind)
-	case ActSlow:
+	case ActSlow, ActStall, ActDown:
 		if !hasArg {
-			return Rule{}, fmt.Errorf("faults: rule %q: slow needs a duration (slow=5ms)", text)
+			return Rule{}, fmt.Errorf("faults: rule %q: %s needs a duration (%s=5ms)", text, kind, kind)
 		}
 		d, err := time.ParseDuration(arg)
 		if err != nil || d <= 0 {
 			return Rule{}, fmt.Errorf("faults: rule %q: bad duration %q", text, arg)
 		}
-		r.Action = ActSlow
+		r.Action = Action(kind)
 		r.Delay = d
 	case ActCorrupt:
 		r.Action = ActCorrupt
@@ -132,7 +139,7 @@ func parseRule(text string) (Rule, error) {
 			r.Flips = n
 		}
 	default:
-		return Rule{}, fmt.Errorf("faults: rule %q: unknown action %q (error|panic|slow=dur|corrupt[=n])", text, kind)
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown action %q (error|panic|slow=dur|corrupt[=n]|refuse|cut|stall=dur|truncate|down=dur)", text, kind)
 	}
 
 	if err := checkRuleShape(r); err != nil {
@@ -161,6 +168,19 @@ func checkRuleShape(r Rule) error {
 		}
 		if r.Part != -1 {
 			return fmt.Errorf("codec targets have no partition")
+		}
+	case SiteNet:
+		switch r.Action {
+		case ActRefuse, ActCut, ActStall, ActTruncate, ActCorrupt:
+		default:
+			return fmt.Errorf("net site supports refuse|cut|stall=dur|truncate|corrupt[=n]")
+		}
+	case SiteNode:
+		if r.Action != ActDown {
+			return fmt.Errorf("node site only supports down=dur")
+		}
+		if r.Part != -1 {
+			return fmt.Errorf("node targets have no partition")
 		}
 	}
 	return nil

@@ -70,8 +70,27 @@ type Counters struct {
 	// CRC (or framing/codec decode) check.
 	CorruptSegmentsDetected Counter
 	// MapTasksRecovered counts map tasks re-executed to replace corrupt
-	// output segments.
+	// output segments (or segments lost to exhausted shuffle fetches).
 	MapTasksRecovered Counter
+
+	// Networked-shuffle counters, populated from the shuffle service's
+	// metrics when the job runs with Job.Shuffle in a net mode. Like the
+	// other scheduling counters they describe the transport's recovery
+	// work; the payload counters above stay byte-identical to an
+	// in-memory fault-free run.
+
+	// ShuffleFetches counts segment fetches issued by reducers.
+	ShuffleFetches Counter
+	// ShuffleFetchRetries counts fetch attempts beyond each fetch's first.
+	ShuffleFetchRetries Counter
+	// ShuffleFetchesResumed counts fetches that resumed mid-segment from a
+	// verified byte offset instead of restarting from zero.
+	ShuffleFetchesResumed Counter
+	// ShuffleFetchWastedBytes counts verified bytes a fetch had to discard
+	// (attempt-change resets and exhausted fetches).
+	ShuffleFetchWastedBytes Counter
+	// ShuffleBreakerTrips counts per-node circuit breakers opened.
+	ShuffleBreakerTrips Counter
 }
 
 // Merge adds every counter of o into c. The engine gives each attempt its
@@ -98,6 +117,8 @@ func (c *Counters) rows() []*Counter {
 		&c.MapAttemptsFailed, &c.ReduceAttemptsFailed, &c.TaskRetries,
 		&c.SpeculativeAttempts, &c.SpeculativeWasted,
 		&c.CorruptSegmentsDetected, &c.MapTasksRecovered,
+		&c.ShuffleFetches, &c.ShuffleFetchRetries, &c.ShuffleFetchesResumed,
+		&c.ShuffleFetchWastedBytes, &c.ShuffleBreakerTrips,
 	}
 }
 
@@ -132,5 +153,10 @@ func (c *Counters) String() string {
 	row("Speculative wasted attempts", c.SpeculativeWasted.Value())
 	row("Corrupt segments detected", c.CorruptSegmentsDetected.Value())
 	row("Map tasks recovered", c.MapTasksRecovered.Value())
+	row("Shuffle fetches", c.ShuffleFetches.Value())
+	row("Shuffle fetch retries", c.ShuffleFetchRetries.Value())
+	row("Shuffle fetches resumed", c.ShuffleFetchesResumed.Value())
+	row("Shuffle fetch wasted bytes", c.ShuffleFetchWastedBytes.Value())
+	row("Shuffle breaker trips", c.ShuffleBreakerTrips.Value())
 	return sb.String()
 }

@@ -3,7 +3,20 @@ package mapreduce
 import (
 	"errors"
 	"fmt"
+	"time"
 )
+
+// TimeoutError reports a job that exceeded Job.Timeout. All in-flight
+// attempts were canceled and their work discarded; no partial output is
+// committed beyond tasks that finished before the deadline.
+type TimeoutError struct {
+	Timeout time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("mapreduce: job exceeded timeout %v", e.Timeout)
+}
 
 // AttemptError reports a task that exhausted its attempt budget. It names
 // the phase, task, and final failing attempt, and wraps that attempt's

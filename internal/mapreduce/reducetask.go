@@ -59,7 +59,7 @@ func (t *reduceTask) abort() {
 	_ = t.job.FS.Delete(t.tmpPath)
 }
 
-func (t *reduceTask) run(mapOutputs [][]segment) error {
+func (t *reduceTask) run(src segmentSource) error {
 	c := t.ctx.counters
 	if err := t.job.Faults.Attempt(faults.SiteReduce, t.id, t.attempt); err != nil {
 		return fmt.Errorf("mapreduce: reduce task %d: %w", t.id, err)
@@ -67,10 +67,19 @@ func (t *reduceTask) run(mapOutputs [][]segment) error {
 
 	// Shuffle: fetch this partition's final segment from every map. The
 	// bytes cross the network and are staged on local disk (write + later
-	// read during the merge).
+	// read during the merge). Wasted transport bytes — verified data a
+	// retried or exhausted fetch had to discard — still crossed the wire,
+	// so they join the footprint without touching the payload counters.
 	var segs []segment
-	for _, finals := range mapOutputs {
-		seg := finals[t.id]
+	for m := 0; m < src.numMaps(); m++ {
+		if t.ctx.Canceled() {
+			return errAttemptCanceled
+		}
+		seg, wasted, err := src.fetch(m, t.id)
+		t.footprint.NetBytes += wasted
+		if err != nil {
+			return fmt.Errorf("mapreduce: reduce task %d shuffle: %w", t.id, err)
+		}
 		if len(seg.data) == 0 {
 			continue
 		}

@@ -3,6 +3,8 @@ package mapreduce
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"scikey/internal/cluster"
 )
@@ -51,12 +53,53 @@ func Run(job *Job) (*Result, error) {
 	// payload counters merge in at the end.
 	jc := &Counters{}
 
+	// jobStop is the job-wide cancel signal: the deadline timer trips it,
+	// and every phase propagates it into in-flight attempts, backoff sleeps,
+	// straggler waits, and shuffle fetches.
+	jobStop := newStopState()
+	var timedOut atomic.Bool
+	if job.Timeout > 0 {
+		timer := time.AfterFunc(job.Timeout, func() {
+			timedOut.Store(true)
+			jobStop.stop()
+		})
+		defer timer.Stop()
+	}
+	timeout := func() error {
+		if timedOut.Load() {
+			return &TimeoutError{Timeout: job.Timeout}
+		}
+		return nil
+	}
+
+	// svc is nil for the in-memory shuffle; otherwise the per-node shuffle
+	// servers are live for the whole run, and committed map output is
+	// published to them instead of handed to reducers directly.
+	svc, err := newShuffleService(job)
+	if err != nil {
+		return nil, err
+	}
+	if svc != nil {
+		defer svc.Close()
+	}
+
 	var (
 		outMu      sync.Mutex
 		tasks      = make([]*mapTask, len(job.Splits))
 		mapOutputs = make([][]segment, len(job.Splits))
 		wastedMaps []cluster.Task
 	)
+	// publish pushes a committed map attempt's segments to its shuffle node.
+	publish := func(t *mapTask) {
+		if svc == nil {
+			return
+		}
+		parts := make([][]byte, len(t.finals))
+		for p := range t.finals {
+			parts[p] = t.finals[p].data
+		}
+		svc.Publish(t.id, t.attempt, parts)
+	}
 	addMapWaste := func(t *mapTask) {
 		if t == nil {
 			return
@@ -67,11 +110,12 @@ func Run(job *Job) (*Result, error) {
 	}
 
 	mapRunner := &phaseRunner{
-		phase:  "map",
-		n:      len(job.Splits),
-		limit:  job.parallelism(),
-		policy: job.Retry,
-		jc:     jc,
+		phase:   "map",
+		n:       len(job.Splits),
+		limit:   job.parallelism(),
+		policy:  job.Retry,
+		jc:      jc,
+		jobStop: jobStop,
 		run: func(task, attempt int, canceled func() bool) (any, error) {
 			t := newMapTask(job, task, attempt, canceled)
 			return t, t.run(job.Splits[task])
@@ -82,6 +126,7 @@ func Run(job *Job) (*Result, error) {
 			tasks[task] = t
 			mapOutputs[task] = t.finals
 			outMu.Unlock()
+			publish(t)
 			return nil
 		},
 		discard: func(task, attempt int, result any, err error) {
@@ -92,11 +137,15 @@ func Run(job *Job) (*Result, error) {
 	if err := mapRunner.runAll(); err != nil {
 		return nil, err
 	}
+	if err := timeout(); err != nil {
+		return nil, err
+	}
 
-	// recoverMap re-executes the map task named by a corrupt-segment report,
-	// replacing its output so the reducer's retry reads intact bytes. The
-	// corrupt attempt's work becomes waste. Serialized: two reducers hitting
-	// the same bad segment repair it once.
+	// recoverMap re-executes the map task named by a corrupt-segment report
+	// — detected corruption or map output lost to an exhausted networked
+	// fetch — replacing (and republishing) its output so the reducer's retry
+	// reads intact bytes. The dead attempt's work becomes waste. Serialized:
+	// two reducers hitting the same bad segment repair it once.
 	var repairMu sync.Mutex
 	recoverMap := func(ce *ErrCorruptSegment) bool {
 		repairMu.Lock()
@@ -113,6 +162,9 @@ func Run(job *Job) (*Result, error) {
 			return true
 		}
 		for rerun := 0; rerun < job.Retry.maxAttempts(); rerun++ {
+			if jobStop.stopped() {
+				return false
+			}
 			a := mapRunner.nextAttempt(ce.MapTask)
 			res, err := mapRunner.runOne(ce.MapTask, a, nil)
 			nt, _ := res.(*mapTask)
@@ -121,6 +173,7 @@ func Run(job *Job) (*Result, error) {
 				tasks[ce.MapTask] = nt
 				mapOutputs[ce.MapTask] = nt.finals
 				outMu.Unlock()
+				publish(nt)
 				addMapWaste(cur)
 				jc.MapTasksRecovered.Add(1)
 				jc.TaskRetries.Add(1)
@@ -136,21 +189,46 @@ func Run(job *Job) (*Result, error) {
 		rtasks        = make([]*reduceTask, job.NumReducers)
 		wastedReduces []cluster.Task
 	)
-	reduceRunner := &phaseRunner{
-		phase:  "reduce",
-		n:      job.NumReducers,
-		limit:  job.parallelism(),
-		policy: job.Retry,
-		jc:     jc,
+	// committedAttempt names the current attempt of a map task, for
+	// exhausted-fetch reports (the fetcher never saw the lost bytes'
+	// provenance).
+	committedAttempt := func(m int) int {
+		outMu.Lock()
+		defer outMu.Unlock()
+		if tasks[m] == nil {
+			return -1
+		}
+		return tasks[m].attempt
+	}
+	var reduceRunner *phaseRunner
+	reduceRunner = &phaseRunner{
+		phase:   "reduce",
+		n:       job.NumReducers,
+		limit:   job.parallelism(),
+		policy:  job.Retry,
+		jc:      jc,
+		jobStop: jobStop,
 		run: func(task, attempt int, canceled func() bool) (any, error) {
-			// Snapshot the map outputs under the lock: a concurrent repair
-			// may be swapping a recovered task's segments in.
-			outMu.Lock()
-			outs := make([][]segment, len(mapOutputs))
-			copy(outs, mapOutputs)
-			outMu.Unlock()
 			t := newReduceTask(job, task, attempt, canceled)
-			return t, t.run(outs)
+			var src segmentSource
+			if svc != nil {
+				src = &netSource{
+					svc:       svc,
+					n:         len(job.Splits),
+					stop:      reduceRunner.stop.ch,
+					attemptOf: committedAttempt,
+					verify:    canVerifyAtFetch(job),
+				}
+			} else {
+				// Snapshot the map outputs under the lock: a concurrent
+				// repair may be swapping a recovered task's segments in.
+				outMu.Lock()
+				outs := make([][]segment, len(mapOutputs))
+				copy(outs, mapOutputs)
+				outMu.Unlock()
+				src = memSource{outs: outs}
+			}
+			return t, t.run(src)
 		},
 		commit: func(task, attempt int, result any) error {
 			t := result.(*reduceTask)
@@ -188,6 +266,12 @@ func Run(job *Job) (*Result, error) {
 	}
 	if err := reduceRunner.runAll(); err != nil {
 		return nil, err
+	}
+	if err := timeout(); err != nil {
+		return nil, err
+	}
+	if svc != nil {
+		mergeShuffleMetrics(jc, svc.Metrics())
 	}
 
 	// Assemble the result from the surviving attempts only. Their private

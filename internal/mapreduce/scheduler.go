@@ -3,10 +3,11 @@ package mapreduce
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"scikey/internal/backoff"
 )
 
 // RetryPolicy configures the attempt scheduler: how many times a task may
@@ -43,42 +44,15 @@ func (p RetryPolicy) maxAttempts() int {
 	return 1
 }
 
+// policy converts the task-retry fields to the shared backoff policy.
+func (p RetryPolicy) backoff() backoff.Policy {
+	return backoff.Policy{Base: p.Backoff, Max: p.BackoffMax, Seed: p.Seed}
+}
+
 // delay computes the backoff before retrying task after the given number of
 // consecutive failures, with deterministic jitter in [d/2, d).
 func (p RetryPolicy) delay(task, failures int) time.Duration {
-	if p.Backoff <= 0 || failures <= 0 {
-		return 0
-	}
-	d := p.Backoff
-	for i := 1; i < failures; i++ {
-		d *= 2
-		if p.BackoffMax > 0 && d >= p.BackoffMax {
-			break
-		}
-	}
-	if p.BackoffMax > 0 && d > p.BackoffMax {
-		d = p.BackoffMax
-	}
-	half := d / 2
-	if half <= 0 {
-		return d
-	}
-	h := schedHash(p.Seed, int64(task), int64(failures))
-	return half + time.Duration(uint64(half)*(h%1024)/1024)
-}
-
-// schedHash is the deterministic jitter source (FNV-1a over the inputs).
-func schedHash(vs ...int64) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, v := range vs {
-		u := uint64(v)
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(u >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	return h.Sum64()
+	return p.backoff().Delay(int64(task), 0, failures)
 }
 
 // stopState is a one-shot cancel signal readable both as a cheap atomic
@@ -129,6 +103,11 @@ type phaseRunner struct {
 	// onFailure observes every counted attempt failure. Optional.
 	onFailure func(task, attempt int, err error)
 
+	// jobStop, when set, is the job-wide cancel signal (deadline or fatal
+	// failure in another phase); it trips this phase's stop as soon as the
+	// phase is running, interrupting backoff sleeps and straggler waits.
+	jobStop *stopState
+
 	stop *stopState
 	mu   sync.Mutex
 	next []int // next attempt number per task
@@ -137,6 +116,20 @@ type phaseRunner struct {
 func (p *phaseRunner) runAll() error {
 	p.stop = newStopState()
 	p.next = make([]int, p.n)
+	if p.jobStop != nil {
+		if p.jobStop.stopped() {
+			return nil
+		}
+		phaseDone := make(chan struct{})
+		defer close(phaseDone)
+		go func() {
+			select {
+			case <-p.jobStop.ch:
+				p.stop.stop()
+			case <-phaseDone:
+			}
+		}()
+	}
 	return forEachLimitStop(p.n, p.limit, p.stop, p.runTask)
 }
 

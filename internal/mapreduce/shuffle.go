@@ -1,0 +1,178 @@
+package mapreduce
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"scikey/internal/codec"
+	"scikey/internal/ifile"
+	"scikey/internal/shufflenet"
+)
+
+// Shuffle transport modes.
+const (
+	// ShuffleMem hands committed segments to reducers in-process (the
+	// historical data path; the byte-identity baseline).
+	ShuffleMem = "mem"
+	// ShuffleNet runs the networked shuffle over in-process pipes:
+	// deterministic and fast, but every transport failure mode is real.
+	ShuffleNet = "net"
+	// ShuffleTCP runs the networked shuffle over loopback TCP sockets.
+	ShuffleTCP = "tcp"
+)
+
+// ShuffleConfig selects and tunes the shuffle transport. The zero value of
+// every field takes the shufflenet default.
+type ShuffleConfig struct {
+	// Mode is ShuffleMem (default when empty), ShuffleNet, or ShuffleTCP.
+	Mode string
+	// Nodes is the simulated shuffle-server count; map task t serves from
+	// node t % Nodes.
+	Nodes int
+	// FetchTimeout is the per-attempt deadline for one segment fetch.
+	FetchTimeout time.Duration
+	// FetchAttempts bounds one segment fetch's attempts; when they exhaust,
+	// the map output counts as lost and the producing map task re-executes.
+	FetchAttempts int
+	// PerNodeFetchers caps concurrent fetches against one node.
+	PerNodeFetchers int
+	// BreakerThreshold is the consecutive-failure count that opens a node's
+	// circuit breaker (negative disables breakers).
+	BreakerThreshold int
+	// ChunkBytes is the CRC-framed response chunk size — the granularity of
+	// verified-offset resume.
+	ChunkBytes int
+}
+
+func (sc *ShuffleConfig) validate() error {
+	switch sc.Mode {
+	case "", ShuffleMem, ShuffleNet, ShuffleTCP:
+		return nil
+	}
+	return fmt.Errorf("shuffle mode %q is not %s|%s|%s", sc.Mode, ShuffleMem, ShuffleNet, ShuffleTCP)
+}
+
+// networked reports whether the job shuffles over shufflenet.
+func (sc *ShuffleConfig) networked() bool {
+	return sc != nil && (sc.Mode == ShuffleNet || sc.Mode == ShuffleTCP)
+}
+
+// newShuffleService starts the job's shuffle service, or returns nil for the
+// in-memory mode. Fetch retries ride the job's deterministic backoff policy.
+func newShuffleService(job *Job) (*shufflenet.Service, error) {
+	if !job.Shuffle.networked() {
+		return nil, nil
+	}
+	sc := job.Shuffle
+	var tr shufflenet.Transport
+	if sc.Mode == ShuffleTCP {
+		tr = shufflenet.NewTCPTransport()
+	} else {
+		tr = shufflenet.NewMemTransport()
+	}
+	svc, err := shufflenet.NewService(shufflenet.Config{
+		Transport:        tr,
+		Nodes:            sc.Nodes,
+		ChunkBytes:       sc.ChunkBytes,
+		FetchTimeout:     sc.FetchTimeout,
+		FetchAttempts:    sc.FetchAttempts,
+		Backoff:          job.Retry.backoff(),
+		PerNodeFetchers:  sc.PerNodeFetchers,
+		BreakerThreshold: sc.BreakerThreshold,
+		Injector:         job.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.Start(); err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+// segmentSource is a reduce attempt's view of the map outputs: one committed
+// final segment per (map task, partition). fetch also reports wasted network
+// bytes — verified data the transport had to discard — charged to the
+// attempt's footprint.
+type segmentSource interface {
+	numMaps() int
+	fetch(m, part int) (segment, int64, error)
+}
+
+// memSource serves a snapshot of the in-memory map outputs: the historical
+// zero-copy hand-off.
+type memSource struct {
+	outs [][]segment
+}
+
+func (s memSource) numMaps() int { return len(s.outs) }
+
+func (s memSource) fetch(m, part int) (segment, int64, error) {
+	return s.outs[m][part], 0, nil
+}
+
+// netSource fetches segments through the shuffle service. Failures
+// translate into the engine's existing recovery vocabulary: an exhausted
+// fetch means the map output is lost, which is the same repair problem as a
+// corrupt segment — re-execute the producer and retry the reducer.
+type netSource struct {
+	svc  *shufflenet.Service
+	n    int
+	stop <-chan struct{}
+	// attemptOf names the currently committed attempt of a map task, for
+	// exhaustion reports (the transport never saw the segment's bytes).
+	attemptOf func(m int) int
+	// verify enables fetch-time IFile verification (only sound for
+	// uncompressed segments — compressed ones are checked by the merge's
+	// decode path).
+	verify bool
+}
+
+func (s *netSource) numMaps() int { return s.n }
+
+func (s *netSource) fetch(m, part int) (segment, int64, error) {
+	res, err := s.svc.Fetch(s.stop, m, part)
+	if err != nil {
+		if errors.Is(err, shufflenet.ErrCanceled) {
+			return segment{}, res.WastedBytes, errAttemptCanceled
+		}
+		var fe *shufflenet.FetchError
+		if errors.As(err, &fe) {
+			return segment{}, res.WastedBytes, &ErrCorruptSegment{
+				MapTask: m, Partition: part, Attempt: s.attemptOf(m), Err: err,
+			}
+		}
+		return segment{}, res.WastedBytes, err
+	}
+	seg := segment{data: res.Data, src: m, attempt: res.Attempt}
+	if s.verify && len(res.Data) > 0 {
+		st, err := ifile.VerifyStream(bytes.NewReader(res.Data))
+		if err != nil {
+			// The transport delivered what the node stored, faithfully —
+			// this is producer-side corruption caught at fetch time.
+			return segment{}, res.WastedBytes, &ErrCorruptSegment{
+				MapTask: m, Partition: part, Attempt: res.Attempt, Err: err,
+			}
+		}
+		seg.records = st.Records
+	}
+	return seg, res.WastedBytes, nil
+}
+
+// canVerifyAtFetch reports whether fetched segments are plain IFile streams
+// the fetcher can verify without decoding.
+func canVerifyAtFetch(job *Job) bool {
+	return job.codec() == codec.None
+}
+
+// mergeShuffleMetrics folds the transport's end-of-run metrics into the job
+// counters.
+func mergeShuffleMetrics(jc *Counters, m shufflenet.MetricsSnapshot) {
+	jc.ShuffleFetches.Add(m.Fetches)
+	jc.ShuffleFetchRetries.Add(m.Retries)
+	jc.ShuffleFetchesResumed.Add(m.Resumes)
+	jc.ShuffleFetchWastedBytes.Add(m.WastedBytes)
+	jc.ShuffleBreakerTrips.Add(m.BreakerTrips)
+}

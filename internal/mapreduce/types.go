@@ -21,6 +21,7 @@ package mapreduce
 
 import (
 	"fmt"
+	"time"
 
 	"scikey/internal/codec"
 	"scikey/internal/faults"
@@ -100,8 +101,8 @@ type TaskContext struct {
 	FS *hdfs.FileSystem
 
 	counters   *Counters
-	inputBytes int64         // this task's reported input volume
-	canceled   func() bool   // non-nil when the scheduler may cancel this attempt
+	inputBytes int64       // this task's reported input volume
+	canceled   func() bool // non-nil when the scheduler may cancel this attempt
 }
 
 // Counters exposes this attempt's counters for user-code increments. The
@@ -177,6 +178,16 @@ type Job struct {
 	// IFile segments, and codec streams — the harness recovery tests and
 	// chaos runs use. Nil disables injection.
 	Faults *faults.Injector
+	// Shuffle selects the map→reduce segment transport. Nil (or mode "mem")
+	// hands committed segments to reducers in-process; the net modes run
+	// the full shufflenet data path — per-node servers, CRC-framed chunked
+	// responses, deadlines, retries with resume, circuit breakers — over
+	// in-process pipes ("net") or loopback TCP ("tcp").
+	Shuffle *ShuffleConfig
+	// Timeout bounds the whole job's wall-clock time. When it expires, all
+	// in-flight attempts (including their backoff and straggler waits) are
+	// interrupted and Run returns a *TimeoutError. 0 means no limit.
+	Timeout time.Duration
 }
 
 func (j *Job) validate() error {
@@ -195,6 +206,11 @@ func (j *Job) validate() error {
 		return fmt.Errorf("mapreduce: job %q needs Partition or PartitionSplit", j.Name)
 	case j.OutputPath == "":
 		return fmt.Errorf("mapreduce: job %q needs OutputPath", j.Name)
+	}
+	if j.Shuffle != nil {
+		if err := j.Shuffle.validate(); err != nil {
+			return fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
+		}
 	}
 	return nil
 }

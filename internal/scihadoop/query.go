@@ -3,6 +3,7 @@ package scihadoop
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"scikey/internal/codec"
 	"scikey/internal/faults"
@@ -85,6 +86,11 @@ type QueryConfig struct {
 	// Faults optionally injects deterministic failures for recovery
 	// experiments. Nil disables injection.
 	Faults *faults.Injector
+	// Shuffle selects the shuffle transport (in-memory, in-process pipes, or
+	// loopback TCP). Nil keeps the in-memory hand-off.
+	Shuffle *mapreduce.ShuffleConfig
+	// Timeout bounds the whole job's wall-clock time. 0 means no deadline.
+	Timeout time.Duration
 }
 
 func (c QueryConfig) withDefaults() QueryConfig {
@@ -153,6 +159,8 @@ func SimpleKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, *keys.C
 		OutputPath:     cfg.OutputPath,
 		Retry:          cfg.Retry,
 		Faults:         cfg.Faults,
+		Shuffle:        cfg.Shuffle,
+		Timeout:        cfg.Timeout,
 		NewMapper: func() mapreduce.Mapper {
 			return mapreduce.MapperFunc(func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {
 				box := split.Data.(grid.Box)

@@ -51,6 +51,8 @@ func AggKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, aggregate.
 		OutputPath:     cfg.OutputPath,
 		Retry:          cfg.Retry,
 		Faults:         cfg.Faults,
+		Shuffle:        cfg.Shuffle,
+		Timeout:        cfg.Timeout,
 
 		// Section IV-B, case one: split aggregate keys at routing time.
 		PartitionSplit: func(key, value []byte, n int) []mapreduce.RoutedKV {

@@ -44,6 +44,8 @@ func BoxKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, error) {
 		OutputPath:     cfg.OutputPath,
 		Retry:          cfg.Retry,
 		Faults:         cfg.Faults,
+		Shuffle:        cfg.Shuffle,
+		Timeout:        cfg.Timeout,
 
 		PartitionSplit: func(key, value []byte, n int) []mapreduce.RoutedKV {
 			k, err := kc.DecodeBox(serial.NewDataInput(key))

@@ -1,0 +1,106 @@
+package shufflenet
+
+import (
+	"sync"
+	"time"
+
+	"scikey/internal/backoff"
+)
+
+// breaker is a per-node circuit breaker. Consecutive fetch failures against
+// a node open it; while open, fetch attempts to that node fail immediately
+// instead of burning a timeout each. It half-opens on the backoff schedule
+// — after Delay(node, trips) one probe attempt is let through; the probe's
+// outcome either closes the breaker or re-opens it for the next, longer
+// interval.
+type breaker struct {
+	node      int
+	threshold int // 0 disables
+	policy    backoff.Policy
+	metrics   *Metrics
+
+	mu          sync.Mutex
+	state       int // breakerClosed | breakerOpen | breakerHalfOpen
+	consecutive int // failures since last success, while closed
+	trips       int // opens since last success: the reopen-backoff key
+	reopenAt    time.Time
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// fallbackReopen keeps an open breaker meaningful under a zero backoff
+// policy (immediate-retry configurations).
+const fallbackReopen = 10 * time.Millisecond
+
+func newBreaker(node, threshold int, policy backoff.Policy, m *Metrics) *breaker {
+	return &breaker{node: node, threshold: threshold, policy: policy, metrics: m}
+}
+
+// allow reports whether a fetch attempt may proceed. At most one caller is
+// admitted as the half-open probe per reopen interval.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Now().Before(b.reopenAt) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true // this caller is the probe
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// success closes the breaker and forgets its history.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.trips = 0
+	b.mu.Unlock()
+}
+
+// failure records a fetch failure; enough of them in a row trip the breaker,
+// and a failed half-open probe re-opens it with a longer interval.
+func (b *breaker) failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.trip()
+	case breakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+func (b *breaker) trip() {
+	b.trips++
+	b.state = breakerOpen
+	b.consecutive = 0
+	d := b.policy.Delay(int64(b.node), -1, b.trips)
+	if d <= 0 {
+		d = fallbackReopen
+	}
+	b.reopenAt = time.Now().Add(d)
+	b.metrics.BreakerTrips.Add(1)
+}

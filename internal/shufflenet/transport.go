@@ -1,0 +1,171 @@
+package shufflenet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport supplies the byte pipes between shuffle nodes. Listen binds a
+// node's server endpoint; Dial opens a client connection to it. Connections
+// must honor SetDeadline so fetch timeouts work on both transports.
+type Transport interface {
+	Listen(node int) (net.Listener, error)
+	Dial(node int, timeout time.Duration) (net.Conn, error)
+}
+
+// ---------------------------------------------------------------------------
+// In-memory transport: synchronous net.Pipe pairs behind a node registry.
+// Deterministic, no ports, and still a real stream with deadlines — the
+// default for tests and single-process runs.
+
+// MemTransport connects nodes with in-process net.Pipe streams.
+type MemTransport struct {
+	mu        sync.Mutex
+	listeners map[int]*memListener
+}
+
+// NewMemTransport builds an empty in-memory network.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{listeners: make(map[int]*memListener)}
+}
+
+// Listen binds the node's in-memory endpoint.
+func (t *MemTransport) Listen(node int) (net.Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.listeners[node]; ok {
+		return nil, fmt.Errorf("shufflenet: node %d already listening", node)
+	}
+	l := &memListener{
+		node:   node,
+		t:      t,
+		accept: make(chan net.Conn),
+		done:   make(chan struct{}),
+	}
+	t.listeners[node] = l
+	return l, nil
+}
+
+// Dial connects to a listening node; it fails like a refused connection when
+// the node is not listening or does not accept within the timeout.
+func (t *MemTransport) Dial(node int, timeout time.Duration) (net.Conn, error) {
+	t.mu.Lock()
+	l := t.listeners[node]
+	t.mu.Unlock()
+	if l == nil {
+		return nil, &net.OpError{Op: "dial", Net: "mem", Err: errRefused}
+	}
+	server, client := net.Pipe()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		server.Close()
+		client.Close()
+		return nil, &net.OpError{Op: "dial", Net: "mem", Err: errRefused}
+	case <-timer.C:
+		server.Close()
+		client.Close()
+		return nil, &net.OpError{Op: "dial", Net: "mem", Err: errDialTimeout}
+	}
+}
+
+var (
+	errRefused     = fmt.Errorf("connection refused")
+	errDialTimeout = fmt.Errorf("dial timeout")
+)
+
+type memListener struct {
+	node   int
+	t      *MemTransport
+	accept chan net.Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.t.mu.Lock()
+		if l.t.listeners[l.node] == l {
+			delete(l.t.listeners, l.node)
+		}
+		l.t.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr{node: l.node} }
+
+type memAddr struct{ node int }
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return fmt.Sprintf("mem:%d", a.node) }
+
+// ---------------------------------------------------------------------------
+// Localhost TCP transport: each node listens on 127.0.0.1:0 and the dialer
+// looks the port up in the shared registry. The realistic transport — real
+// sockets, real kernel buffering, real deadline semantics.
+
+// TCPTransport connects nodes over loopback TCP.
+type TCPTransport struct {
+	mu    sync.Mutex
+	addrs map[int]string
+}
+
+// NewTCPTransport builds an empty loopback network.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{addrs: make(map[int]string)}
+}
+
+// Listen binds the node to an ephemeral loopback port.
+func (t *TCPTransport) Listen(node int) (net.Listener, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.addrs[node] = l.Addr().String()
+	t.mu.Unlock()
+	return &tcpListener{Listener: l, node: node, t: t}, nil
+}
+
+// Dial connects to the node's registered loopback address.
+func (t *TCPTransport) Dial(node int, timeout time.Duration) (net.Conn, error) {
+	t.mu.Lock()
+	addr, ok := t.addrs[node]
+	t.mu.Unlock()
+	if !ok {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: errRefused}
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+type tcpListener struct {
+	net.Listener
+	node int
+	t    *TCPTransport
+	once sync.Once
+}
+
+func (l *tcpListener) Close() error {
+	l.once.Do(func() {
+		l.t.mu.Lock()
+		delete(l.t.addrs, l.node)
+		l.t.mu.Unlock()
+	})
+	return l.Listener.Close()
+}

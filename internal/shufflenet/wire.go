@@ -1,0 +1,134 @@
+package shufflenet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire protocol, one request/response per connection, all integers
+// big-endian:
+//
+//	request  := magic u32 | mapTask u32 | partition u32 | fetchAttempt u32
+//	          | haveAttempt i32 | offset u64
+//	response := status u8 | attempt u32 | total u64 | start u64 | chunk*
+//	chunk    := len u32 | crc32 u32 | payload [len]byte      (len 0 ends)
+//
+// haveAttempt is the map attempt whose verified prefix the client already
+// holds (-1 for none); offset is that prefix's length. The server serves
+// from offset when the attempt still matches, from 0 otherwise — start in
+// the response header says which happened, so the client knows whether its
+// buffered prefix is still good or is now waste. Every chunk carries the
+// CRC32 (IEEE) of its payload; the client appends only chunks that verify,
+// making len(buffer) the resume offset for the next attempt.
+
+const (
+	reqMagic   = 0x534e4631 // "SNF1"
+	reqLen     = 4 + 4 + 4 + 4 + 4 + 8
+	respHdrLen = 1 + 4 + 8 + 8
+
+	statusOK           = 0 // data follows from start
+	statusEmpty        = 1 // partition exists and is empty
+	statusNotPublished = 2 // map task's output not (yet) on this node
+)
+
+type request struct {
+	mapTask      int
+	partition    int
+	fetchAttempt int
+	haveAttempt  int // -1: none
+	offset       int64
+}
+
+type respHeader struct {
+	status  byte
+	attempt int
+	total   int64
+	start   int64
+}
+
+func writeRequest(w io.Writer, r request) error {
+	var buf [reqLen]byte
+	binary.BigEndian.PutUint32(buf[0:], reqMagic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(r.mapTask))
+	binary.BigEndian.PutUint32(buf[8:], uint32(r.partition))
+	binary.BigEndian.PutUint32(buf[12:], uint32(r.fetchAttempt))
+	binary.BigEndian.PutUint32(buf[16:], uint32(int32(r.haveAttempt)))
+	binary.BigEndian.PutUint64(buf[20:], uint64(r.offset))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readRequest(r io.Reader) (request, error) {
+	var buf [reqLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return request{}, err
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != reqMagic {
+		return request{}, fmt.Errorf("shufflenet: bad request magic")
+	}
+	req := request{
+		mapTask:      int(binary.BigEndian.Uint32(buf[4:])),
+		partition:    int(binary.BigEndian.Uint32(buf[8:])),
+		fetchAttempt: int(binary.BigEndian.Uint32(buf[12:])),
+		haveAttempt:  int(int32(binary.BigEndian.Uint32(buf[16:]))),
+		offset:       int64(binary.BigEndian.Uint64(buf[20:])),
+	}
+	if req.offset < 0 {
+		return request{}, fmt.Errorf("shufflenet: negative request offset")
+	}
+	return req, nil
+}
+
+func writeRespHeader(w io.Writer, h respHeader) error {
+	var buf [respHdrLen]byte
+	buf[0] = h.status
+	binary.BigEndian.PutUint32(buf[1:], uint32(h.attempt))
+	binary.BigEndian.PutUint64(buf[5:], uint64(h.total))
+	binary.BigEndian.PutUint64(buf[13:], uint64(h.start))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readRespHeader(r io.Reader) (respHeader, error) {
+	var buf [respHdrLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return respHeader{}, err
+	}
+	h := respHeader{
+		status:  buf[0],
+		attempt: int(binary.BigEndian.Uint32(buf[1:])),
+		total:   int64(binary.BigEndian.Uint64(buf[5:])),
+		start:   int64(binary.BigEndian.Uint64(buf[13:])),
+	}
+	if h.status > statusNotPublished || h.total < 0 || h.start < 0 || h.start > h.total {
+		return respHeader{}, fmt.Errorf("shufflenet: malformed response header")
+	}
+	return h, nil
+}
+
+// writeChunk frames one payload chunk. corrupted, when non-nil, is sent in
+// place of the payload while the CRC still covers the original bytes — the
+// injected bit-flip a client-side CRC check must catch.
+func writeChunk(w io.Writer, payload, corrupted []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	body := payload
+	if corrupted != nil {
+		body = corrupted
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// writeEnd terminates the chunk stream.
+func writeEnd(w io.Writer) error {
+	var hdr [8]byte // zero length, zero crc
+	_, err := w.Write(hdr[:])
+	return err
+}
