@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-all
+.PHONY: check build vet test race bench bench-all docs
 
-# The full gate: compile everything, vet, and run the test suite under the
-# race detector (the attempt scheduler and fault tests exercise real
-# concurrency).
-check: build vet race
+# The full gate: compile everything, check docs and formatting, vet, and run
+# the test suite under the race detector (the attempt scheduler and fault
+# tests exercise real concurrency).
+check: build docs vet race
+
+# The docs gate CI runs: gofmt-clean tree and a package doc comment on
+# every package.
+docs:
+	@test -z "$$(gofmt -l .)" || { gofmt -l .; echo 'gofmt needed'; exit 1; }
+	@sh scripts/check_pkgdocs.sh
+	@echo docs gate OK
 
 build:
 	$(GO) build ./...

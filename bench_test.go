@@ -176,7 +176,7 @@ func BenchmarkE10_AggregationGeometries(b *testing.B) {
 	var rows []experiments.E10Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.E10AggregationGeometries(96)
+		rows, err = experiments.E10AggregationGeometries(96, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,4 +1,4 @@
-// benchjson converts `go test -bench` text output into JSON so benchmark
+// Command benchjson converts `go test -bench` text output into JSON so benchmark
 // results can be committed and diffed across PRs. It reads benchmark lines
 // from stdin and writes a JSON document to stdout:
 //

@@ -6,22 +6,33 @@
 //
 //	expdriver -run all -scale full     # the paper's sizes (slow)
 //	expdriver -run e3,e8               # quick subset at default scale
+//	expdriver -run e13 -trace-out chaos.json   # trace the chaos soak
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"scikey/internal/core"
 	"scikey/internal/experiments"
+	"scikey/internal/obs"
 )
 
 func main() {
 	run := flag.String("run", "all", "comma-separated experiment ids or 'all'")
 	scale := flag.String("scale", "quick", "quick | full (full uses the paper's input sizes)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the instrumented experiments (e4, e10, e13) to this file (empty = off)")
 	flag.Parse()
+
+	// A nil observer keeps every experiment on its untraced path; the
+	// instrumented ones (e4, e10, e13) accept it either way.
+	var ob *obs.Observer
+	if *traceOut != "" {
+		ob = obs.New()
+	}
 
 	full := *scale == "full"
 	want := map[string]bool{}
@@ -77,7 +88,7 @@ func main() {
 		if full {
 			ns = []int{20, 40, 60, 80, 100}
 		}
-		r := experiments.E4TransformTimeVsSize(ns)
+		r := experiments.E4TransformTimeVsSize(ns, ob)
 		fmt.Println("== E4: Fig. 4 transform time vs file size ==")
 		for _, p := range r.Points {
 			fmt.Printf("  %14s bytes  %8.3f s\n", experiments.FormatBytes(p.Bytes), p.Seconds)
@@ -149,7 +160,7 @@ func main() {
 		if full {
 			side = 256
 		}
-		rows, err := experiments.E10AggregationGeometries(side)
+		rows, err := experiments.E10AggregationGeometries(side, ob)
 		if err != nil {
 			exitErr("e10", err)
 		}
@@ -205,7 +216,7 @@ func main() {
 		if full {
 			side = 256
 		}
-		r, err := experiments.E13ChaosSoak(side)
+		r, err := experiments.E13ChaosSoak(side, ob)
 		if err != nil {
 			exitErr("e13", err)
 		}
@@ -335,6 +346,26 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, ob.T().WriteChromeTrace); err != nil {
+			exitErr("trace-out", err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+}
+
+// writeFileWith streams a writer-taking renderer into a freshly created file.
+func writeFileWith(path string, render func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printComparison(r experiments.StrategyComparison, paperReduction, paperRuntime string) {

@@ -7,12 +7,15 @@
 //	scijob -side 256 -strategy aggregation -curve zorder -verify
 //	scijob -side 128 -faults "seed=7;map:1:error@0;segment:2.0:corrupt@0" -retries 3 -verify
 //	scijob -side 128 -shuffle net -faults "seed=7;net:*:cut@0;node:0:down=50ms" -retries 5 -backoff 10ms -verify
+//	scijob -side 256 -strategy transform -debug-addr 127.0.0.1:6060 -trace-out trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"scikey/internal/cluster"
@@ -20,6 +23,7 @@ import (
 	"scikey/internal/experiments"
 	"scikey/internal/faults"
 	"scikey/internal/mapreduce"
+	"scikey/internal/obs"
 	"scikey/internal/scihadoop"
 	"scikey/internal/workload"
 )
@@ -37,13 +41,16 @@ func main() {
 	verify := flag.Bool("verify", false, "check results against the reference implementation")
 	faultSpec := flag.String("faults", "", `deterministic fault schedule, e.g. "seed=7;map:1:error@0;segment:2.0:corrupt@0"`)
 	retries := flag.Int("retries", 1, "max attempts per task (1 = fail fast)")
-	backoff := flag.Duration("backoff", 0, "base retry backoff (doubles per failure, seeded jitter)")
-	speculate := flag.Duration("speculate", 0, "straggler threshold for speculative re-execution (0 = off)")
+	backoff := flag.Duration("backoff", 0, "base retry backoff as a duration, e.g. 10ms; doubles per failure with seeded jitter (0 = retry immediately)")
+	speculate := flag.Duration("speculate", 0, "straggler threshold for speculative re-execution as a duration, e.g. 500ms (0 = off)")
 	shuffle := flag.String("shuffle", "mem", "shuffle transport: mem | net (in-process pipes) | tcp (loopback sockets)")
-	nodes := flag.Int("nodes", 0, "simulated shuffle-server count for -shuffle net|tcp (0 = default)")
-	fetchAttempts := flag.Int("fetch-attempts", 0, "per-segment fetch attempts before the map output counts as lost (0 = default)")
-	fetchTimeout := flag.Duration("fetch-timeout", 0, "per-attempt fetch deadline (0 = default)")
-	timeout := flag.Duration("timeout", 0, "whole-job deadline (0 = none)")
+	nodes := flag.Int("nodes", 0, "simulated shuffle-server count for -shuffle net|tcp (0 = default 3)")
+	fetchAttempts := flag.Int("fetch-attempts", 0, "per-segment fetch attempts before the map output counts as lost (0 = default 4)")
+	fetchTimeout := flag.Duration("fetch-timeout", 0, "per-attempt fetch deadline as a duration, e.g. 500ms (0 = default 2s)")
+	timeout := flag.Duration("timeout", 0, "whole-job wall-clock deadline as a duration, e.g. 30s (0 = none)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof on this address, e.g. 127.0.0.1:6060; stays up after the job until interrupted (empty = off)")
+	traceOut := flag.String("trace-out", "", "write the job's Chrome trace_event JSON to this file (empty = off)")
+	metricsOut := flag.String("metrics-out", "", "write the job's metrics in Prometheus text format to this file (empty = off)")
 	flag.Parse()
 
 	var strat core.Strategy
@@ -80,6 +87,20 @@ func main() {
 	}
 	qcfg.Retry = mapreducePolicy(*retries, *backoff, *speculate)
 	qcfg.Timeout = *timeout
+	var ob *obs.Observer
+	if *debugAddr != "" || *traceOut != "" || *metricsOut != "" {
+		ob = obs.New()
+		qcfg.Obs = ob
+	}
+	var dbg *obs.Server
+	if *debugAddr != "" {
+		var err error
+		dbg, err = obs.NewServer(*debugAddr, ob)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("debug server on http://%s (metrics, trace, pprof)\n", dbg.Addr())
+	}
 	if *shuffle != mapreduce.ShuffleMem {
 		qcfg.Shuffle = &mapreduce.ShuffleConfig{
 			Mode:          *shuffle,
@@ -132,6 +153,39 @@ func main() {
 		}
 		fmt.Printf("  verification: OK (%d cells match the reference)\n", len(want))
 	}
+
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, ob.T().WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := writeFileWith(*metricsOut, ob.R().WritePrometheus); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	if dbg != nil {
+		fmt.Printf("job done; debug server still on http://%s — ctrl-c to exit\n", dbg.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		dbg.Close()
+	}
+}
+
+// writeFileWith streams a writer-taking renderer into a freshly created file.
+func writeFileWith(path string, render func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func mapreducePolicy(retries int, backoff, speculate time.Duration) mapreduce.RetryPolicy {

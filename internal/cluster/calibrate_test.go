@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// synthSamples fabricates attempt measurements from known bandwidths, so Fit
+// should recover them exactly (the data satisfies the model's equation).
+func synthSamples(diskMBps, netMBps float64, mixes [][2]int64) []CalSample {
+	const mib = 1 << 20
+	out := make([]CalSample, 0, len(mixes))
+	for i, m := range mixes {
+		cpu := 0.5 + 0.1*float64(i)
+		wall := cpu + float64(m[0])/mib/diskMBps + float64(m[1])/mib/netMBps
+		out = append(out, CalSample{
+			CPUSeconds: cpu, DiskBytes: m[0], NetBytes: m[1], WallSeconds: wall,
+		})
+	}
+	return out
+}
+
+func TestFitRecoversKnownBandwidths(t *testing.T) {
+	base := Paper()
+	samples := synthSamples(80, 40, [][2]int64{
+		{100 << 20, 10 << 20},
+		{50 << 20, 200 << 20},
+		{300 << 20, 30 << 20},
+		{20 << 20, 80 << 20},
+	})
+	got, err := base.Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.DiskMBps-80) > 1e-6 {
+		t.Errorf("DiskMBps = %f, want 80", got.DiskMBps)
+	}
+	if math.Abs(got.NetMBps-40) > 1e-6 {
+		t.Errorf("NetMBps = %f, want 40", got.NetMBps)
+	}
+	// Fit must not disturb the other knobs.
+	if got.Nodes != base.Nodes || got.MapSlotsPerNode != base.MapSlotsPerNode {
+		t.Errorf("Fit changed topology: %+v", got)
+	}
+}
+
+func TestFitDiskOnlyKeepsNetBandwidth(t *testing.T) {
+	base := Paper()
+	samples := synthSamples(120, 1, [][2]int64{ // netMBps irrelevant: no net bytes
+		{100 << 20, 0},
+		{200 << 20, 0},
+		{50 << 20, 0},
+	})
+	got, err := base.Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.DiskMBps-120) > 1e-6 {
+		t.Errorf("DiskMBps = %f, want 120", got.DiskMBps)
+	}
+	if got.NetMBps != base.NetMBps {
+		t.Errorf("NetMBps = %f, want base %f (no net samples to fit)", got.NetMBps, base.NetMBps)
+	}
+}
+
+func TestFitRejectsUnusableSamples(t *testing.T) {
+	base := Paper()
+	_, err := base.Fit([]CalSample{
+		{CPUSeconds: 5, WallSeconds: 5, DiskBytes: 1 << 20},        // no residual
+		{CPUSeconds: 1, WallSeconds: 9, DiskBytes: 0, NetBytes: 0}, // no I/O
+	})
+	if err == nil || !strings.Contains(err.Error(), "no usable calibration samples") {
+		t.Errorf("err = %v, want the no-usable-samples error", err)
+	}
+	got, err2 := base.Fit(nil)
+	if err2 == nil {
+		t.Error("empty sample set should not calibrate")
+	}
+	if got.DiskMBps != base.DiskMBps || got.NetMBps != base.NetMBps {
+		t.Errorf("failed Fit must return the config unchanged: %+v", got)
+	}
+}
+
+func TestFitNoiseTolerance(t *testing.T) {
+	// Perturb the wall clocks slightly; the least-squares estimate should
+	// still land near the truth.
+	samples := synthSamples(100, 50, [][2]int64{
+		{100 << 20, 10 << 20},
+		{50 << 20, 200 << 20},
+		{300 << 20, 30 << 20},
+		{20 << 20, 80 << 20},
+		{150 << 20, 150 << 20},
+	})
+	for i := range samples {
+		jitter := 1.0 + 0.01*float64(i%3-1) // ±1%
+		samples[i].WallSeconds = samples[i].CPUSeconds +
+			(samples[i].WallSeconds-samples[i].CPUSeconds)*jitter
+	}
+	got, err := Paper().Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DiskMBps < 90 || got.DiskMBps > 110 {
+		t.Errorf("DiskMBps = %f, want ~100", got.DiskMBps)
+	}
+	if got.NetMBps < 45 || got.NetMBps > 55 {
+		t.Errorf("NetMBps = %f, want ~50", got.NetMBps)
+	}
+}

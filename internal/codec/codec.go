@@ -110,6 +110,12 @@ type Transform struct {
 	// Cfg parameterizes the predictor; the zero value uses the paper's
 	// defaults (adaptive, MaxStride 100).
 	Cfg predictor.Config
+	// StatsFunc, when non-nil, receives the transformer's telemetry once
+	// per compressed stream, at writer Close. Pooled writers reset the
+	// transformer on reuse, so each report covers exactly one stream
+	// (one IFile segment in the engine). Must be safe for concurrent
+	// calls: spill writers run on worker goroutines.
+	StatsFunc func(predictor.Stats)
 }
 
 // NewTransform stacks the transform over inner with default parameters.
@@ -123,6 +129,7 @@ func (t *Transform) NewWriter(w io.Writer) io.WriteCloser {
 	return &transformWriter{
 		inner: t.Inner.NewWriter(w),
 		tr:    predictor.NewTransformer(t.Cfg),
+		stats: t.StatsFunc,
 	}
 }
 
@@ -141,6 +148,7 @@ func (t *Transform) NewReader(r io.Reader) (io.ReadCloser, error) {
 type transformWriter struct {
 	inner io.WriteCloser
 	tr    *predictor.Transformer
+	stats func(predictor.Stats)
 	buf   []byte
 }
 
@@ -159,7 +167,12 @@ func (w *transformWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-func (w *transformWriter) Close() error { return w.inner.Close() }
+func (w *transformWriter) Close() error {
+	if w.stats != nil {
+		w.stats(w.tr.Stats())
+	}
+	return w.inner.Close()
+}
 
 // Reset rebinds the writer to a new destination and restarts the transform
 // stream, retaining the transformer and scratch buffer. It must only be

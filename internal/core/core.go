@@ -149,7 +149,9 @@ func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, c
 			if cerr != nil {
 				return nil, cerr
 			}
-			qcfg.MapOutputCodec = codec.NewTransform(base)
+			t := codec.NewTransform(base)
+			t.StatsFunc = predictorStatsFunc(qcfg.Obs)
+			qcfg.MapOutputCodec = t
 		}
 		job, kc, err = scihadoop.SimpleKeyJob(fs, qcfg)
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"scikey/internal/grid"
 	"scikey/internal/ifile"
 	"scikey/internal/keys"
+	"scikey/internal/obs"
 	"scikey/internal/predictor"
 	"scikey/internal/serial"
 	"scikey/internal/stats"
@@ -147,17 +148,24 @@ type E4Result struct {
 }
 
 // E4TransformTimeVsSize sweeps n^3 walks for the given ns and fits
-// time ~ size.
-func E4TransformTimeVsSize(ns []int) E4Result {
+// time ~ size. When ob is non-nil each sweep point records a "transform"
+// phase span plus a sample in the scikey_transform_seconds histogram; a nil
+// ob disables observability.
+func E4TransformTimeVsSize(ns []int, ob *obs.Observer) E4Result {
+	hist := ob.R().Histogram("scikey_transform_seconds",
+		"Wall time of one forward byte-transform pass", "seconds", obs.DefTimeBuckets)
 	var res E4Result
 	var xs, ys []float64
-	for _, n := range ns {
+	for i, n := range ns {
 		data := workload.GridWalkTriples(n)
 		tr := predictor.NewTransformer(predictor.Config{})
 		dst := make([]byte, 0, len(data))
+		sp := ob.T().Start(obs.CatPhase, "transform", 0, i, 0)
 		t0 := time.Now()
 		tr.Forward(dst, data)
 		dt := time.Since(t0).Seconds()
+		sp.End()
+		hist.Observe(dt)
 		res.Points = append(res.Points, E4Point{Bytes: int64(len(data)), Seconds: dt})
 		xs = append(xs, float64(len(data)))
 		ys = append(ys, dt)

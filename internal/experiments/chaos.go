@@ -9,6 +9,7 @@ import (
 	"scikey/internal/faults"
 	"scikey/internal/hdfs"
 	"scikey/internal/mapreduce"
+	"scikey/internal/obs"
 )
 
 // E13Schedules are the chaos-soak fault schedules: each exercises a
@@ -53,7 +54,12 @@ type E13Result struct {
 // resume + producer re-execution reconstruct the exact fault-free result, so
 // chaos shows up only in the transport and waste counters — never in the
 // output bytes or payload counters.
-func E13ChaosSoak(side int) (E13Result, error) {
+//
+// When ob is non-nil every run (clean baseline and each chaos schedule)
+// traces into it, so the resulting timeline shows retried, speculative, and
+// faulted attempt spans side by side with the clean run; nil disables
+// observability.
+func E13ChaosSoak(side int, ob *obs.Observer) (E13Result, error) {
 	clus := cluster.Paper()
 	run := func(outPath, schedule string, sc *mapreduce.ShuffleConfig) (*core.Report, *hdfs.FileSystem, error) {
 		fs, qcfg, err := MedianSetup(side)
@@ -62,6 +68,7 @@ func E13ChaosSoak(side int) (E13Result, error) {
 		}
 		qcfg.OutputPath = outPath
 		qcfg.Shuffle = sc
+		qcfg.Obs = ob
 		if schedule != "" {
 			inj, err := faults.NewFromSpec(schedule)
 			if err != nil {

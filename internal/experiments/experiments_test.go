@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
+
+	"scikey/internal/obs"
 )
 
 func TestE1IntroOverheadExact(t *testing.T) {
@@ -78,7 +81,7 @@ func TestE3Shape(t *testing.T) {
 }
 
 func TestE4Linearity(t *testing.T) {
-	r := E4TransformTimeVsSize([]int{16, 24, 32, 40})
+	r := E4TransformTimeVsSize([]int{16, 24, 32, 40}, nil)
 	if len(r.Points) != 4 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -273,7 +276,7 @@ func TestFormatBytes(t *testing.T) {
 }
 
 func TestE10AggregationGeometries(t *testing.T) {
-	rows, err := E10AggregationGeometries(40)
+	rows, err := E10AggregationGeometries(40, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +436,8 @@ func TestE12FaultRecovery(t *testing.T) {
 }
 
 func TestE13ChaosSoak(t *testing.T) {
-	r, err := E13ChaosSoak(48)
+	ob := obs.New()
+	r, err := E13ChaosSoak(48, ob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -453,5 +457,44 @@ func TestE13ChaosSoak(t *testing.T) {
 		if run.Report.ShuffleFetches == 0 {
 			t.Errorf("%s: no networked fetches recorded", run.Name)
 		}
+	}
+
+	// The shared observer saw every run: one "ok" job span per run (clean +
+	// chaos schedules), and the chaos runs' recovery work shows up as failed
+	// or retried attempt spans — the trace distinguishes chaos from success.
+	jobSpans, okJobs, failedAttempts, wonAttempts := 0, 0, 0, 0
+	for _, ev := range ob.T().Events() {
+		switch ev.Cat {
+		case obs.CatJob:
+			jobSpans++
+			if ev.Outcome == "ok" {
+				okJobs++
+			}
+		case obs.CatAttempt:
+			switch ev.Outcome {
+			case obs.OutcomeFailed:
+				failedAttempts++
+			case obs.OutcomeWon:
+				wonAttempts++
+			}
+		}
+	}
+	if want := len(E13Schedules) + 1; jobSpans != want || okJobs != want {
+		t.Errorf("job spans = %d (%d ok), want %d of each", jobSpans, okJobs, want)
+	}
+	if failedAttempts == 0 {
+		t.Error("chaos left no failed attempt spans in the trace")
+	}
+	if wonAttempts == 0 {
+		t.Error("no winning attempt spans recorded")
+	}
+	// The networked runs also populated the per-node fetch histograms.
+	var fetchSamples int64
+	for node := 0; node < 8; node++ {
+		fetchSamples += ob.R().Histogram("scikey_shuffle_fetch_seconds", "", "seconds", nil,
+			obs.L("node", strconv.Itoa(node))).Count()
+	}
+	if fetchSamples == 0 {
+		t.Error("no shuffle fetch latency samples recorded")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"scikey/internal/hdfs"
 	"scikey/internal/keys"
 	"scikey/internal/mapreduce"
+	"scikey/internal/obs"
 	"scikey/internal/scihadoop"
 	"scikey/internal/serial"
 	"scikey/internal/sfc"
@@ -36,12 +37,15 @@ type E10Row struct {
 // E10AggregationGeometries runs the sliding median under every aggregation
 // geometry: simple keys, curve ranges on all four curves, and greedy n-D
 // boxes. All runs produce identical query results (covered by unit tests);
-// this experiment compares their intermediate-data footprints.
-func E10AggregationGeometries(side int) ([]E10Row, error) {
+// this experiment compares their intermediate-data footprints. When ob is
+// non-nil every geometry's job traces into it (one job span per scheme);
+// nil disables observability.
+func E10AggregationGeometries(side int, ob *obs.Observer) ([]E10Row, error) {
 	fs, qcfg, err := MedianSetup(side)
 	if err != nil {
 		return nil, err
 	}
+	qcfg.Obs = ob
 	var rows []E10Row
 	add := func(scheme string, res *mapreduce.Result) {
 		c := res.Counters

@@ -1,0 +1,46 @@
+package mapreduce
+
+import "scikey/internal/obs"
+
+// publishCounters copies a completed job's Counters into the metrics
+// registry as scikey_* counter series (a nil registry no-ops). The mapping
+// below is the single source of the metric names documented in DESIGN.md
+// §7; registry counters accumulate, so an Observer shared across jobs (an
+// experiment driver, a long-lived scijob process) reports fleet totals.
+func publishCounters(r *obs.Registry, c *Counters) {
+	if r == nil || c == nil {
+		return
+	}
+	pub := func(name, help string, unit string, v int64) {
+		r.Counter(name, help, unit).Add(v)
+	}
+	pub("scikey_map_input_records_total", "Map input records", "", c.MapInputRecords.Value())
+	pub("scikey_map_input_bytes_total", "Map input bytes", "bytes", c.MapInputBytes.Value())
+	pub("scikey_map_output_records_total", "Map output records", "", c.MapOutputRecords.Value())
+	pub("scikey_map_output_bytes_total", "Serialized map output bytes before framing and compression", "bytes", c.MapOutputBytes.Value())
+	pub("scikey_map_output_key_bytes_total", "Key share of map output bytes", "bytes", c.MapOutputKeyBytes.Value())
+	pub("scikey_map_output_value_bytes_total", "Value share of map output bytes", "bytes", c.MapOutputValueBytes.Value())
+	pub("scikey_map_output_materialized_bytes_total", "On-disk size of final map output (the paper's headline metric)", "bytes", c.MapOutputMaterializedBytes.Value())
+	pub("scikey_combine_input_records_total", "Records entering map-side combiners", "", c.CombineInputRecords.Value())
+	pub("scikey_combine_output_records_total", "Records leaving map-side combiners", "", c.CombineOutputRecords.Value())
+	pub("scikey_spilled_records_total", "Records written during spills and merge passes", "", c.SpilledRecords.Value())
+	pub("scikey_partition_key_splits_total", "Aggregate keys split at routing time", "", c.PartitionKeySplits.Value())
+	pub("scikey_overlap_key_splits_total", "Reduce-side overlap splits", "", c.OverlapKeySplits.Value())
+	pub("scikey_reduce_shuffle_bytes_total", "Segment bytes fetched by reducers", "bytes", c.ReduceShuffleBytes.Value())
+	pub("scikey_reduce_input_groups_total", "Distinct key groups reduced", "", c.ReduceInputGroups.Value())
+	pub("scikey_reduce_input_records_total", "Records entering reducers", "", c.ReduceInputRecords.Value())
+	pub("scikey_reduce_output_records_total", "Records written by reducers", "", c.ReduceOutputRecords.Value())
+	pub("scikey_reduce_output_bytes_total", "Bytes written by reducers", "bytes", c.ReduceOutputBytes.Value())
+	pub("scikey_map_attempts_failed_total", "Map attempts that ended in an error or panic", "", c.MapAttemptsFailed.Value())
+	pub("scikey_reduce_attempts_failed_total", "Reduce attempts that ended in an error or panic", "", c.ReduceAttemptsFailed.Value())
+	pub("scikey_task_retries_total", "Re-executions granted after failed attempts", "", c.TaskRetries.Value())
+	pub("scikey_speculative_attempts_total", "Backup attempts launched for stragglers", "", c.SpeculativeAttempts.Value())
+	pub("scikey_speculative_wasted_total", "Attempts whose twin finished first", "", c.SpeculativeWasted.Value())
+	pub("scikey_corrupt_segments_detected_total", "Shuffle reads failing CRC or decode checks", "", c.CorruptSegmentsDetected.Value())
+	pub("scikey_map_tasks_recovered_total", "Map tasks re-executed to replace corrupt or lost output", "", c.MapTasksRecovered.Value())
+	pub("scikey_shuffle_fetches_total", "Segment fetches issued by reducers", "", c.ShuffleFetches.Value())
+	pub("scikey_shuffle_fetch_retries_total", "Fetch attempts beyond each fetch's first", "", c.ShuffleFetchRetries.Value())
+	pub("scikey_shuffle_fetches_resumed_total", "Fetches resumed from a verified byte offset", "", c.ShuffleFetchesResumed.Value())
+	pub("scikey_shuffle_fetch_wasted_bytes_total", "Verified bytes fetches had to discard", "bytes", c.ShuffleFetchWastedBytes.Value())
+	pub("scikey_shuffle_breaker_trips_total", "Per-node circuit breakers opened", "", c.ShuffleBreakerTrips.Value())
+}

@@ -9,6 +9,7 @@ import (
 
 	"scikey/internal/cluster"
 	"scikey/internal/faults"
+	"scikey/internal/obs"
 )
 
 // mapTask executes one attempt of a mapper: collect, partition (splitting
@@ -45,6 +46,13 @@ type mapTask struct {
 	footprint cluster.Task
 	hosts     []string
 	finals    []segment // one per partition after finalize
+
+	// tracer/span parent this attempt's phase spans (zero when the job has
+	// no Observer); wallSeconds is the attempt's wall-clock duration, a
+	// cost-model calibration sample if the attempt wins.
+	tracer      *obs.Tracer
+	span        obs.SpanID
+	wallSeconds float64
 }
 
 // partBuffer collects one partition's records. Key/value copies
@@ -110,6 +118,7 @@ func (t *mapTask) run(split Split) error {
 	// up as wasted work in the cost model.
 	defer func() {
 		t.footprint.CPUSeconds += time.Since(start).Seconds()
+		t.wallSeconds = time.Since(start).Seconds()
 	}()
 	// Never leave the spill worker running, whatever exit path is taken.
 	defer t.drainSpills()
@@ -118,7 +127,10 @@ func (t *mapTask) run(split Split) error {
 		return fmt.Errorf("mapreduce: map task %d: %w", t.id, err)
 	}
 	mapper := t.job.NewMapper()
-	if err := mapper.Map(t.ctx, split, t.emit); err != nil {
+	sp := t.tracer.Start(obs.CatPhase, "map", t.span, t.id, t.attempt)
+	err := mapper.Map(t.ctx, split, t.emit)
+	sp.End()
+	if err != nil {
 		return fmt.Errorf("mapreduce: map task %d: %w", t.id, err)
 	}
 	if t.ctx.Canceled() {
@@ -226,6 +238,8 @@ func (t *mapTask) drainSpills() error {
 // it touches is either worker-owned until drainSpills (spills, spillBytes)
 // or concurrency-safe (counters, the buffer pools).
 func (t *mapTask) spillParts(parts []partBuffer) error {
+	sp := t.tracer.Start(obs.CatPhase, "spill", t.span, t.id, t.attempt)
+	defer sp.End()
 	c := t.ctx.counters
 	for p := range parts {
 		pb := &parts[p]
@@ -243,7 +257,9 @@ func (t *mapTask) spillParts(parts []partBuffer) error {
 			}
 			pairs = combined
 		}
+		cs := t.tracer.Start(obs.CatPhase, "codec", sp.ID(), t.id, t.attempt)
 		seg, err := writeSegment(pairs, t.job.codec())
+		cs.End()
 		if err != nil {
 			return err
 		}
@@ -307,6 +323,8 @@ func (t *mapTask) finalize() error {
 	t.footprint.DiskBytes += t.spillBytes
 	t.spillBytes = 0
 
+	ms := t.tracer.Start(obs.CatPhase, "merge", t.span, t.id, t.attempt)
+	defer ms.End()
 	c := t.ctx.counters
 	env := readEnv{codec: t.job.codec(), part: -1}
 	t.finals = make([]segment, t.job.NumReducers)

@@ -7,6 +7,7 @@ import (
 	"scikey/internal/cluster"
 	"scikey/internal/faults"
 	"scikey/internal/ifile"
+	"scikey/internal/obs"
 )
 
 // reduceTask executes one attempt of a reducer: fetch its partition's
@@ -25,6 +26,13 @@ type reduceTask struct {
 	footprint cluster.Task
 	tmpPath   string
 	outPath   string
+
+	// tracer/span parent this attempt's phase spans (zero when the job has
+	// no Observer); wallSeconds is the attempt's wall-clock duration, a
+	// cost-model calibration sample if the attempt wins.
+	tracer      *obs.Tracer
+	span        obs.SpanID
+	wallSeconds float64
 }
 
 func newReduceTask(job *Job, id, attempt int, canceled func() bool) *reduceTask {
@@ -60,6 +68,8 @@ func (t *reduceTask) abort() {
 }
 
 func (t *reduceTask) run(src segmentSource) error {
+	wallStart := time.Now()
+	defer func() { t.wallSeconds = time.Since(wallStart).Seconds() }()
 	c := t.ctx.counters
 	if err := t.job.Faults.Attempt(faults.SiteReduce, t.id, t.attempt); err != nil {
 		return fmt.Errorf("mapreduce: reduce task %d: %w", t.id, err)
@@ -70,6 +80,8 @@ func (t *reduceTask) run(src segmentSource) error {
 	// read during the merge). Wasted transport bytes — verified data a
 	// retried or exhausted fetch had to discard — still crossed the wire,
 	// so they join the footprint without touching the payload counters.
+	fetchSpan := t.tracer.Start(obs.CatPhase, "fetch", t.span, t.id, t.attempt)
+	defer fetchSpan.End() // explicit End below makes this a failure-path no-op
 	var segs []segment
 	for m := 0; m < src.numMaps(); m++ {
 		if t.ctx.Canceled() {
@@ -89,11 +101,14 @@ func (t *reduceTask) run(src segmentSource) error {
 		t.footprint.NetBytes += n
 		t.footprint.DiskBytes += 2 * n
 	}
+	fetchSpan.End()
 
 	start := time.Now()
 	defer func() {
 		t.footprint.CPUSeconds += time.Since(start).Seconds()
 	}()
+	mergeSpan := t.tracer.Start(obs.CatPhase, "merge", t.span, t.id, t.attempt)
+	defer mergeSpan.End()
 	env := readEnv{codec: t.job.codec(), inj: t.job.Faults, attempt: t.attempt, part: t.id}
 	// Reduce-side multi-pass merge: more fetched segments than the merge
 	// factor force extra on-disk passes first — the mechanism by which
@@ -119,6 +134,7 @@ func (t *reduceTask) run(src segmentSource) error {
 		recycleSegment(s)
 	}
 	c.ReduceInputRecords.Add(int64(len(pairs)))
+	mergeSpan.End()
 
 	if t.job.MergeTransform != nil {
 		before := len(pairs)
@@ -147,6 +163,8 @@ func (t *reduceTask) run(src segmentSource) error {
 			panic(fmt.Sprintf("mapreduce: reduce output write: %v", err))
 		}
 	}
+	reduceSpan := t.tracer.Start(obs.CatPhase, "reduce", t.span, t.id, t.attempt)
+	defer reduceSpan.End()
 	red := t.job.NewReducer()
 	if err := groupReduce(t.ctx, pairs, t.job.Compare, red, emit, c, false); err != nil {
 		return fmt.Errorf("mapreduce: reduce task %d: %w", t.id, err)
@@ -165,6 +183,7 @@ func (t *reduceTask) run(src segmentSource) error {
 	if err := w.Close(); err != nil {
 		return err
 	}
+	reduceSpan.End()
 	c.ReduceOutputBytes.Add(outBytes)
 	t.footprint.DiskBytes += iw.Stats().Total()
 	return nil

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"scikey/internal/cluster"
+	"scikey/internal/obs"
 )
 
 // Result reports a completed job: its counters, the per-task resource
@@ -25,6 +26,17 @@ type Result struct {
 	// committed tasks so recovery overhead shows up in the estimate.
 	WastedMapTasks    []cluster.Task
 	WastedReduceTasks []cluster.Task
+	// CalSamples pairs each winning attempt's modeled footprint with its
+	// observed wall clock, for cluster.Config.Fit.
+	CalSamples []cluster.CalSample
+}
+
+// Calibrate fits the cost model's bandwidth constants to this run's
+// observed attempt durations (see cluster.Config.Fit). In-process runs
+// whose wall clock is all CPU have no I/O residual to fit and return an
+// error; runs with real transport and disk time calibrate.
+func (r *Result) Calibrate(base cluster.Config) (cluster.Config, error) {
+	return base.Fit(r.CalSamples)
 }
 
 // Estimate models the job's runtime on the given cluster, treating all map
@@ -52,6 +64,17 @@ func Run(job *Job) (*Result, error) {
 	// jc holds the scheduling counters during the run; winning attempts'
 	// payload counters merge in at the end.
 	jc := &Counters{}
+
+	// The job span roots the trace; everything below is nil-safe no-ops
+	// when the job has no Observer.
+	tr := job.Obs.T()
+	jobName := job.Name
+	if jobName == "" {
+		jobName = "job"
+	}
+	jobSpan := tr.Start(obs.CatJob, jobName, 0, -1, -1)
+	jobOutcome := "failed"
+	defer func() { jobSpan.EndOutcome(jobOutcome) }()
 
 	// jobStop is the job-wide cancel signal: the deadline timer trips it,
 	// and every phase propagates it into in-flight attempts, backoff sleeps,
@@ -109,6 +132,7 @@ func Run(job *Job) (*Result, error) {
 		outMu.Unlock()
 	}
 
+	attemptHelp := "Duration of task attempts by phase"
 	mapRunner := &phaseRunner{
 		phase:   "map",
 		n:       len(job.Splits),
@@ -116,8 +140,13 @@ func Run(job *Job) (*Result, error) {
 		policy:  job.Retry,
 		jc:      jc,
 		jobStop: jobStop,
-		run: func(task, attempt int, canceled func() bool) (any, error) {
+		tracer:  tr,
+		jobSpan: jobSpan.ID(),
+		attemptHist: job.Obs.R().Histogram("scikey_attempt_seconds",
+			attemptHelp, "seconds", nil, obs.L("phase", "map")),
+		run: func(task, attempt int, canceled func() bool, sp obs.Span) (any, error) {
 			t := newMapTask(job, task, attempt, canceled)
+			t.tracer, t.span = sp.Tracer(), sp.ID()
 			return t, t.run(job.Splits[task])
 		},
 		commit: func(task, attempt int, result any) error {
@@ -166,7 +195,9 @@ func Run(job *Job) (*Result, error) {
 				return false
 			}
 			a := mapRunner.nextAttempt(ce.MapTask)
-			res, err := mapRunner.runOne(ce.MapTask, a, nil)
+			sp := mapRunner.startSpan(ce.MapTask, a, false)
+			res, err := mapRunner.runOne(ce.MapTask, a, nil, sp)
+			sp.EndOutcome(attemptOutcome(err, true))
 			nt, _ := res.(*mapTask)
 			if err == nil {
 				outMu.Lock()
@@ -208,8 +239,13 @@ func Run(job *Job) (*Result, error) {
 		policy:  job.Retry,
 		jc:      jc,
 		jobStop: jobStop,
-		run: func(task, attempt int, canceled func() bool) (any, error) {
+		tracer:  tr,
+		jobSpan: jobSpan.ID(),
+		attemptHist: job.Obs.R().Histogram("scikey_attempt_seconds",
+			attemptHelp, "seconds", nil, obs.L("phase", "reduce")),
+		run: func(task, attempt int, canceled func() bool, sp obs.Span) (any, error) {
 			t := newReduceTask(job, task, attempt, canceled)
+			t.tracer, t.span = sp.Tracer(), sp.ID()
 			var src segmentSource
 			if svc != nil {
 				src = &netSource{
@@ -290,11 +326,26 @@ func Run(job *Job) (*Result, error) {
 		jc.Merge(t.counters())
 		res.MapTasks[i] = t.footprint
 		res.MapSpecs[i] = cluster.MapSpec{Task: t.footprint, InputBytes: t.ctx.inputBytes, Hosts: t.hosts}
+		res.CalSamples = append(res.CalSamples, calSample(t.footprint, t.wallSeconds))
 	}
 	for r, t := range rtasks {
 		jc.Merge(t.counters())
 		res.ReduceTasks[r] = t.footprint
 		res.OutputPaths[r] = t.outPath
+		res.CalSamples = append(res.CalSamples, calSample(t.footprint, t.wallSeconds))
 	}
+	publishCounters(job.Obs.R(), jc)
+	jobOutcome = "ok"
 	return res, nil
+}
+
+// calSample pairs one committed attempt's modeled footprint with its
+// observed wall clock.
+func calSample(fp cluster.Task, wallSeconds float64) cluster.CalSample {
+	return cluster.CalSample{
+		CPUSeconds:  fp.CPUSeconds,
+		DiskBytes:   fp.DiskBytes,
+		NetBytes:    fp.NetBytes,
+		WallSeconds: wallSeconds,
+	}
 }

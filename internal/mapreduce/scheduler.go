@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"scikey/internal/backoff"
+	"scikey/internal/obs"
 )
 
 // RetryPolicy configures the attempt scheduler: how many times a task may
@@ -89,7 +90,9 @@ type phaseRunner struct {
 	// run executes one attempt. It must be safe for concurrent calls with
 	// distinct attempts (including two live attempts of the same task) and
 	// should poll canceled() to stop early once its result is unwanted.
-	run func(task, attempt int, canceled func() bool) (any, error)
+	// sp is the attempt's span (possibly the zero span), under which the
+	// attempt may open phase spans.
+	run func(task, attempt int, canceled func() bool, sp obs.Span) (any, error)
 	// commit installs the winning attempt's result; called once per task.
 	commit func(task, attempt int, result any) error
 	// discard releases a failed, canceled, or speculatively-lost attempt
@@ -107,6 +110,12 @@ type phaseRunner struct {
 	// failure in another phase); it trips this phase's stop as soon as the
 	// phase is running, interrupting backoff sleeps and straggler waits.
 	jobStop *stopState
+
+	// tracer/jobSpan parent the attempt spans; attemptHist records each
+	// attempt's duration. All are zero-value no-ops without an Observer.
+	tracer      *obs.Tracer
+	jobSpan     obs.SpanID
+	attemptHist obs.Histogram
 
 	stop *stopState
 	mu   sync.Mutex
@@ -210,29 +219,57 @@ func (p *phaseRunner) speculating() bool {
 	return p.policy.Speculative && p.policy.SpeculativeAfter > 0 && p.limit > 1
 }
 
+// startSpan opens an attempt span under the phase's job span.
+func (p *phaseRunner) startSpan(task, attempt int, speculative bool) obs.Span {
+	sp := p.tracer.Start(obs.CatAttempt, p.phase, p.jobSpan, task, attempt)
+	if speculative {
+		sp = sp.Speculative()
+	}
+	return sp
+}
+
+// attemptOutcome maps an attempt's error (and whether a nil error means its
+// output was committed) to the span outcome vocabulary.
+func attemptOutcome(err error, won bool) string {
+	switch {
+	case err == nil && won:
+		return obs.OutcomeWon
+	case err == nil:
+		return obs.OutcomeLost
+	case errors.Is(err, errAttemptCanceled):
+		return obs.OutcomeCanceled
+	default:
+		return obs.OutcomeFailed
+	}
+}
+
 // runMaybeSpeculate executes one attempt round: the given attempt, plus —
 // when it straggles past SpeculativeAfter — a backup twin. The first
 // finisher with a result wins; the loser is canceled, drained, and charged
 // as speculative waste. Returns the winning (or last failing) attempt.
 func (p *phaseRunner) runMaybeSpeculate(task, firstAttempt int) (any, int, error) {
 	if !p.speculating() {
-		res, err := p.runOne(task, firstAttempt, nil)
+		sp := p.startSpan(task, firstAttempt, false)
+		res, err := p.runOne(task, firstAttempt, nil, sp)
+		sp.EndOutcome(attemptOutcome(err, true))
 		return res, firstAttempt, err
 	}
 	type outcome struct {
 		res     any
 		attempt int
 		err     error
+		sp      obs.Span
 	}
 	ch := make(chan outcome, 2)
 	var lostPrimary, lostBackup atomic.Bool
-	start := func(attempt int, lost *atomic.Bool) {
+	start := func(attempt int, lost *atomic.Bool, speculative bool) {
+		sp := p.startSpan(task, attempt, speculative)
 		go func() {
-			res, err := p.runOne(task, attempt, lost)
-			ch <- outcome{res, attempt, err}
+			res, err := p.runOne(task, attempt, lost, sp)
+			ch <- outcome{res, attempt, err, sp}
 		}()
 	}
-	start(firstAttempt, &lostPrimary)
+	start(firstAttempt, &lostPrimary, false)
 	timer := time.NewTimer(p.policy.SpeculativeAfter)
 	defer timer.Stop()
 
@@ -243,14 +280,21 @@ func (p *phaseRunner) runMaybeSpeculate(task, firstAttempt int) (any, int, error
 		select {
 		case o := <-ch:
 			running--
+			if o.err != nil {
+				// The attempt is definitively over whatever happens to its
+				// twin; record its span now.
+				o.sp.EndOutcome(attemptOutcome(o.err, false))
+			}
 			if o.err == nil {
 				// Winner. Cancel and drain the twin before returning so no
 				// attempt outlives the job.
+				o.sp.EndOutcome(obs.OutcomeWon)
 				lostPrimary.Store(true)
 				lostBackup.Store(true)
 				for running > 0 {
 					loser := <-ch
 					running--
+					loser.sp.EndOutcome(attemptOutcome(loser.err, false))
 					p.jc.SpeculativeWasted.Add(1)
 					if loser.err != nil {
 						p.countFailure(task, loser.attempt, loser.err)
@@ -280,23 +324,26 @@ func (p *phaseRunner) runMaybeSpeculate(task, firstAttempt int) (any, int, error
 				spawned = true
 				running++
 				p.jc.SpeculativeAttempts.Add(1)
-				start(p.nextAttempt(task), &lostBackup)
+				start(p.nextAttempt(task), &lostBackup, true)
 			}
 		}
 	}
 }
 
-// runOne executes a single attempt with panic containment.
-func (p *phaseRunner) runOne(task, attempt int, lost *atomic.Bool) (res any, err error) {
+// runOne executes a single attempt with panic containment, timing it into
+// the phase's attempt-duration histogram.
+func (p *phaseRunner) runOne(task, attempt int, lost *atomic.Bool, sp obs.Span) (res any, err error) {
 	canceled := func() bool {
 		return (lost != nil && lost.Load()) || p.stop.stopped()
 	}
+	t0 := time.Now()
 	defer func() {
+		p.attemptHist.Observe(time.Since(t0).Seconds())
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%s task %d attempt %d panicked: %v", p.phase, task, attempt, r)
 		}
 	}()
-	return p.run(task, attempt, canceled)
+	return p.run(task, attempt, canceled, sp)
 }
 
 // forEachLimit runs fn(0..n-1) with at most limit concurrent goroutines and

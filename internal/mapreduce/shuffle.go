@@ -82,6 +82,7 @@ func newShuffleService(job *Job) (*shufflenet.Service, error) {
 		PerNodeFetchers:  sc.PerNodeFetchers,
 		BreakerThreshold: sc.BreakerThreshold,
 		Injector:         job.Faults,
+		Obs:              job.Obs,
 	})
 	if err != nil {
 		return nil, err

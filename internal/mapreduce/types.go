@@ -26,6 +26,7 @@ import (
 	"scikey/internal/codec"
 	"scikey/internal/faults"
 	"scikey/internal/hdfs"
+	"scikey/internal/obs"
 )
 
 // KV is one serialized key/value pair.
@@ -188,6 +189,12 @@ type Job struct {
 	// in-flight attempts (including their backoff and straggler waits) are
 	// interrupted and Run returns a *TimeoutError. 0 means no limit.
 	Timeout time.Duration
+	// Obs, when non-nil, records the run: a job → attempt → phase span tree
+	// in the tracer (attempt spans carry won/lost/failed/canceled outcomes)
+	// and the job counters, attempt-duration histograms, and shuffle
+	// transport metrics in the registry. Nil disables all of it; either way
+	// the job's output bytes and payload counters are identical.
+	Obs *obs.Observer
 }
 
 func (j *Job) validate() error {

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the opt-in HTTP debug endpoint for one Observer:
+//
+//	/metrics          Prometheus exposition of the registry
+//	/metrics.txt      human-readable metrics table
+//	/trace            Chrome trace_event JSON of the retained spans
+//	/trace.txt        human-readable span timeline
+//	/debug/pprof/...  net/http/pprof profiles
+//	/debug/vars       expvar
+//	/                 index of the above
+//
+// It binds its own mux (never http.DefaultServeMux), so embedding programs
+// keep their handlers to themselves.
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// NewServer starts a debug server on addr (e.g. "127.0.0.1:6060" or ":0"
+// for an ephemeral port) serving o's metrics and traces.
+func NewServer(addr string, o *Observer) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "scikey debug server\n\n/metrics\n/metrics.txt\n/trace\n/trace.txt\n/debug/pprof/\n/debug/vars\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.R().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = o.R().WriteText(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.T().WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/trace.txt", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = o.T().WriteTimeline(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	s := &Server{l: l, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(l) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server and its listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -198,6 +198,12 @@ type Transformer struct {
 	// any active stride could satisfy the eviction predicate; the scalar
 	// path skips the eviction sweep until pos reaches it.
 	evictCheckAt int64
+	// Telemetry counters (see Stats). All are maintained on cold paths —
+	// eviction, admission, and the batch emit loop — never per byte per
+	// stride.
+	evictions  int64
+	admissions int64
+	predicted  int64
 	// bestRun/bestPred are the forward batch's per-byte argmax scratch.
 	bestRun  []int32
 	bestPred []byte
@@ -263,6 +269,7 @@ func (t *Transformer) Reset() {
 	for i := range t.window {
 		t.window[i] = 0
 	}
+	t.evictions, t.admissions, t.predicted = 0, 0, 0
 	t.updateEvictHorizon()
 }
 
@@ -344,6 +351,7 @@ func (t *Transformer) evictSweep() {
 			st.hits*den < st.total*num {
 			st.active = false
 			st.evictedAtCycle = t.cycle
+			t.evictions++
 			continue
 		}
 		kept = append(kept, si)
@@ -419,6 +427,7 @@ func (t *Transformer) admit() {
 	st.active = true
 	st.activatedAt = t.pos
 	st.hits, st.total = 0, 0
+	t.admissions++
 	// Recompute the incremental indices the stride missed while evicted.
 	max := int64(t.cfg.MaxStride)
 	st.phase = int32(t.pos % int64(st.stride))
@@ -443,6 +452,7 @@ func (t *Transformer) Forward(dst, src []byte) []byte {
 		x := src[i]
 		if p, ok := t.predict(); ok {
 			dst = append(dst, x-p)
+			t.predicted++
 		} else {
 			dst = append(dst, x)
 		}
@@ -582,11 +592,14 @@ func (t *Transformer) forwardBatch(dst *[]byte, src []byte, i int) int {
 	n := len(*dst)
 	out := append(*dst, src[i:i+L]...)
 	o := out[n : n+L]
+	predicted := int64(0)
 	for j := 0; j < L; j++ {
 		if bestRun[j] > thr {
 			o[j] -= bestPred[j]
+			predicted++
 		}
 	}
+	t.predicted += predicted
 	*dst = out
 
 	// Advance the history window by the batch's last min(L, MaxStride)
@@ -657,6 +670,7 @@ func (t *Transformer) forwardStrideEvictable(st *strideState, b []byte, bestRun 
 		if j >= evictFrom && hits*den < total*num {
 			st.active = false
 			st.evictedAtCycle = t.cycle
+			t.evictions++
 			evicted = true
 			break
 		}
@@ -680,6 +694,7 @@ func (t *Transformer) Inverse(dst, src []byte) []byte {
 		var x byte
 		if p, ok := t.predict(); ok {
 			x = y + p
+			t.predicted++
 		} else {
 			x = y
 		}
@@ -687,6 +702,55 @@ func (t *Transformer) Inverse(dst, src []byte) []byte {
 		t.step(x)
 	}
 	return dst
+}
+
+// Stats is the transformer's adaptive-set telemetry for one stream (i.e.
+// since construction or the last Reset). Eviction/admission churn and the
+// prediction rate are the observable face of Section III-A's active-set
+// management; the metrics registry surfaces them per job.
+type Stats struct {
+	// Bytes is the stream position: bytes transformed so far.
+	Bytes int64
+	// ActiveStrides is the current active-set size.
+	ActiveStrides int
+	// Evictions counts strides removed from the active set; Admissions
+	// counts evicted strides re-admitted by the selection cycle.
+	Evictions  int64
+	Admissions int64
+	// PredictedBytes counts bytes that traveled as prediction residuals
+	// (the rest passed through untransformed).
+	PredictedBytes int64
+	// SeqHits / SeqChecks aggregate the active strides' sequence-table hit
+	// accounting (each stride's window restarts at its last activation).
+	SeqHits   int64
+	SeqChecks int64
+}
+
+// HitRatio is the active set's aggregate sequence hit rate, 0 when no
+// checks have happened yet.
+func (s Stats) HitRatio() float64 {
+	if s.SeqChecks == 0 {
+		return 0
+	}
+	return float64(s.SeqHits) / float64(s.SeqChecks)
+}
+
+// Stats reads the transformer's telemetry. It walks the active set (cold
+// path, allocation-free) and may be called at any point in a stream.
+func (t *Transformer) Stats() Stats {
+	s := Stats{
+		Bytes:          t.pos,
+		ActiveStrides:  len(t.actives),
+		Evictions:      t.evictions,
+		Admissions:     t.admissions,
+		PredictedBytes: t.predicted,
+	}
+	for _, si := range t.actives {
+		st := &t.strides[si]
+		s.SeqHits += st.hits
+		s.SeqChecks += st.total
+	}
+	return s
 }
 
 // ActiveStrides returns the strides currently in the active set, for

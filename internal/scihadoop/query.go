@@ -11,6 +11,7 @@ import (
 	"scikey/internal/hdfs"
 	"scikey/internal/keys"
 	"scikey/internal/mapreduce"
+	"scikey/internal/obs"
 	"scikey/internal/serial"
 	"scikey/internal/stats"
 )
@@ -91,6 +92,9 @@ type QueryConfig struct {
 	Shuffle *mapreduce.ShuffleConfig
 	// Timeout bounds the whole job's wall-clock time. 0 means no deadline.
 	Timeout time.Duration
+	// Obs, when non-nil, records the job's trace spans and metrics (see
+	// mapreduce.Job.Obs). Nil disables observability.
+	Obs *obs.Observer
 }
 
 func (c QueryConfig) withDefaults() QueryConfig {
@@ -161,6 +165,7 @@ func SimpleKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, *keys.C
 		Faults:         cfg.Faults,
 		Shuffle:        cfg.Shuffle,
 		Timeout:        cfg.Timeout,
+		Obs:            cfg.Obs,
 		NewMapper: func() mapreduce.Mapper {
 			return mapreduce.MapperFunc(func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {
 				box := split.Data.(grid.Box)

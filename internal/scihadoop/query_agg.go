@@ -53,6 +53,7 @@ func AggKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, aggregate.
 		Faults:         cfg.Faults,
 		Shuffle:        cfg.Shuffle,
 		Timeout:        cfg.Timeout,
+		Obs:            cfg.Obs,
 
 		// Section IV-B, case one: split aggregate keys at routing time.
 		PartitionSplit: func(key, value []byte, n int) []mapreduce.RoutedKV {

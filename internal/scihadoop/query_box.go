@@ -46,6 +46,7 @@ func BoxKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, error) {
 		Faults:         cfg.Faults,
 		Shuffle:        cfg.Shuffle,
 		Timeout:        cfg.Timeout,
+		Obs:            cfg.Obs,
 
 		PartitionSplit: func(key, value []byte, n int) []mapreduce.RoutedKV {
 			k, err := kc.DecodeBox(serial.NewDataInput(key))

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"scikey/internal/backoff"
+	"scikey/internal/obs"
 )
 
 // breaker is a per-node circuit breaker. Consecutive fetch failures against
@@ -18,6 +19,12 @@ type breaker struct {
 	threshold int // 0 disables
 	policy    backoff.Policy
 	metrics   *Metrics
+
+	// Per-target-state transition counters; zero handles (no Observer)
+	// no-op.
+	transOpen     obs.Counter
+	transHalfOpen obs.Counter
+	transClosed   obs.Counter
 
 	mu          sync.Mutex
 	state       int // breakerClosed | breakerOpen | breakerHalfOpen
@@ -56,6 +63,7 @@ func (b *breaker) allow() bool {
 			return false
 		}
 		b.state = breakerHalfOpen
+		b.transHalfOpen.Inc()
 		return true // this caller is the probe
 	default: // half-open: a probe is already in flight
 		return false
@@ -68,6 +76,9 @@ func (b *breaker) success() {
 		return
 	}
 	b.mu.Lock()
+	if b.state != breakerClosed {
+		b.transClosed.Inc()
+	}
 	b.state = breakerClosed
 	b.consecutive = 0
 	b.trips = 0
@@ -103,4 +114,5 @@ func (b *breaker) trip() {
 	}
 	b.reopenAt = time.Now().Add(d)
 	b.metrics.BreakerTrips.Add(1)
+	b.transOpen.Inc()
 }

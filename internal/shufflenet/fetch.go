@@ -90,7 +90,9 @@ func (s *Service) Fetch(stop <-chan struct{}, mapTask, part int) (FetchResult, e
 		if !s.acquire(node, stop) {
 			return FetchResult{}, ErrCanceled
 		}
+		t0 := time.Now()
 		err := s.fetchOnce(node, mapTask, part, attempt, st)
+		s.fetchHist[node].Observe(time.Since(t0).Seconds())
 		s.release(node)
 		if err == nil {
 			br.success()

@@ -29,12 +29,14 @@ package shufflenet
 import (
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"scikey/internal/backoff"
 	"scikey/internal/faults"
+	"scikey/internal/obs"
 )
 
 // Config parameterizes a shuffle Service.
@@ -65,6 +67,11 @@ type Config struct {
 	// Injector optionally injects net/node faults. Nil means a clean
 	// network.
 	Injector *faults.Injector
+	// Obs optionally records per-node fetch-latency histograms
+	// (scikey_shuffle_fetch_seconds{node}) and breaker state transitions
+	// (scikey_shuffle_breaker_transitions_total{node,state}). Nil disables
+	// both; the aggregate Metrics counters are always maintained.
+	Obs *obs.Observer
 }
 
 func (c Config) nodes() int {
@@ -171,8 +178,9 @@ type Service struct {
 	done     chan struct{}
 	handlers sync.WaitGroup
 
-	slots    []chan struct{} // per-node fetch concurrency
-	breakers []*breaker
+	slots     []chan struct{} // per-node fetch concurrency
+	breakers  []*breaker
+	fetchHist []obs.Histogram // per-node fetch attempt latency
 
 	metrics Metrics
 }
@@ -191,9 +199,21 @@ func NewService(cfg Config) (*Service, error) {
 	n := cfg.nodes()
 	s.slots = make([]chan struct{}, n)
 	s.breakers = make([]*breaker, n)
+	s.fetchHist = make([]obs.Histogram, n)
+	r := cfg.Obs.R() // nil-safe: a nil registry hands out no-op handles
 	for i := range s.slots {
 		s.slots[i] = make(chan struct{}, cfg.perNodeFetchers())
-		s.breakers[i] = newBreaker(i, cfg.breakerThreshold(), cfg.Backoff, &s.metrics)
+		b := newBreaker(i, cfg.breakerThreshold(), cfg.Backoff, &s.metrics)
+		node := obs.L("node", strconv.Itoa(i))
+		b.transOpen = r.Counter("scikey_shuffle_breaker_transitions_total",
+			"Circuit breaker state transitions by node and target state", "", node, obs.L("state", "open"))
+		b.transHalfOpen = r.Counter("scikey_shuffle_breaker_transitions_total",
+			"Circuit breaker state transitions by node and target state", "", node, obs.L("state", "half_open"))
+		b.transClosed = r.Counter("scikey_shuffle_breaker_transitions_total",
+			"Circuit breaker state transitions by node and target state", "", node, obs.L("state", "closed"))
+		s.breakers[i] = b
+		s.fetchHist[i] = r.Histogram("scikey_shuffle_fetch_seconds",
+			"Latency of individual shuffle fetch attempts by serving node", "seconds", nil, node)
 	}
 	return s, nil
 }

@@ -1,0 +1,42 @@
+#!/bin/sh
+# check_pkgdocs.sh — fail if any Go package in the module lacks a package
+# doc comment (a comment block immediately preceding some file's package
+# clause). Run from the repository root; CI runs it as part of the docs
+# gate alongside gofmt and go vet.
+set -eu
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+	ok=0
+	any=0
+	for f in "$dir"/*.go; do
+		case "$f" in
+		*_test.go) continue ;;
+		esac
+		any=1
+		# A doc comment is a //-line (or the end of a /* */ block)
+		# directly above the package clause.
+		if awk '
+			/^package / && prev ~ /^(\/\/|.*\*\/[[:space:]]*$)/ { found = 1 }
+			{ prev = $0 }
+			END { exit !found }
+		' "$f"; then
+			ok=1
+			break
+		fi
+	done
+	# Test-only packages (the root benchmark package) have no package
+	# clause outside _test.go files to document.
+	if [ "$any" -eq 0 ]; then
+		continue
+	fi
+	if [ "$ok" -eq 0 ]; then
+		echo "missing package doc comment: ${dir#"$(pwd)"/}" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "every package needs a doc comment (// Package x ... or // Command x ...)" >&2
+fi
+exit "$fail"
