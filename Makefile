@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-all docs
+.PHONY: check build vet test race bench bench-all bench-gate docs
 
-# The full gate: compile everything, check docs and formatting, vet, and run
-# the test suite under the race detector (the attempt scheduler and fault
-# tests exercise real concurrency).
-check: build docs vet race
+# The full gate: compile everything, check docs and formatting, vet, run the
+# test suite under the race detector (the attempt scheduler and fault tests
+# exercise real concurrency), and hold the reduce-path allocation budget.
+check: build docs vet race bench-gate
 
 # The docs gate CI runs: gofmt-clean tree and a package doc comment on
 # every package.
@@ -30,13 +30,22 @@ race:
 # in BENCH_shuffle.json with the committed baseline's numbers embedded per
 # benchmark (speedup_mb_per_s / allocs_ratio > 1 means faster / fewer allocs
 # than the baseline).
-SHUFFLE_BENCH = BenchmarkTransformSteadyState|BenchmarkWriteSegmentPooled|BenchmarkMapSpillPipeline|BenchmarkMergeSegments|BenchmarkE4_
+SHUFFLE_BENCH = BenchmarkTransformSteadyState|BenchmarkWriteSegmentPooled|BenchmarkMapSpillPipeline|BenchmarkMergeSegments|BenchmarkReducePath|BenchmarkE4_
 
 bench:
 	$(GO) test -run '^$$' -bench '$(SHUFFLE_BENCH)' -benchmem ./... > bench.out
 	$(GO) run ./cmd/benchjson -baseline bench_baseline.json < bench.out > BENCH_shuffle.json
 	@rm -f bench.out
 	@echo wrote BENCH_shuffle.json
+
+# Allocation-regression gate: rerun the reduce-path benchmark briefly and
+# fail if allocs/op drifts >10% above the committed baseline. Only the
+# deterministic allocation counts are gated; ns/op and peak-B vary with the
+# machine and stay informational.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkReducePath' -benchmem -benchtime 20x ./internal/mapreduce/ \
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -max-allocs-regress 1.10 > /dev/null
+	@echo bench gate OK
 
 # All benchmarks, raw text output.
 bench-all:

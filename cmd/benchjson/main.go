@@ -9,6 +9,12 @@
 // baseline MB/s, baseline allocs over current allocs — both >1 means the
 // change helped), making the emitted file a self-contained before/after
 // record.
+//
+// With -max-allocs-regress N (e.g. 1.10), benchjson additionally acts as a
+// CI gate: after writing the JSON it exits nonzero if any benchmark's
+// allocs/op exceeds N times its baseline's. Only allocation counts are
+// gated — they are deterministic for a fixed workload, unlike wall-clock
+// throughput or sampled peak-memory metrics, which stay informational.
 package main
 
 import (
@@ -112,6 +118,8 @@ func loadBaseline(path string) (map[string]*Bench, error) {
 
 func main() {
 	baselinePath := flag.String("baseline", "", "JSON file of prior results to embed per-benchmark")
+	maxAllocsRegress := flag.Float64("max-allocs-regress", 0,
+		"fail (exit 1) if any benchmark's allocs/op exceeds this multiple of its baseline's; 0 disables")
 	flag.Parse()
 
 	var baseline map[string]*Bench
@@ -162,6 +170,24 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	if *maxAllocsRegress > 0 {
+		regressed := false
+		for _, b := range rep.Benchmarks {
+			prior := b.Baseline
+			if prior == nil || prior.AllocsPerOp <= 0 || b.AllocsPerOp <= 0 {
+				continue
+			}
+			if b.AllocsPerOp > prior.AllocsPerOp*(*maxAllocsRegress) {
+				regressed = true
+				fmt.Fprintf(os.Stderr, "benchjson: %s allocs/op regressed: %.0f vs baseline %.0f (limit %.2fx)\n",
+					b.Name, b.AllocsPerOp, prior.AllocsPerOp, *maxAllocsRegress)
+			}
+		}
+		if regressed {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -16,6 +16,9 @@
 //   - codec: injects a transient read error partway through a reducer's
 //     decompression stream of a given map task's output, modeling a failed
 //     shuffle fetch.
+//   - out: fails a reduce attempt's output-file writes (the IFile the
+//     attempt materializes under its temp path), modeling a full or failing
+//     local disk. The error is transient; the attempt scheduler retries.
 //   - net: fires on one networked shuffle fetch attempt of a (producing map
 //     task, partition) pair — connection refused, mid-stream disconnect,
 //     stall past the fetch deadline, truncated transfer, or wire bit-flips
@@ -47,6 +50,7 @@ const (
 	SiteCodec   Site = "codec"
 	SiteNet     Site = "net"
 	SiteNode    Site = "node"
+	SiteOut     Site = "out"
 )
 
 // Action names what a rule does when it fires.
@@ -416,6 +420,35 @@ func (f *failingReader) Read(p []byte) (int, error) {
 	}
 	return n, err
 }
+
+// WrapReduceOutput applies out-site rules to a reduce attempt's output
+// writes. When a rule fires for (task, attempt) the returned writer fails
+// every Write with a transient error — the first record append (or the
+// IFile trailer of an empty output) hits it, failing the attempt the way a
+// full disk would; otherwise w is returned unchanged.
+func (in *Injector) WrapReduceOutput(task, attempt int, w io.Writer) io.Writer {
+	if in == nil {
+		return w
+	}
+	for i, r := range in.sched.Rules {
+		if r.Site != SiteOut || r.Action != ActError {
+			continue
+		}
+		if !in.fires(i, r, SiteOut, task, -1, attempt) {
+			continue
+		}
+		in.record(r)
+		return &failingWriter{err: fmt.Errorf("%w: output of reduce task %d attempt %d",
+			ErrInjected, task, attempt)}
+	}
+	return w
+}
+
+// failingWriter rejects every write — the injected shape of a dead output
+// disk.
+type failingWriter struct{ err error }
+
+func (f *failingWriter) Write([]byte) (int, error) { return 0, f.err }
 
 // NetFault describes what a fired net-site rule does to one shuffle fetch.
 // The shuffle transport interprets the action: refuse closes the connection

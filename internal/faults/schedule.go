@@ -11,7 +11,7 @@ import (
 //
 //	spec    := [ "seed=" int ";" ] rule *( ";" rule )
 //	rule    := site ":" target ":" action
-//	site    := "map" | "reduce" | "segment" | "codec" | "net" | "node"
+//	site    := "map" | "reduce" | "segment" | "codec" | "out" | "net" | "node"
 //	target  := "*" | task [ "." part ]          (task/part are ints)
 //	action  := kind [ "@" attempts ] [ "%" prob ]
 //	kind    := "error" | "panic" | "slow=" dur | "corrupt" [ "=" flips ]
@@ -20,7 +20,8 @@ import (
 //
 // Net rules target the *producing map task* (optionally one partition) and
 // their attempt numbers are shuffle *fetch* attempts; node rules target a
-// shuffle node index and take it down for the given duration.
+// shuffle node index and take it down for the given duration. Out rules
+// target a reduce task and fail its output-file writes.
 //
 // Examples:
 //
@@ -64,10 +65,10 @@ func parseRule(text string) (Rule, error) {
 	r := Rule{Task: -1, Part: -1}
 
 	switch Site(fields[0]) {
-	case SiteMap, SiteReduce, SiteSegment, SiteCodec, SiteNet, SiteNode:
+	case SiteMap, SiteReduce, SiteSegment, SiteCodec, SiteOut, SiteNet, SiteNode:
 		r.Site = Site(fields[0])
 	default:
-		return Rule{}, fmt.Errorf("faults: rule %q: unknown site %q (map|reduce|segment|codec|net|node)", text, fields[0])
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown site %q (map|reduce|segment|codec|out|net|node)", text, fields[0])
 	}
 
 	if fields[1] != "*" {
@@ -168,6 +169,13 @@ func checkRuleShape(r Rule) error {
 		}
 		if r.Part != -1 {
 			return fmt.Errorf("codec targets have no partition")
+		}
+	case SiteOut:
+		if r.Action != ActError {
+			return fmt.Errorf("out site only supports error")
+		}
+		if r.Part != -1 {
+			return fmt.Errorf("out targets have no partition")
 		}
 	case SiteNet:
 		switch r.Action {

@@ -5,6 +5,7 @@ import (
 	"container/heap"
 	"fmt"
 	"io"
+	"slices"
 	"sync"
 
 	"scikey/internal/bufpool"
@@ -39,6 +40,12 @@ type readEnv struct {
 	// instead of per-record heap allocations. The caller owns the arena's
 	// lifetime: merged pairs are only valid until it is reset or recycled.
 	arena *kvArena
+	// borrow, when set, skips record copies entirely: each iterator's
+	// current pair aliases its IFile reader's scratch buffers and is valid
+	// only until that iterator advances. The merge-pass rewrite loop runs in
+	// this mode — it consumes each record before pulling the next — so a
+	// pass allocates nothing per record.
+	borrow bool
 }
 
 // kvArena bump-allocates record copies into one contiguous buffer,
@@ -149,6 +156,50 @@ func writeSegment(pairs []KV, c codec.Codec) (segment, error) {
 	return segment{data: data, records: int64(len(pairs)), src: -1}, nil
 }
 
+// writeSegmentStream encodes a sorted record stream through the codec into
+// IFile form — writeSegment's streaming twin, used by merge passes so a
+// rewritten segment never exists as a pair slice. sizeHint seeds the pooled
+// output buffer (the merge pass passes its input bytes, an upper bound for
+// the uncompressed codec); the buffer still grows if the hint is short.
+func writeSegmentStream(src kvStream, c codec.Codec, sizeHint int) (segment, error) {
+	sw := segWriterStatePool.Get().(*segWriterState)
+	sw.aw.buf = bufpool.Get(sizeHint)
+	cw := writerPoolFor(c).Get(&sw.aw)
+	sw.iw.Reset(cw)
+	fail := func(err error) (segment, error) {
+		// Mid-stream writers carry unknown state; drop rather than pool.
+		bufpool.Put(sw.aw.buf)
+		sw.aw.buf = nil
+		segWriterStatePool.Put(sw)
+		return segment{}, err
+	}
+	var records int64
+	for {
+		kv, ok, err := src.next()
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			break
+		}
+		if err := sw.iw.Append(kv.Key, kv.Value); err != nil {
+			return fail(err)
+		}
+		records++
+	}
+	if err := sw.iw.Close(); err != nil {
+		return fail(err)
+	}
+	if err := cw.Close(); err != nil {
+		return fail(err)
+	}
+	writerPoolFor(c).Put(cw)
+	data := sw.aw.buf
+	sw.aw.buf = nil
+	segWriterStatePool.Put(sw)
+	return segment{data: data, records: records, src: -1}, nil
+}
+
 // recycleSegment returns an engine-internal segment's backing storage to
 // the buffer pool. Final map outputs (src >= 0) are never recycled: retried
 // and speculative reduce attempts re-read them.
@@ -197,8 +248,10 @@ func openSegment(seg segment, env readEnv) (*segIter, error) {
 	return it, it.err
 }
 
-// release returns a cleanly-exhausted iterator (and its codec reader) to
-// the pools. It must not be called while cur is still referenced.
+// release returns an iterator (and its codec reader) to the pools,
+// exhausted, failed, or abandoned mid-stream alike — the reader pool fully
+// reinitializes pooled readers on Get, so partially-consumed codec state is
+// safe to recycle. It must not be called while cur is still referenced.
 func (it *segIter) release() {
 	if it.rc != nil {
 		readerPoolFor(it.env.codec).Put(it.rc)
@@ -222,9 +275,13 @@ func (it *segIter) advance() {
 		it.rc.Close()
 		return
 	}
-	if a := it.env.arena; a != nil {
+	switch {
+	case it.env.borrow:
+		it.cur = KV{Key: k, Value: v}
+	case it.env.arena != nil:
+		a := it.env.arena
 		it.cur = KV{Key: a.copy(k), Value: a.copy(v)}
-	} else {
+	default:
 		it.cur = KV{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)}
 	}
 	it.ok = true
@@ -254,44 +311,180 @@ func (h *mergeHeap) Pop() any {
 	return it
 }
 
-// mergeSegments k-way merges sorted segments into one sorted in-memory run,
-// the reducer-side "merge sort" of Fig. 1 step 5. Reading every segment to
-// its end also verifies each stream's IFile CRC, so corruption anywhere in
-// a fetched segment surfaces here as an ErrCorruptSegment.
-func mergeSegments(segs []segment, env readEnv, cmp func(a, b []byte) int) ([]KV, error) {
-	h := &mergeHeap{cmp: cmp}
-	var total int64
+// kvStream is a pull iterator over a sorted record run — the shape the
+// whole reduce path now consumes, so one partition is never materialized as
+// a slice. next returns the next record until (KV{}, false, nil) at end of
+// stream; after an error or end of stream the stream must not be advanced
+// again. close releases pooled resources and is idempotent; it must be
+// called exactly when no previously returned record is still referenced
+// (streams that hand out owned copies can be closed any time).
+type kvStream interface {
+	next() (KV, bool, error)
+	close()
+}
+
+// sliceStream adapts an in-memory sorted run to kvStream — the compat shim
+// for callers that still materialize (the combiner's sorted buffer, the
+// reference reduce path).
+type sliceStream struct {
+	pairs []KV
+	pos   int
+}
+
+func (s *sliceStream) next() (KV, bool, error) {
+	if s.pos >= len(s.pairs) {
+		return KV{}, false, nil
+	}
+	kv := s.pairs[s.pos]
+	s.pos++
+	return kv, true, nil
+}
+
+func (s *sliceStream) close() {}
+
+// mergeStream is the pull-based k-way merge over sorted segments — the
+// reducer-side "merge sort" of Fig. 1 step 5 as a stream, so a reduce
+// attempt holds one record per open segment (O(mergeFactor · record))
+// instead of the whole partition. Reading every segment to its end also
+// verifies each stream's IFile CRC, so corruption anywhere in a fetched
+// segment surfaces from next as an ErrCorruptSegment.
+type mergeStream struct {
+	h mergeHeap
+	// pending marks that the heap head's cur was handed out by the last
+	// next call and the iterator must advance before the next record is
+	// chosen — deferred so borrow-mode callers can use the record first.
+	pending bool
+	closed  bool
+}
+
+// newMergeStream opens every segment and primes the heap. On error all
+// already-opened iterators are released back to their pools.
+// validateSegments scans each provenance-tagged segment (src >= 0) to its
+// end in borrow mode — no record copies — forcing the codec and IFile CRC
+// checks before any record is handed to user code. The streaming reduce
+// path runs this over its final merge level: the materialized reference
+// path validated implicitly by reading every segment up front, and
+// reducers are entitled to that ordering — a corrupted map output must
+// surface as an ErrCorruptSegment naming the producing attempt, never as
+// whatever user code does with garbage bytes mid-stream. Engine-internal
+// segments (src < 0) were produced by this attempt from already-validated
+// inputs and are skipped. Returns the bytes read, for disk accounting.
+func validateSegments(segs []segment, env readEnv) (int64, error) {
+	env.borrow = true
+	env.arena = nil
+	var read int64
+	for _, seg := range segs {
+		if seg.src < 0 || len(seg.data) == 0 {
+			continue
+		}
+		it, err := openSegment(seg, env)
+		if err != nil {
+			if it != nil {
+				it.release()
+			}
+			return read, err
+		}
+		for it.ok {
+			it.advance()
+		}
+		err = it.err
+		it.release()
+		if err != nil {
+			return read, err
+		}
+		read += int64(len(seg.data))
+	}
+	return read, nil
+}
+
+func newMergeStream(segs []segment, env readEnv, cmp func(a, b []byte) int) (*mergeStream, error) {
+	m := &mergeStream{h: mergeHeap{cmp: cmp}}
 	for _, s := range segs {
 		if len(s.data) == 0 {
 			continue
 		}
 		it, err := openSegment(s, env)
 		if err != nil {
+			// A first-record decode error hands back the iterator; it is
+			// not in the heap yet, so close() alone would strand it.
+			if it != nil {
+				it.release()
+			}
+			m.close()
 			return nil, fmt.Errorf("mapreduce: opening segment: %w", err)
 		}
 		if it.ok {
-			h.its = append(h.its, it)
+			m.h.its = append(m.h.its, it)
 		} else {
 			it.release()
 		}
-		total += s.records
 	}
-	heap.Init(h)
-	out := make([]KV, 0, total)
-	for h.Len() > 0 {
-		it := h.its[0]
-		out = append(out, it.cur)
+	heap.Init(&m.h)
+	return m, nil
+}
+
+func (m *mergeStream) next() (KV, bool, error) {
+	if m.pending {
+		m.pending = false
+		it := m.h.its[0]
 		it.advance()
 		if it.err != nil {
-			return nil, it.err
+			err := it.err
+			m.close()
+			return KV{}, false, err
 		}
 		if it.ok {
-			heap.Fix(h, 0)
+			heap.Fix(&m.h, 0)
 		} else {
-			heap.Pop(h).(*segIter).release()
+			heap.Pop(&m.h).(*segIter).release()
 		}
 	}
-	return out, nil
+	if len(m.h.its) == 0 {
+		return KV{}, false, nil
+	}
+	m.pending = true
+	return m.h.its[0].cur, true, nil
+}
+
+// close releases every iterator still in the heap — including survivors of
+// a mid-merge error, which previously leaked their pooled codec readers.
+func (m *mergeStream) close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, it := range m.h.its {
+		it.release()
+	}
+	m.h.its = nil
+	m.pending = false
+}
+
+// mergeSegments k-way merges sorted segments into one sorted in-memory run.
+// It is the materializing reference form of mergeStream: the streaming
+// reduce path replaced it in production, but the differential suite and the
+// ReferenceReduce job mode keep running it to prove the streams byte-equal.
+func mergeSegments(segs []segment, env readEnv, cmp func(a, b []byte) int) ([]KV, error) {
+	var total int64
+	for _, s := range segs {
+		total += s.records
+	}
+	m, err := newMergeStream(segs, env, cmp)
+	if err != nil {
+		return nil, err
+	}
+	defer m.close()
+	out := make([]KV, 0, total)
+	for {
+		kv, ok, err := m.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, kv)
+	}
 }
 
 // mergeDown repeatedly merges batches of up to factor segments into single
@@ -307,17 +500,13 @@ func mergeDown(segs []segment, env readEnv, cmp func(a, b []byte) int, factor, t
 	if target < 1 {
 		target = 1
 	}
-	if len(segs) <= target {
-		return segs, nil
-	}
-	// Each pass's merged pairs live only until the rewritten segment exists,
-	// so they go through one pooled arena, reset per pass; the consumed
-	// engine-internal input segments are recycled the same way.
-	arena := &kvArena{buf: bufpool.Get(64 << 10)}
-	defer func() { bufpool.Put(arena.buf) }()
-	env.arena = arena
+	// Each pass streams borrowed records straight from the batch's codec
+	// readers into the rewritten segment — every record is appended to the
+	// output before its iterator advances, so a pass holds one in-flight
+	// record per input segment and materializes nothing.
+	env.borrow = true
+	env.arena = nil
 	for len(segs) > target {
-		arena.reset()
 		n := min(factor, len(segs))
 		// Hadoop merges the smallest segments first to minimize rewriting.
 		sortSegmentsBySize(segs)
@@ -326,11 +515,12 @@ func mergeDown(segs []segment, env readEnv, cmp func(a, b []byte) int, factor, t
 		for _, s := range batch {
 			read += int64(len(s.data))
 		}
-		pairs, err := mergeSegments(batch, env, cmp)
+		m, err := newMergeStream(batch, env, cmp)
 		if err != nil {
 			return nil, err
 		}
-		merged, err := writeSegment(pairs, env.codec)
+		merged, err := writeSegmentStream(m, env.codec, int(read)+ifile.TrailerLen)
+		m.close()
 		if err != nil {
 			return nil, err
 		}
@@ -345,37 +535,169 @@ func mergeDown(segs []segment, env readEnv, cmp func(a, b []byte) int, factor, t
 	return segs, nil
 }
 
+// sortSegmentsBySize orders segments smallest-first, stably. mergeDown
+// re-sorts before every pass, so this must not go quadratic when a reducer
+// fetches segments far in excess of the merge factor.
 func sortSegmentsBySize(segs []segment) {
-	for i := 1; i < len(segs); i++ {
-		for j := i; j > 0 && len(segs[j].data) < len(segs[j-1].data); j-- {
-			segs[j], segs[j-1] = segs[j-1], segs[j]
-		}
-	}
+	slices.SortStableFunc(segs, func(a, b segment) int {
+		return len(a.data) - len(b.data)
+	})
 }
 
-// groupReduce walks a sorted run, invoking red once per group of equal keys
-// (per cmp), as Hadoop's reduce-phase grouping iterator does. It aborts
-// between groups when the attempt is canceled.
-func groupReduce(ctx *TaskContext, pairs []KV, cmp func(a, b []byte) int, red Reducer, emit Emit, counters *Counters, isCombine bool) error {
-	for i := 0; i < len(pairs); {
+// groupReduce walks a sorted record stream, invoking red once per group of
+// equal keys (per cmp), as Hadoop's reduce-phase grouping iterator does.
+// Only the current group is held in memory, so its source must hand out
+// records that stay valid across pulls (owned or arena copies, not borrow
+// mode). It aborts between groups when the attempt is canceled, and — when
+// bail is non-nil — when bail reports a downstream error, so a failed
+// reduce-output write stops the attempt promptly instead of reducing on
+// into a dead writer.
+func groupReduce(ctx *TaskContext, src kvStream, cmp func(a, b []byte) int, red Reducer, emit Emit, counters *Counters, isCombine bool, bail func() error) error {
+	cur, ok, err := src.next()
+	if err != nil {
+		return err
+	}
+	for ok {
 		if ctx.Canceled() {
 			return errAttemptCanceled
 		}
-		j := i + 1
-		for j < len(pairs) && cmp(pairs[i].Key, pairs[j].Key) == 0 {
-			j++
+		if bail != nil {
+			if err := bail(); err != nil {
+				return err
+			}
 		}
-		values := make([][]byte, 0, j-i)
-		for k := i; k < j; k++ {
-			values = append(values, pairs[k].Value)
+		key := cur.Key
+		values := [][]byte{cur.Value}
+		ok = false
+		for {
+			nxt, more, err := src.next()
+			if err != nil {
+				return err
+			}
+			if !more {
+				break
+			}
+			if cmp(key, nxt.Key) != 0 {
+				cur, ok = nxt, true
+				break
+			}
+			values = append(values, nxt.Value)
 		}
 		if counters != nil && !isCombine {
 			counters.ReduceInputGroups.Add(1)
 		}
-		if err := red.Reduce(ctx, pairs[i].Key, values, emit); err != nil {
+		if err := red.Reduce(ctx, key, values, emit); err != nil {
 			return err
 		}
-		i = j
 	}
 	return nil
 }
+
+// countStream counts records as they drain — ReduceInputRecords advances
+// with the stream now, not after a full materialization, but a fully
+// drained attempt lands on exactly the reference path's total.
+type countStream struct {
+	src kvStream
+	n   *Counter
+}
+
+func (s *countStream) next() (KV, bool, error) {
+	kv, ok, err := s.src.next()
+	if ok {
+		s.n.Add(1)
+	}
+	return kv, ok, err
+}
+
+func (s *countStream) close() { s.src.close() }
+
+// transformStream adapts the whole-slice MergeTransform hook to the
+// streaming reduce: it buffers a bounded lookahead window of records,
+// closes the window where the job's cut predicate says later keys cannot
+// interact with it, runs the transform over that window, and streams the
+// rewritten records out. With a nil cut the whole stream is one window —
+// the exact legacy behavior for transforms with unknown locality. The
+// transform keeps its func([]KV) []KV signature either way; windows are
+// never reused as backing storage since the transform may retain its
+// argument (an identity transform returns it unchanged).
+//
+// The split counter is settled once at end of stream: windows partition
+// the input, so the summed output-minus-input surplus equals the surplus
+// the reference path measures over the whole partition.
+type transformStream struct {
+	src       kvStream
+	transform func([]KV) []KV
+	cut       func(key []byte) bool
+	splits    *Counter
+
+	out     []KV
+	pos     int
+	pending KV
+	have    bool
+	eof     bool
+	counted bool
+
+	totalIn  int64
+	totalOut int64
+}
+
+func (t *transformStream) next() (KV, bool, error) {
+	for {
+		if t.pos < len(t.out) {
+			kv := t.out[t.pos]
+			t.pos++
+			return kv, true, nil
+		}
+		if t.eof && !t.have {
+			if !t.counted {
+				t.counted = true
+				if t.splits != nil {
+					if d := t.totalOut - t.totalIn; d > 0 {
+						t.splits.Add(d)
+					}
+				}
+			}
+			return KV{}, false, nil
+		}
+		if err := t.fill(); err != nil {
+			return KV{}, false, err
+		}
+	}
+}
+
+// fill gathers the next window and runs the transform over it. The cut
+// predicate sees every key exactly once, in stream order; returning true
+// seals the window before that key, which becomes the next window's first
+// record.
+func (t *transformStream) fill() error {
+	var window []KV
+	if t.have {
+		window = append(window, t.pending)
+		t.pending, t.have = KV{}, false
+	}
+	for !t.eof {
+		kv, ok, err := t.src.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.eof = true
+			break
+		}
+		if t.cut != nil && t.cut(kv.Key) && len(window) > 0 {
+			t.pending, t.have = kv, true
+			break
+		}
+		window = append(window, kv)
+	}
+	if len(window) == 0 {
+		t.out, t.pos = nil, 0
+		return nil
+	}
+	t.out, t.pos = t.transform(window), 0
+	t.totalIn += int64(len(window))
+	t.totalOut += int64(len(t.out))
+	return nil
+}
+
+func (t *transformStream) close() { t.src.close() }

@@ -1,0 +1,241 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+
+	"scikey/internal/codec"
+)
+
+// countingCodec wraps a codec and counts successful reader constructions —
+// the instrument of the leak-regression tests. Each instance gets its own
+// engine-level reader pool (the pools are keyed per codec instance), so the
+// counts see exactly this test's traffic: once the pool is warm, a fixed
+// merge workload must construct zero new readers, however it fails.
+type countingCodec struct {
+	inner   codec.Codec
+	created atomic.Int64
+}
+
+func (c *countingCodec) Name() string                         { return "counting+" + c.inner.Name() }
+func (c *countingCodec) NewWriter(w io.Writer) io.WriteCloser { return c.inner.NewWriter(w) }
+
+func (c *countingCodec) NewReader(r io.Reader) (io.ReadCloser, error) {
+	rc, err := c.inner.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	c.created.Add(1)
+	return &countingReader{rc}, nil
+}
+
+// leakIters / leakSlack size the leak assertions: after warmup each failing
+// run is repeated leakIters times, and the tests tolerate up to leakSlack
+// fresh reader constructions. Under the race detector sync.Pool drops ~25%
+// of Puts at random, so a leak-free run still constructs ~1-2 readers per
+// iteration (~36 total, ~5 constructions of standard deviation); a leak
+// strands every reader in the heap, ~5-6 per iteration (≥120 total). The
+// slack sits >4 sigma above the noise and far below the leak signature.
+const (
+	leakIters = 24
+	leakSlack = 3 * leakIters
+)
+
+// countingReader forwards Reset so the wrapped reader stays poolable.
+type countingReader struct{ io.ReadCloser }
+
+func (r *countingReader) Reset(src io.Reader) error {
+	return r.ReadCloser.(interface{ Reset(io.Reader) error }).Reset(src)
+}
+
+// leakSegments builds n interleaved sorted segments of m records each.
+func leakSegments(t *testing.T, c codec.Codec, n, m int, keyf func(i, s int) string) []segment {
+	t.Helper()
+	segs := make([]segment, 0, n)
+	for s := 0; s < n; s++ {
+		pairs := make([]KV, 0, m)
+		for i := 0; i < m; i++ {
+			pairs = append(pairs, KV{Key: []byte(keyf(i, s)), Value: []byte{byte(s), byte(i)}})
+		}
+		seg, err := writeSegment(pairs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, seg)
+	}
+	return segs
+}
+
+// TestMergeAdvanceErrorReleasesReaders regresses the mid-merge leak: a
+// segment that fails partway through decoding used to strand every other
+// iterator still in the heap, so their pooled codec readers were never
+// returned. With the fix, repeated failing merges run entirely from the
+// warm pool.
+func TestMergeAdvanceErrorReleasesReaders(t *testing.T) {
+	cc := &countingCodec{inner: codec.Gzip}
+	// The corrupt segment's keys sort first, so it fails while the other
+	// five iterators are all still live in the heap.
+	segs := leakSegments(t, cc, 6, 40, func(i, s int) string {
+		if s == 5 {
+			return fmt.Sprintf("a%03d", i)
+		}
+		return fmt.Sprintf("z%03d-%d", i, s)
+	})
+	mid := len(segs[5].data) / 2
+	for i := 0; i < 8; i++ {
+		segs[5].data[mid+i] ^= 0xA5
+	}
+	env := readEnv{codec: cc}
+	run := func() {
+		if _, err := mergeSegments(segs, env, bytes.Compare); err == nil {
+			t.Fatal("expected merge error from corrupted segment")
+		}
+	}
+	run() // warm the pools
+	base := cc.created.Load()
+	for i := 0; i < leakIters; i++ {
+		run()
+	}
+	if grown := cc.created.Load() - base; grown > leakSlack {
+		t.Errorf("codec readers leaked: %d constructed across %d failing merges, want ~0", grown, leakIters)
+	}
+}
+
+// TestMergeOpenErrorReleasesReaders regresses the open-path leak: when a
+// later segment fails to open (bad codec header), the iterators opened
+// before it must still be released.
+func TestMergeOpenErrorReleasesReaders(t *testing.T) {
+	cc := &countingCodec{inner: codec.Gzip}
+	segs := leakSegments(t, cc, 6, 10, func(i, s int) string {
+		return fmt.Sprintf("k%03d-%d", i, s)
+	})
+	// Destroy the last segment's gzip header so opening it fails after the
+	// first five are already in the heap.
+	segs[5].data[0] ^= 0xFF
+	segs[5].data[1] ^= 0xFF
+	env := readEnv{codec: cc}
+	run := func() {
+		if _, err := mergeSegments(segs, env, bytes.Compare); err == nil {
+			t.Fatal("expected open error from corrupted gzip header")
+		}
+	}
+	run()
+	base := cc.created.Load()
+	for i := 0; i < leakIters; i++ {
+		run()
+	}
+	if grown := cc.created.Load() - base; grown > leakSlack {
+		t.Errorf("codec readers leaked: %d constructed across %d failing opens, want ~0", grown, leakIters)
+	}
+}
+
+// TestMergeStreamAbandonReleasesReaders: closing a partially-drained merge
+// stream (as a failed reduce attempt does) must return every reader to the
+// pool even though none of the iterators is exhausted.
+func TestMergeStreamAbandonReleasesReaders(t *testing.T) {
+	cc := &countingCodec{inner: codec.Gzip}
+	segs := leakSegments(t, cc, 5, 30, func(i, s int) string {
+		return fmt.Sprintf("k%03d-%d", i, s)
+	})
+	env := readEnv{codec: cc}
+	run := func() {
+		m, err := newMergeStream(segs, env, bytes.Compare)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, ok, err := m.next(); err != nil || !ok {
+				t.Fatalf("next: ok=%v err=%v", ok, err)
+			}
+		}
+		m.close()
+	}
+	run()
+	base := cc.created.Load()
+	for i := 0; i < leakIters; i++ {
+		run()
+	}
+	if grown := cc.created.Load() - base; grown > leakSlack {
+		t.Errorf("codec readers leaked: %d constructed across %d abandoned streams, want ~0", grown, leakIters)
+	}
+}
+
+// TestSortSegmentsBySizeStable pins the smallest-first, stable contract the
+// merge pass depends on (equal-size segments keep their arrival order, so
+// passes stay deterministic).
+func TestSortSegmentsBySizeStable(t *testing.T) {
+	sizes := []int{5, 3, 5, 0, 3}
+	segs := make([]segment, len(sizes))
+	for i, n := range sizes {
+		segs[i] = segment{data: make([]byte, n), records: int64(i)}
+	}
+	sortSegmentsBySize(segs)
+	want := []int64{3, 1, 4, 0, 2}
+	for i, w := range want {
+		if segs[i].records != w {
+			t.Fatalf("position %d: segment %d, want %d (order %v)", i, segs[i].records, w, segs)
+		}
+	}
+}
+
+// TestMergeDownManySegments drives the multi-pass merge with far more
+// segments than the factor — the regime where the per-pass re-sort runs
+// repeatedly — and checks the surviving segment holds every record in
+// order.
+func TestMergeDownManySegments(t *testing.T) {
+	var want []string
+	var segs []segment
+	for s := 0; s < 40; s++ {
+		m := s%7 + 1
+		pairs := make([]KV, 0, m)
+		for i := 0; i < m; i++ {
+			k := fmt.Sprintf("key-%02d-%02d", i, s)
+			pairs = append(pairs, KV{Key: []byte(k), Value: []byte{byte(s)}})
+			want = append(want, k)
+		}
+		seg, err := writeSegment(pairs, codec.None)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, seg)
+	}
+	env := readEnv{codec: codec.None}
+	var passes int
+	out, err := mergeDown(segs, env, bytes.Compare, 3, 1, func(read, written, records int64) {
+		passes++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("mergeDown left %d segments, want 1", len(out))
+	}
+	if passes < 19 {
+		t.Errorf("only %d merge passes for 40 segments at factor 3", passes)
+	}
+	pairs, err := mergeSegments(out, env, bytes.Compare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != len(want) {
+		t.Fatalf("merged %d records, want %d", len(pairs), len(want))
+	}
+	for i := 1; i < len(pairs); i++ {
+		if bytes.Compare(pairs[i-1].Key, pairs[i].Key) > 0 {
+			t.Fatalf("output out of order at %d: %q > %q", i, pairs[i-1].Key, pairs[i].Key)
+		}
+	}
+	got := make(map[string]int)
+	for _, p := range pairs {
+		got[string(p.Key)]++
+	}
+	for _, k := range want {
+		if got[k] == 0 {
+			t.Fatalf("record %q missing from merged output", k)
+		}
+		got[k]--
+	}
+}

@@ -1,0 +1,146 @@
+package mapreduce
+
+import (
+	"io"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scikey/internal/codec"
+	"scikey/internal/ifile"
+)
+
+// benchReduceSegments builds nSegs interleaved sorted runs totaling n
+// records, the shape a reducer's fetched map outputs arrive in.
+func benchReduceSegments(b *testing.B, n, nSegs int) []segment {
+	b.Helper()
+	all := benchPairs(n)
+	segs := make([]segment, 0, nSegs)
+	for s := 0; s < nSegs; s++ {
+		var pairs []KV
+		for i := s; i < n; i += nSegs {
+			pairs = append(pairs, all[i])
+		}
+		seg, err := writeSegment(pairs, codec.None)
+		if err != nil {
+			b.Fatal(err)
+		}
+		segs = append(segs, seg)
+	}
+	return segs
+}
+
+// heapSampler watches HeapAlloc from a background goroutine so a benchmark
+// can report its peak live heap over a baseline. Sampling cannot catch every
+// transient spike, but a reduce path that materializes the whole partition
+// holds its peak for most of the run — exactly what the samples see.
+type heapSampler struct {
+	base uint64
+	peak atomic.Uint64
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startHeapSampler() *heapSampler {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := &heapSampler{base: ms.HeapAlloc, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(100 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > s.peak.Load() {
+					s.peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// finish stops sampling and returns peak bytes over the baseline.
+func (s *heapSampler) finish() float64 {
+	close(s.stop)
+	<-s.done
+	peak := s.peak.Load()
+	if peak < s.base {
+		return 0
+	}
+	return float64(peak - s.base)
+}
+
+// BenchmarkReducePath compares the streaming reduce pipeline against the
+// materialized reference path at two partition sizes. allocs/op is the gated
+// headline; peak-B (sampled live heap over baseline) is the memory-model
+// evidence — flat across sizes for stream, scaling with the partition for
+// reference.
+func BenchmarkReducePath(b *testing.B) {
+	cmp := func(a, b []byte) int { return compareBytes(a, b) }
+	red := ReducerFunc(func(ctx *TaskContext, key []byte, values [][]byte, emit Emit) error {
+		var n byte
+		for _, v := range values {
+			n += v[len(v)-1]
+		}
+		emit(key, []byte{n})
+		return nil
+	})
+	for _, size := range []struct {
+		name string
+		n    int
+	}{{"8k", 8192}, {"64k", 65536}} {
+		segs := benchReduceSegments(b, size.n, 8)
+		env := readEnv{codec: codec.None, part: -1}
+		var iw ifile.Writer
+		emit := func(k, v []byte) {
+			if err := iw.Append(k, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run("stream/"+size.name, func(b *testing.B) {
+			b.ReportAllocs()
+			sampler := startHeapSampler()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := &TaskContext{counters: &Counters{}}
+				m, err := newMergeStream(segs, env, cmp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iw.Reset(io.Discard)
+				if err := groupReduce(ctx, m, cmp, red, emit, ctx.counters, false, nil); err != nil {
+					b.Fatal(err)
+				}
+				m.close()
+			}
+			b.StopTimer()
+			b.ReportMetric(sampler.finish(), "peak-B")
+		})
+		b.Run("reference/"+size.name, func(b *testing.B) {
+			b.ReportAllocs()
+			sampler := startHeapSampler()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := &TaskContext{counters: &Counters{}}
+				pairs, err := mergeSegments(segs, env, cmp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iw.Reset(io.Discard)
+				src := &sliceStream{pairs: pairs}
+				if err := groupReduce(ctx, src, cmp, red, emit, ctx.counters, false, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(sampler.finish(), "peak-B")
+		})
+	}
+}

@@ -124,25 +124,72 @@ func (t *reduceTask) run(src segmentSource) error {
 	if err != nil {
 		return fmt.Errorf("mapreduce: reduce task %d merge pass: %w", t.id, err)
 	}
-	pairs, err := mergeSegments(segs, env, t.job.Compare)
-	if err != nil {
-		return fmt.Errorf("mapreduce: reduce task %d merge: %w", t.id, err)
-	}
-	// Engine-internal merge-pass intermediates are fully copied into pairs
-	// now; fetched map outputs (src >= 0) stay untouched for retries.
-	for _, s := range segs {
-		recycleSegment(s)
-	}
-	c.ReduceInputRecords.Add(int64(len(pairs)))
-	mergeSpan.End()
-
-	if t.job.MergeTransform != nil {
-		before := len(pairs)
-		pairs = t.job.MergeTransform(pairs)
-		if d := len(pairs) - before; d > 0 {
-			c.OverlapKeySplits.Add(int64(d))
+	// The final merge level is a stream: grouping pulls records out of the
+	// k-way merge one at a time, so peak memory is one record per open
+	// segment plus the current group — never the partition. ReferenceReduce
+	// keeps the historical materialized form for differential proof.
+	// ReduceInputRecords and the MergeTransform split surplus accumulate as
+	// the stream drains; fully drained (winning) attempts land on exactly
+	// the reference totals.
+	var stream kvStream
+	if t.job.ReferenceReduce {
+		pairs, err := mergeSegments(segs, env, t.job.Compare)
+		if err != nil {
+			return fmt.Errorf("mapreduce: reduce task %d merge: %w", t.id, err)
+		}
+		// Engine-internal merge-pass intermediates are fully copied into
+		// pairs now; fetched map outputs (src >= 0) stay untouched for
+		// retries.
+		for _, s := range segs {
+			recycleSegment(s)
+		}
+		c.ReduceInputRecords.Add(int64(len(pairs)))
+		if t.job.MergeTransform != nil {
+			before := len(pairs)
+			pairs = t.job.MergeTransform(pairs)
+			if d := len(pairs) - before; d > 0 {
+				c.OverlapKeySplits.Add(int64(d))
+			}
+		}
+		stream = &sliceStream{pairs: pairs}
+	} else {
+		// Validate the final level's fetched segments before any record can
+		// reach the reducer: grouping interleaves with decoding from here
+		// on, and user code must never see bytes the trailing CRC would
+		// have rejected.
+		read, err := validateSegments(segs, env)
+		t.footprint.DiskBytes += read
+		if err != nil {
+			return fmt.Errorf("mapreduce: reduce task %d merge: %w", t.id, err)
+		}
+		ms, err := newMergeStream(segs, env, t.job.Compare)
+		if err != nil {
+			return fmt.Errorf("mapreduce: reduce task %d merge: %w", t.id, err)
+		}
+		// Merge-pass intermediates stay alive while the stream reads them;
+		// recycle only once it is closed. Fetched map outputs (src >= 0)
+		// stay untouched for retries.
+		defer func() {
+			ms.close()
+			for _, s := range segs {
+				recycleSegment(s)
+			}
+		}()
+		stream = &countStream{src: ms, n: &c.ReduceInputRecords}
+		if t.job.MergeTransform != nil {
+			var cut func(key []byte) bool
+			if t.job.MergeCut != nil {
+				cut = t.job.MergeCut()
+			}
+			stream = &transformStream{
+				src:       stream,
+				transform: t.job.MergeTransform,
+				cut:       cut,
+				splits:    &c.OverlapKeySplits,
+			}
 		}
 	}
+	mergeSpan.End()
 
 	w, err := t.job.FS.Create(t.tmpPath)
 	if err != nil {
@@ -151,28 +198,37 @@ func (t *reduceTask) run(src segmentSource) error {
 	// Always materialize the temp file (Close is idempotent) so abort can
 	// clean up after a failed or canceled attempt.
 	defer w.Close()
-	iw := ifile.NewWriter(w)
+	iw := ifile.NewWriter(t.job.Faults.WrapReduceOutput(t.id, t.attempt, w))
 	var outBytes int64
+	var emitErr error
 	emit := func(k, v []byte) {
-		if t.ctx.Canceled() {
+		if emitErr != nil || t.ctx.Canceled() {
+			return
+		}
+		if err := iw.Append(k, v); err != nil {
+			// An output write failure (disk full, injected out-site fault)
+			// fails this attempt — the scheduler retries it — instead of
+			// panicking the process.
+			emitErr = fmt.Errorf("reduce output write: %w", err)
 			return
 		}
 		c.ReduceOutputRecords.Add(1)
 		outBytes += int64(len(k) + len(v))
-		if err := iw.Append(k, v); err != nil {
-			panic(fmt.Sprintf("mapreduce: reduce output write: %v", err))
-		}
 	}
 	reduceSpan := t.tracer.Start(obs.CatPhase, "reduce", t.span, t.id, t.attempt)
 	defer reduceSpan.End()
 	red := t.job.NewReducer()
-	if err := groupReduce(t.ctx, pairs, t.job.Compare, red, emit, c, false); err != nil {
+	bail := func() error { return emitErr }
+	if err := groupReduce(t.ctx, stream, t.job.Compare, red, emit, c, false, bail); err != nil {
 		return fmt.Errorf("mapreduce: reduce task %d: %w", t.id, err)
 	}
 	if f, ok := red.(Finalizer); ok {
 		if err := f.Finish(t.ctx, emit); err != nil {
 			return fmt.Errorf("mapreduce: reduce task %d finish: %w", t.id, err)
 		}
+	}
+	if emitErr != nil {
+		return fmt.Errorf("mapreduce: reduce task %d: %w", t.id, emitErr)
 	}
 	if t.ctx.Canceled() {
 		return errAttemptCanceled

@@ -154,7 +154,25 @@ type Job struct {
 	PartitionSplit func(key, value []byte, numReducers int) []RoutedKV
 	// MergeTransform, when set, rewrites each reducer's merged sorted
 	// stream before grouping (Section IV-B, case two: overlap splitting).
+	// The streaming reduce path feeds it bounded windows of the stream (cut
+	// by MergeCut; the whole stream when MergeCut is nil), so the slice
+	// signature keeps working without materializing the partition.
 	MergeTransform func(pairs []KV) []KV
+	// MergeCut, set alongside MergeTransform, builds one cut predicate per
+	// reduce attempt. The predicate is fed every merged key in stream order
+	// and returns true when that key starts an independent window: the
+	// transform's output for everything before it cannot be affected by
+	// this key or any later one. Overlap splitting already works in such
+	// windows (transitively-overlapping clusters), so the streaming path
+	// stays byte-identical while its lookahead stays bounded. Nil keeps
+	// correctness for arbitrary transforms by buffering the entire stream
+	// as one window.
+	MergeCut func() func(key []byte) bool
+	// ReferenceReduce selects the historical materialize-then-group reduce
+	// path (the whole partition as one in-memory slice) instead of the
+	// streaming one. Outputs and payload counters are byte-identical either
+	// way; the differential suite and the peak-memory benchmarks run both.
+	ReferenceReduce bool
 	// MapOutputCodec compresses spill segments ("Map output materialized
 	// bytes" is measured after this codec). Nil means no compression.
 	MapOutputCodec codec.Codec

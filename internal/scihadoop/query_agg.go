@@ -90,6 +90,31 @@ func AggKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, aggregate.
 			return out
 		},
 
+		// Streaming window cut for the transform above: SplitOverlaps
+		// rewrites transitively-overlapping clusters independently, starting
+		// a new cluster exactly when a key's range begins at or past the
+		// running max Hi (or the variable changes). Cutting the merged
+		// stream on that same boundary keeps the windowed transform
+		// byte-identical to running it over the whole partition.
+		MergeCut: func() func(key []byte) bool {
+			started := false
+			var curVar keys.VarRef
+			var maxHi uint64
+			return func(key []byte) bool {
+				k, err := kc.DecodeAgg(serial.NewDataInput(key))
+				if err != nil {
+					panic(fmt.Sprintf("scihadoop: bad agg key in merge cut: %v", err))
+				}
+				cut := started && (k.Var != curVar || k.Range.Lo >= maxHi)
+				if cut || !started {
+					curVar, maxHi, started = k.Var, k.Range.Hi, true
+				} else if k.Range.Hi > maxHi {
+					maxHi = k.Range.Hi
+				}
+				return cut
+			}
+		},
+
 		NewMapper: func() mapreduce.Mapper {
 			return mapreduce.MapperFunc(func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {
 				box := split.Data.(grid.Box)

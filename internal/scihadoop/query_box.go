@@ -81,6 +81,31 @@ func BoxKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, error) {
 			return out
 		},
 
+		// Streaming window cut matching boxagg.SplitOverlaps' dim-0
+		// clustering: a new cluster starts exactly when a box's Corner[0]
+		// reaches the running max upper bound (or the variable changes), so
+		// the windowed transform is byte-identical to the whole-partition
+		// rewrite.
+		MergeCut: func() func(key []byte) bool {
+			started := false
+			var curVar keys.VarRef
+			maxHi := 0
+			return func(key []byte) bool {
+				k, err := kc.DecodeBox(serial.NewDataInput(key))
+				if err != nil {
+					panic(fmt.Sprintf("scihadoop: bad box key in merge cut: %v", err))
+				}
+				hi := k.Box.Corner[0] + k.Box.Size[0]
+				cut := started && (k.Var != curVar || k.Box.Corner[0] >= maxHi)
+				if cut || !started {
+					curVar, maxHi, started = k.Var, hi, true
+				} else if hi > maxHi {
+					maxHi = hi
+				}
+				return cut
+			}
+		},
+
 		NewMapper: func() mapreduce.Mapper {
 			return mapreduce.MapperFunc(func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {
 				box := split.Data.(grid.Box)

@@ -1,0 +1,104 @@
+package scihadoop
+
+import (
+	"fmt"
+	"testing"
+
+	"scikey/internal/grid"
+	"scikey/internal/mapreduce"
+)
+
+// TestStreamingReduceMatchesReferenceAgg validates the agg MergeCut
+// end-to-end: the streaming reduce path — which feeds SplitOverlaps bounded
+// windows delimited by the cut predicate instead of the whole merged
+// partition — must produce output files byte-identical to the materialized
+// reference path, with identical overlap-split accounting. The extent and
+// split count are chosen so reducers actually see overlapping unequal keys.
+func TestStreamingReduceMatchesReferenceAgg(t *testing.T) {
+	extent := grid.NewBox(grid.Coord{0, 0}, []int{24, 16})
+	fs, ds, _ := setup(t, extent)
+
+	run := func(reference bool) ([]string, int64) {
+		cfg := QueryConfig{DS: ds, NumSplits: 4, NumReducers: 3,
+			OutputPath: fmt.Sprintf("/out/agg-ref-%v", reference)}
+		job, _, err := AggKeyJob(fs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.ReferenceReduce = reference
+		res, err := mapreduce.Run(job)
+		if err != nil {
+			t.Fatalf("reference=%v: %v", reference, err)
+		}
+		outs := make([]string, len(res.OutputPaths))
+		for i, p := range res.OutputPaths {
+			data, err := fs.ReadAll(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs[i] = string(data)
+		}
+		return outs, res.Counters.OverlapKeySplits.Value()
+	}
+
+	refOuts, refSplits := run(true)
+	strOuts, strSplits := run(false)
+	if refSplits == 0 {
+		t.Fatal("reference run split no overlapping keys; test exercises nothing")
+	}
+	if strSplits != refSplits {
+		t.Errorf("overlap splits: streaming %d, reference %d", strSplits, refSplits)
+	}
+	for i := range refOuts {
+		if refOuts[i] != strOuts[i] {
+			t.Errorf("partition %d output bytes differ (reference %d B, streaming %d B)",
+				i, len(refOuts[i]), len(strOuts[i]))
+		}
+	}
+}
+
+// TestStreamingReduceMatchesReferenceBox is the box-geometry twin: the dim-0
+// cluster cut must keep windowed boxagg.SplitOverlaps byte-identical to the
+// whole-partition rewrite.
+func TestStreamingReduceMatchesReferenceBox(t *testing.T) {
+	extent := grid.NewBox(grid.Coord{0, 0}, []int{24, 16})
+	fs, ds, _ := setup(t, extent)
+
+	run := func(reference bool) ([]string, int64) {
+		cfg := QueryConfig{DS: ds, NumSplits: 4, NumReducers: 3,
+			OutputPath: fmt.Sprintf("/out/box-ref-%v", reference)}
+		job, err := BoxKeyJob(fs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.ReferenceReduce = reference
+		res, err := mapreduce.Run(job)
+		if err != nil {
+			t.Fatalf("reference=%v: %v", reference, err)
+		}
+		outs := make([]string, len(res.OutputPaths))
+		for i, p := range res.OutputPaths {
+			data, err := fs.ReadAll(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs[i] = string(data)
+		}
+		return outs, res.Counters.OverlapKeySplits.Value()
+	}
+
+	refOuts, refSplits := run(true)
+	strOuts, strSplits := run(false)
+	if refSplits == 0 {
+		t.Fatal("reference run split no overlapping boxes; test exercises nothing")
+	}
+	if strSplits != refSplits {
+		t.Errorf("overlap splits: streaming %d, reference %d", strSplits, refSplits)
+	}
+	for i := range refOuts {
+		if refOuts[i] != strOuts[i] {
+			t.Errorf("partition %d output bytes differ (reference %d B, streaming %d B)",
+				i, len(refOuts[i]), len(strOuts[i]))
+		}
+	}
+}
