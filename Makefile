@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-all bench-gate docs
+.PHONY: check build vet test race bench bench-all bench-gate docs e14
 
 # The full gate: compile everything, check docs and formatting, vet, run the
 # test suite under the race detector (the attempt scheduler and fault tests
-# exercise real concurrency), and hold the reduce-path allocation budget.
-check: build docs vet race bench-gate
+# exercise real concurrency), hold the reduce-path allocation budget, and
+# soak the multi-process cluster runtime against real SIGKILLs.
+check: build docs vet race bench-gate e14
+
+# E14: worker-kill soak — a coordinator plus three real worker subprocesses,
+# scheduled SIGKILLs mid-map and mid-reduce; the killed run must verify and
+# match the fault-free run's payload counters.
+e14:
+	@sh scripts/e14_soak.sh
 
 # The docs gate CI runs: gofmt-clean tree and a package doc comment on
 # every package.

@@ -1,0 +1,188 @@
+// Cluster-mode wiring: the job spec workers rebuild the query from, the
+// worker-process duty loop, and the local supervisor that turns one scijob
+// invocation into a coordinator plus N real worker subprocesses.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"scikey/internal/clusterd"
+	"scikey/internal/core"
+	"scikey/internal/experiments"
+	"scikey/internal/faults"
+	"scikey/internal/hdfs"
+	"scikey/internal/scihadoop"
+)
+
+// jobSpec is the JSON job description the coordinator pushes to each worker
+// at registration. It carries exactly the inputs a worker needs to rebuild
+// the job deterministically — MedianSetup's dataset generation is a pure
+// function of Side, so a worker's attempts read byte-identical input and
+// produce the coordinator's exact intermediate and output bytes.
+type jobSpec struct {
+	Side     int    `json:"side"`
+	Strategy string `json:"strategy"`
+	Codec    string `json:"codec,omitempty"`
+	Curve    string `json:"curve,omitempty"`
+	Flush    int    `json:"flush,omitempty"`
+	Op       string `json:"op"`
+	Radius   int    `json:"radius"`
+	Splits   int    `json:"splits"`
+	Reducers int    `json:"reducers"`
+	// Faults is the full fault schedule string. Engine-level sites (map
+	// errors, segment corruption) fire inside worker attempts; the proc site
+	// is coordinator business and workers ignore it.
+	Faults string `json:"faults,omitempty"`
+}
+
+// setup rebuilds the filesystem, query config, and strategy a spec names.
+// Both the worker (to build its Runner) and the driver (to run the
+// scheduler) go through here, so the two sides cannot drift.
+func (s jobSpec) setup() (*hdfs.FileSystem, scihadoop.QueryConfig, core.Strategy, error) {
+	strat, err := parseStrategy(s.Strategy, s.Codec, s.Curve, s.Flush)
+	if err != nil {
+		return nil, scihadoop.QueryConfig{}, core.Strategy{}, err
+	}
+	fs, qcfg, err := experiments.MedianSetup(s.Side)
+	if err != nil {
+		return nil, scihadoop.QueryConfig{}, core.Strategy{}, err
+	}
+	qcfg.NumSplits = s.Splits
+	qcfg.NumReducers = s.Reducers
+	qcfg.Radius = s.Radius
+	if s.Op == "max" {
+		qcfg.Op = scihadoop.Max
+	}
+	qcfg.OutputPath = "/out/scijob"
+	if s.Faults != "" {
+		inj, err := faults.NewFromSpec(s.Faults)
+		if err != nil {
+			return nil, scihadoop.QueryConfig{}, core.Strategy{}, err
+		}
+		qcfg.Faults = inj
+	}
+	return fs, qcfg, strat, nil
+}
+
+// runWorkerMode is the -worker entrypoint: connect to the coordinator,
+// rebuild the job from the welcomed spec, and execute granted attempts until
+// the coordinator is gone or SIGTERM asks for a graceful drain.
+func runWorkerMode(addr string) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "scijob worker[pid %d]: %s\n", os.Getpid(), fmt.Sprintf(format, args...))
+	}
+	w := clusterd.NewWorker(clusterd.WorkerConfig{
+		Addr: addr,
+		Build: func(raw []byte) (clusterd.Runner, error) {
+			var spec jobSpec
+			if err := json.Unmarshal(raw, &spec); err != nil {
+				return nil, fmt.Errorf("decoding job spec: %w", err)
+			}
+			fs, qcfg, strat, err := spec.setup()
+			if err != nil {
+				return nil, err
+			}
+			plan, err := core.BuildJob(fs, qcfg, strat)
+			if err != nil {
+				return nil, err
+			}
+			return &clusterd.JobRunner{Job: plan.Job}, nil
+		},
+		Logf: logf,
+	})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		<-sig
+		logf("SIGTERM: draining")
+		w.Drain()
+	}()
+	if err := w.Run(); err != nil {
+		fatal(fmt.Errorf("worker: %w", err))
+	}
+}
+
+// workerPool supervises N local worker subprocesses for -cluster mode: it
+// spawns them, respawns any that die unexpectedly (a SIGKILLed worker comes
+// back, like a restarted TaskTracker), and SIGTERMs the survivors on
+// shutdown so they drain and deregister cleanly.
+type workerPool struct {
+	addr string
+
+	mu     sync.Mutex
+	alive  map[*exec.Cmd]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// startLocalWorkers spawns n worker subprocesses re-executing this binary
+// with -worker pointed at the coordinator.
+func startLocalWorkers(addr string, n int) *workerPool {
+	p := &workerPool{addr: addr, alive: make(map[*exec.Cmd]bool)}
+	for i := 0; i < n; i++ {
+		p.spawn()
+	}
+	return p
+}
+
+func (p *workerPool) spawn() {
+	cmd := exec.Command(os.Args[0], "-worker", p.addr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatal(fmt.Errorf("spawning worker: %w", err))
+	}
+	p.mu.Lock()
+	p.alive[cmd] = true
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.reap(cmd)
+}
+
+// reap waits for one worker subprocess and respawns it if it died while the
+// job was still running — which is exactly what a proc:kill fault causes.
+func (p *workerPool) reap(cmd *exec.Cmd) {
+	defer p.wg.Done()
+	err := cmd.Wait()
+	p.mu.Lock()
+	delete(p.alive, cmd)
+	respawn := !p.closed
+	p.mu.Unlock()
+	if !respawn {
+		return
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scijob: worker pid %d died (%v); respawning\n", cmd.Process.Pid, err)
+	} else {
+		fmt.Fprintf(os.Stderr, "scijob: worker pid %d exited early; respawning\n", cmd.Process.Pid)
+	}
+	p.spawn()
+}
+
+// shutdown SIGTERMs every live worker and waits for them to drain and exit.
+func (p *workerPool) shutdown() {
+	p.mu.Lock()
+	p.closed = true
+	for cmd := range p.alive {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() { p.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		p.mu.Lock()
+		for cmd := range p.alive {
+			_ = cmd.Process.Kill()
+		}
+		p.mu.Unlock()
+		<-done
+	}
+}

@@ -8,9 +8,18 @@
 //	scijob -side 128 -faults "seed=7;map:1:error@0;segment:2.0:corrupt@0" -retries 3 -verify
 //	scijob -side 128 -shuffle net -faults "seed=7;net:*:cut@0;node:0:down=50ms" -retries 5 -backoff 10ms -verify
 //	scijob -side 256 -strategy transform -debug-addr 127.0.0.1:6060 -trace-out trace.json
+//
+// Cluster mode runs the same job across real worker processes — a
+// coordinator daemon grants task leases over TCP and workers execute
+// attempts, so kill -9 recovery is exercised for real:
+//
+//	scijob -cluster 3 -side 64 -verify
+//	scijob -cluster 3 -side 64 -faults "seed=1;proc:0.0:kill@0;proc:1.1:kill@0" -retries 4 -verify
+//	scijob -coordinator 127.0.0.1:7070 -side 128 &  then on each node:  scijob -worker HOST:7070
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +28,7 @@ import (
 	"time"
 
 	"scikey/internal/cluster"
+	"scikey/internal/clusterd"
 	"scikey/internal/core"
 	"scikey/internal/experiments"
 	"scikey/internal/faults"
@@ -39,7 +49,7 @@ func main() {
 	reducers := flag.Int("reducers", 5, "reduce tasks")
 	flush := flag.Int("flush", 0, "aggregation flush threshold in cells (0 = default)")
 	verify := flag.Bool("verify", false, "check results against the reference implementation")
-	faultSpec := flag.String("faults", "", `deterministic fault schedule, e.g. "seed=7;map:1:error@0;segment:2.0:corrupt@0"`)
+	faultSpec := flag.String("faults", "", `deterministic fault schedule, e.g. "seed=7;map:1:error@0;proc:0.0:kill@0"`)
 	retries := flag.Int("retries", 1, "max attempts per task (1 = fail fast)")
 	backoff := flag.Duration("backoff", 0, "base retry backoff as a duration, e.g. 10ms; doubles per failure with seeded jitter (0 = retry immediately)")
 	speculate := flag.Duration("speculate", 0, "straggler threshold for speculative re-execution as a duration, e.g. 500ms (0 = off)")
@@ -51,20 +61,56 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof on this address, e.g. 127.0.0.1:6060; stays up after the job until interrupted (empty = off)")
 	traceOut := flag.String("trace-out", "", "write the job's Chrome trace_event JSON to this file (empty = off)")
 	metricsOut := flag.String("metrics-out", "", "write the job's metrics in Prometheus text format to this file (empty = off)")
+	coordAddr := flag.String("coordinator", "", "cluster driver mode: listen for worker processes on this address, e.g. 127.0.0.1:7070, and run the job across them (empty = off)")
+	workerAddr := flag.String("worker", "", "cluster worker mode: connect to the coordinator at this address and execute granted task attempts (empty = off)")
+	clusterN := flag.Int("cluster", 0, "local cluster mode: start a coordinator plus N real worker subprocesses and run the job across them (0 = off)")
+	heartbeat := flag.Duration("heartbeat", 0, "cluster worker heartbeat interval (0 = default 100ms)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "cluster lease time-to-live without a renewing heartbeat (0 = default 5x heartbeat)")
+	par := flag.Int("par", 0, "concurrent task attempts (0 = sequential; cluster modes default to 2x worker count)")
 	flag.Parse()
 
-	var strat core.Strategy
-	switch *stratName {
-	case "baseline":
-		strat = core.Strategy{Kind: core.Baseline}
-	case "transform":
-		strat = core.Strategy{Kind: core.ByteTransform, Codec: *codecName}
-	case "aggregation":
-		strat = core.Strategy{Kind: core.Aggregation, Curve: *curve, FlushCells: *flush}
-	case "boxes":
-		strat = core.Strategy{Kind: core.BoxAggregation, FlushCells: *flush}
+	// Validate every flag before any job machinery is touched, so a typo'd
+	// transport or malformed fault schedule fails in milliseconds with a
+	// clear message instead of surfacing mid-job.
+	strat, err := parseStrategy(*stratName, *codecName, *curve, *flush)
+	if err != nil {
+		fatal(err)
+	}
+	switch *shuffle {
+	case mapreduce.ShuffleMem, mapreduce.ShuffleNet, mapreduce.ShuffleTCP:
 	default:
-		fatal(fmt.Errorf("unknown strategy %q", *stratName))
+		fatal(fmt.Errorf("unknown -shuffle transport %q (want mem, net, or tcp)", *shuffle))
+	}
+	if *op != "median" && *op != "max" {
+		fatal(fmt.Errorf("unknown -op %q (want median or max)", *op))
+	}
+	var inj *faults.Injector
+	if *faultSpec != "" {
+		inj, err = faults.NewFromSpec(*faultSpec)
+		if err != nil {
+			fatal(fmt.Errorf("invalid -faults schedule: %w", err))
+		}
+	}
+	modes := 0
+	for _, on := range []bool{*coordAddr != "", *workerAddr != "", *clusterN != 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fatal(fmt.Errorf("-coordinator, -worker, and -cluster are mutually exclusive"))
+	}
+	if *clusterN < 0 {
+		fatal(fmt.Errorf("-cluster wants a positive worker count, got %d", *clusterN))
+	}
+	clusterMode := *coordAddr != "" || *clusterN > 0
+	if (clusterMode || *workerAddr != "") && *shuffle != mapreduce.ShuffleMem {
+		fatal(fmt.Errorf("cluster modes use the in-memory shuffle; -shuffle %s runs single-process only", *shuffle))
+	}
+
+	if *workerAddr != "" {
+		runWorkerMode(*workerAddr)
+		return
 	}
 
 	fs, qcfg, err := experiments.MedianSetup(*side)
@@ -78,15 +124,10 @@ func main() {
 		qcfg.Op = scihadoop.Max
 	}
 	qcfg.OutputPath = "/out/scijob"
-	if *faultSpec != "" {
-		inj, err := faults.NewFromSpec(*faultSpec)
-		if err != nil {
-			fatal(err)
-		}
-		qcfg.Faults = inj
-	}
+	qcfg.Faults = inj
 	qcfg.Retry = mapreducePolicy(*retries, *backoff, *speculate)
 	qcfg.Timeout = *timeout
+	qcfg.Parallelism = *par
 	var ob *obs.Observer
 	if *debugAddr != "" || *traceOut != "" || *metricsOut != "" {
 		ob = obs.New()
@@ -107,6 +148,59 @@ func main() {
 			Nodes:         *nodes,
 			FetchAttempts: *fetchAttempts,
 			FetchTimeout:  *fetchTimeout,
+		}
+	}
+
+	workers := 0
+	if clusterMode {
+		// The coordinator owns the proc fault site (it signals real worker
+		// processes); engine-level sites travel to workers inside the spec.
+		// The driver's own scheduler runs no attempts, so it gets no injector.
+		spec := jobSpec{
+			Side:     *side,
+			Strategy: *stratName,
+			Codec:    *codecName,
+			Curve:    *curve,
+			Flush:    *flush,
+			Op:       *op,
+			Radius:   *radius,
+			Splits:   *splits,
+			Reducers: *reducers,
+			Faults:   *faultSpec,
+		}
+		specBytes, err := json.Marshal(spec)
+		if err != nil {
+			fatal(err)
+		}
+		listen := *coordAddr
+		if listen == "" {
+			listen = "127.0.0.1:0"
+		}
+		coord, err := clusterd.Start(clusterd.Config{
+			Addr:           listen,
+			Spec:           specBytes,
+			HeartbeatEvery: *heartbeat,
+			LeaseTTL:       *leaseTTL,
+			Faults:         inj,
+			Obs:            ob,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("starting coordinator: %w", err))
+		}
+		defer coord.Close()
+		fmt.Printf("coordinator listening on %s\n", coord.Addr())
+		if *clusterN > 0 {
+			workers = *clusterN
+			pool := startLocalWorkers(coord.Addr(), *clusterN)
+			defer pool.shutdown()
+			fmt.Printf("spawned %d worker processes\n", *clusterN)
+		} else {
+			workers = 4 // external workers; a guess that only sizes parallelism
+		}
+		qcfg.Remote = coord
+		qcfg.Faults = nil
+		if qcfg.Parallelism == 0 {
+			qcfg.Parallelism = 2 * workers
 		}
 	}
 
@@ -172,6 +266,24 @@ func main() {
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 		dbg.Close()
+	}
+}
+
+// parseStrategy maps the flag spelling of a strategy to core's terms. The
+// worker process re-parses the same spelling out of the job spec, so driver
+// and workers build identical jobs.
+func parseStrategy(name, codecName, curve string, flush int) (core.Strategy, error) {
+	switch name {
+	case "baseline":
+		return core.Strategy{Kind: core.Baseline}, nil
+	case "transform":
+		return core.Strategy{Kind: core.ByteTransform, Codec: codecName}, nil
+	case "aggregation":
+		return core.Strategy{Kind: core.Aggregation, Curve: curve, FlushCells: flush}, nil
+	case "boxes":
+		return core.Strategy{Kind: core.BoxAggregation, FlushCells: flush}, nil
+	default:
+		return core.Strategy{}, fmt.Errorf("unknown strategy %q (want baseline, transform, aggregation, or boxes)", name)
 	}
 }
 

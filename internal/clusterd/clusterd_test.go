@@ -1,0 +1,371 @@
+package clusterd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scikey/internal/faults"
+	"scikey/internal/mapreduce"
+	"scikey/internal/obs"
+)
+
+// stubRunner is a scriptable in-process Runner: fast deterministic results,
+// optional per-call hooks for blocking and failure.
+type stubRunner struct {
+	mu    sync.Mutex
+	calls []string
+	hook  func(phase string, task, attempt int, canceled func() bool, fetch mapreduce.RemoteFetch) (*mapreduce.RemoteResult, error)
+}
+
+func (r *stubRunner) Run(phase string, task, attempt int, canceled func() bool, fetch mapreduce.RemoteFetch) (*mapreduce.RemoteResult, error) {
+	r.mu.Lock()
+	r.calls = append(r.calls, fmt.Sprintf("%s/%d/%d", phase, task, attempt))
+	r.mu.Unlock()
+	if r.hook != nil {
+		return r.hook(phase, task, attempt, canceled, fetch)
+	}
+	return &mapreduce.RemoteResult{Output: []byte(fmt.Sprintf("%s:%d:%d", phase, task, attempt))}, nil
+}
+
+// startCluster boots a coordinator and n workers sharing one stub runner,
+// returning a cleanup that stops everything.
+func startCluster(t *testing.T, cfg Config, n int, runner Runner) (*Coordinator, []*Worker) {
+	t.Helper()
+	c, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	workers := make([]*Worker, n)
+	for i := range workers {
+		w := NewWorker(WorkerConfig{
+			Addr:  c.Addr(),
+			Build: func(spec []byte) (Runner, error) { return runner, nil },
+		})
+		workers[i] = w
+		go w.Run()
+		t.Cleanup(w.Stop)
+	}
+	return c, workers
+}
+
+func TestClusterGrantRoundTrip(t *testing.T) {
+	runner := &stubRunner{}
+	c, _ := startCluster(t, Config{HeartbeatEvery: 20 * time.Millisecond}, 2, runner)
+
+	// Concurrent grants spread across the workers and all complete.
+	var wg sync.WaitGroup
+	results := make([]*mapreduce.RemoteResult, 6)
+	errs := make([]error, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.RunRemote(mapreduce.PhaseMap, i, 0, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 6; i++ {
+		if errs[i] != nil {
+			t.Fatalf("grant %d: %v", i, errs[i])
+		}
+		want := fmt.Sprintf("map:%d:0", i)
+		if string(results[i].Output) != want {
+			t.Errorf("grant %d returned %q, want %q", i, results[i].Output, want)
+		}
+	}
+}
+
+func TestSegmentFetchThroughCoordinator(t *testing.T) {
+	fetched := make(chan string, 1)
+	runner := &stubRunner{
+		hook: func(phase string, task, attempt int, canceled func() bool, fetch mapreduce.RemoteFetch) (*mapreduce.RemoteResult, error) {
+			if phase == mapreduce.PhaseReduce {
+				data, att, err := fetch(2, 0)
+				if err != nil {
+					return nil, err
+				}
+				fetched <- fmt.Sprintf("%s/%d", data, att)
+			}
+			return &mapreduce.RemoteResult{}, nil
+		},
+	}
+	c, _ := startCluster(t, Config{HeartbeatEvery: 20 * time.Millisecond}, 1, runner)
+
+	c.PublishRemote(2, 0, [][]byte{[]byte("seg-old")})
+	c.PublishRemote(2, 3, [][]byte{[]byte("seg-new")}) // recovery republish wins
+	c.PublishRemote(2, 1, [][]byte{[]byte("seg-mid")}) // older never clobbers newer
+
+	if _, err := c.RunRemote(mapreduce.PhaseReduce, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-fetched; got != "seg-new/3" {
+		t.Errorf("reduce fetched %q, want \"seg-new/3\"", got)
+	}
+
+	// Fetching an unpublished map task fails cleanly.
+	runner.hook = func(phase string, task, attempt int, canceled func() bool, fetch mapreduce.RemoteFetch) (*mapreduce.RemoteResult, error) {
+		_, _, err := fetch(99, 0)
+		return nil, err
+	}
+	if _, err := c.RunRemote(mapreduce.PhaseReduce, 1, 0, nil); err == nil || !strings.Contains(err.Error(), "not published") {
+		t.Errorf("unpublished fetch error = %v", err)
+	}
+}
+
+func TestWorkerDeathFailsLeaseImmediately(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	runner := &stubRunner{
+		hook: func(phase string, task, attempt int, canceled func() bool, fetch mapreduce.RemoteFetch) (*mapreduce.RemoteResult, error) {
+			started <- struct{}{}
+			<-block
+			return &mapreduce.RemoteResult{}, nil
+		},
+	}
+	c, workers := startCluster(t, Config{HeartbeatEvery: 50 * time.Millisecond}, 1, runner)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunRemote(mapreduce.PhaseMap, 0, 0, nil)
+		done <- err
+	}()
+	<-started
+	workers[0].Stop() // connection drops: no need to wait for the TTL
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "lost") {
+			t.Errorf("lease loss error = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lease loss not detected after worker connection dropped")
+	}
+	close(block)
+}
+
+func TestGracefulDrainCompletesInFlight(t *testing.T) {
+	o := obs.New()
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	runner := &stubRunner{
+		hook: func(phase string, task, attempt int, canceled func() bool, fetch mapreduce.RemoteFetch) (*mapreduce.RemoteResult, error) {
+			started <- struct{}{}
+			<-block
+			return &mapreduce.RemoteResult{Output: []byte("done")}, nil
+		},
+	}
+	c, workers := startCluster(t, Config{HeartbeatEvery: 20 * time.Millisecond, Obs: o}, 1, runner)
+
+	done := make(chan error, 1)
+	go func() {
+		rr, err := c.RunRemote(mapreduce.PhaseMap, 0, 0, nil)
+		if err == nil && string(rr.Output) != "done" {
+			err = fmt.Errorf("unexpected output %q", rr.Output)
+		}
+		done <- err
+	}()
+	<-started
+
+	// Drain mid-attempt: the attempt must still complete (not expire, not
+	// get revoked), and the worker must then deregister cleanly.
+	workers[0].Drain()
+	time.Sleep(50 * time.Millisecond) // a few heartbeats pass while drained
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight attempt during drain: %v", err)
+	}
+
+	deadline := time.After(5 * time.Second)
+	for {
+		if c.gWorkers.Value() == 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("drained worker never deregistered")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	reg := o.R()
+	if n := reg.Counter("scikey_cluster_lease_transitions_total", "lease state transitions", "", obs.L("state", "expired")).Value(); n != 0 {
+		t.Errorf("%d leases expired during a clean drain, want 0", n)
+	}
+	if n := reg.Counter("scikey_cluster_lease_transitions_total", "lease state transitions", "", obs.L("state", "completed")).Value(); n != 1 {
+		t.Errorf("completed transitions = %d, want 1", n)
+	}
+}
+
+// rawWorker speaks the wire protocol by hand: register, take one grant,
+// send Started, then go silent (a SIGSTOP stand-in). After the coordinator
+// expires the lease, it reports completion anyway — which must be dropped
+// as stale.
+func TestHeartbeatLapseExpiresAndStaleCompletionIsDropped(t *testing.T) {
+	o := obs.New()
+	c, err := Start(Config{HeartbeatEvery: 20 * time.Millisecond, LeaseTTL: 60 * time.Millisecond, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	conn, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, kindHello, helloMsg{PID: 12345}); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := readMsg(conn)
+	if err != nil || kind != kindWelcome {
+		t.Fatalf("welcome: kind=%d err=%v", kind, err)
+	}
+	var welcome welcomeMsg
+	if err := decode(payload, &welcome); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunRemote(mapreduce.PhaseMap, 0, 0, nil)
+		done <- err
+	}()
+
+	kind, payload, err = readMsg(conn)
+	if err != nil || kind != kindGrant {
+		t.Fatalf("grant: kind=%d err=%v", kind, err)
+	}
+	var grant grantMsg
+	if err := decode(payload, &grant); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMsg(conn, kindStarted, startedMsg{Lease: grant.Lease}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Silence. No heartbeats: the lease must lapse and fail the waiter.
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "heartbeat lapsed") {
+			t.Fatalf("lease expiry error = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lease never expired without heartbeats")
+	}
+
+	// The worker "wakes up" and completes the long-revoked lease.
+	err = writeMsg(conn, kindComplete, completeMsg{Lease: grant.Lease, Result: &mapreduce.RemoteResult{Output: []byte("zombie")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := o.R().Counter("scikey_cluster_lease_transitions_total", "lease state transitions", "", obs.L("state", "stale"))
+	deadline := time.After(5 * time.Second)
+	for stale.Value() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("stale completion never recorded as dropped")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestProcFaultSignalsWorkerOnStarted(t *testing.T) {
+	inj, err := faults.NewFromSpec("proc:0.0:kill@0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var killedPID atomic.Int64
+	var gotFault atomic.Value
+	block := make(chan struct{})
+	runner := &stubRunner{
+		hook: func(phase string, task, attempt int, canceled func() bool, fetch mapreduce.RemoteFetch) (*mapreduce.RemoteResult, error) {
+			<-block
+			return &mapreduce.RemoteResult{}, nil
+		},
+	}
+	c, _ := startCluster(t, Config{
+		HeartbeatEvery: 20 * time.Millisecond,
+		Faults:         inj,
+		Signal: func(pid int, f *faults.ProcFault) {
+			killedPID.Store(int64(pid))
+			gotFault.Store(f.Action)
+			close(block) // let the attempt end instead of really dying
+		},
+	}, 1, runner)
+
+	if _, err := c.RunRemote(mapreduce.PhaseMap, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if killedPID.Load() == 0 {
+		t.Fatal("proc fault never fired on Started")
+	}
+	if gotFault.Load() != faults.ActKill {
+		t.Errorf("fault action = %v, want kill", gotFault.Load())
+	}
+	if got := inj.Fired()["proc/kill"]; got != 1 {
+		t.Errorf("proc/kill fired %d times, want 1", got)
+	}
+}
+
+func TestCanceledGrantIsRevoked(t *testing.T) {
+	sawCancel := make(chan struct{}, 1)
+	started := make(chan struct{}, 1)
+	runner := &stubRunner{
+		hook: func(phase string, task, attempt int, canceled func() bool, fetch mapreduce.RemoteFetch) (*mapreduce.RemoteResult, error) {
+			started <- struct{}{}
+			for !canceled() {
+				time.Sleep(time.Millisecond)
+			}
+			sawCancel <- struct{}{}
+			return nil, mapreduce.ErrAttemptCanceled
+		},
+	}
+	c, _ := startCluster(t, Config{HeartbeatEvery: 20 * time.Millisecond}, 1, runner)
+
+	var stop atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunRemote(mapreduce.PhaseMap, 0, 0, stop.Load)
+		done <- err
+	}()
+	<-started
+	stop.Store(true)
+	if err := <-done; !errors.Is(err, mapreduce.ErrAttemptCanceled) {
+		t.Fatalf("canceled grant returned %v", err)
+	}
+	select {
+	case <-sawCancel:
+	case <-time.After(5 * time.Second):
+		t.Fatal("revocation never reached the worker-side attempt")
+	}
+}
+
+func TestFrameCRCRejectsCorruption(t *testing.T) {
+	// A frame whose payload was bit-flipped in flight must be rejected by
+	// the reader, not parsed.
+	var buf strings.Builder
+	if err := writeMsg(&buf, kindHello, helloMsg{PID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte(buf.String())
+	raw[len(raw)-1] ^= 0x40
+	if _, _, err := readMsg(strings.NewReader(string(raw))); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("corrupted frame error = %v", err)
+	}
+
+	// An oversized length field is refused before allocation.
+	var hdr [9]byte
+	hdr[0] = kindHello
+	binary.BigEndian.PutUint32(hdr[1:], maxFrame+1)
+	binary.BigEndian.PutUint32(hdr[5:], crc32.ChecksumIEEE(nil))
+	if _, _, err := readMsg(strings.NewReader(string(hdr[:]))); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized frame error = %v", err)
+	}
+}

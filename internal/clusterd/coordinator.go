@@ -1,0 +1,666 @@
+// Package clusterd promotes the in-process attempt scheduler into a
+// multi-process cluster runtime: a coordinator daemon that owns the job and
+// the lease state machine, and worker processes that register over TCP,
+// heartbeat, and execute task attempts under leases.
+//
+// The division of labor keeps recovered runs byte-identical to
+// single-process ones. All scheduling policy — retry budgets, deterministic
+// backoff, speculative twins, first-finisher commit, corrupt-segment repair
+// — stays in internal/mapreduce on the coordinator, which plugs into the
+// engine as its Remote executor. Workers only produce bytes: they rebuild
+// the job from the opaque spec pushed at registration and run single
+// attempts through the exact in-process data path. A worker dying mid-lease
+// (kill -9, SIGSTOP, network partition) surfaces as a failed attempt; the
+// scheduler retries it under a fresh lease like any other failure, and a
+// stale completion from a presumed-dead worker that comes back is dropped by
+// the lease table.
+package clusterd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"scikey/internal/cluster"
+	"scikey/internal/faults"
+	"scikey/internal/mapreduce"
+	"scikey/internal/obs"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// Spec is the opaque job description pushed to each worker at
+	// registration; workers rebuild the job from it deterministically.
+	Spec []byte
+	// HeartbeatEvery is the heartbeat interval pushed to workers.
+	// Default 100ms.
+	HeartbeatEvery time.Duration
+	// LeaseTTL is how long a lease survives without a renewing heartbeat.
+	// Default 5×HeartbeatEvery.
+	LeaseTTL time.Duration
+	// Faults optionally injects process-level faults: when a worker reports
+	// an attempt started, a matching proc rule SIGKILLs or SIGSTOPs the
+	// worker process — a real kill, not a simulated error.
+	Faults *faults.Injector
+	// Signal overrides how proc faults reach the worker process. Nil sends
+	// real signals; tests substitute a recorder.
+	Signal func(pid int, fault *faults.ProcFault)
+	// Obs optionally records cluster gauges, lease-transition counters, and
+	// heartbeat-gap histograms.
+	Obs *obs.Observer
+	// Logf, when non-nil, receives coordinator diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// grantOutcome is one finished remote attempt, delivered to its RunRemote
+// waiter.
+type grantOutcome struct {
+	rr  *mapreduce.RemoteResult
+	err error
+}
+
+// grantReq is one attempt waiting to run remotely: queued until a worker is
+// available, then bound to a lease.
+type grantReq struct {
+	phase   string
+	task    int
+	attempt int
+	lease   int // -1 while queued
+	done    chan grantOutcome
+}
+
+// workerConn is the coordinator's view of one registered worker.
+type workerConn struct {
+	id       int
+	pid      int
+	conn     net.Conn
+	wmu      sync.Mutex // serializes frame writes
+	draining bool
+	dead     bool
+	lastBeat time.Time
+}
+
+func (w *workerConn) send(kind byte, v any) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeMsg(w.conn, kind, v)
+}
+
+// segEntry is one map task's published output: its per-partition segments
+// and the attempt that produced them.
+type segEntry struct {
+	attempt int
+	parts   [][]byte
+}
+
+// Coordinator is the cluster control plane: worker registry, lease state
+// machine, segment store, and the engine's Remote executor.
+type Coordinator struct {
+	cfg Config
+	ln  net.Listener
+
+	mu         sync.Mutex
+	workers    map[int]*workerConn
+	nextWorker int
+	leases     *leaseTable
+	waiters    map[int]*grantReq // lease ID → waiting RunRemote
+	pending    []*grantReq
+	segs       map[int]*segEntry // map task → published output
+	closed     bool
+
+	kick chan struct{} // wakes the dispatcher
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	gWorkers    obs.Gauge
+	gLeases     obs.Gauge
+	hBeatGap    obs.Histogram
+	transitions map[string]obs.Counter
+}
+
+// Start listens on cfg.Addr and runs the coordinator until Close.
+func Start(cfg Config) (*Coordinator, error) {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 100 * time.Millisecond
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 5 * cfg.HeartbeatEvery
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Signal == nil {
+		cfg.Signal = realSignal
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("clusterd: listen %s: %w", cfg.Addr, err)
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		ln:      ln,
+		workers: make(map[int]*workerConn),
+		leases:  newLeaseTable(cfg.LeaseTTL),
+		waiters: make(map[int]*grantReq),
+		segs:    make(map[int]*segEntry),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	reg := obs.NewRegistry()
+	if cfg.Obs != nil {
+		reg = cfg.Obs.R()
+	}
+	c.gWorkers = reg.Gauge("scikey_cluster_workers", "registered worker processes", "")
+	c.gLeases = reg.Gauge("scikey_cluster_leases_active", "outstanding task leases", "")
+	c.hBeatGap = reg.Histogram("scikey_cluster_heartbeat_gap_seconds",
+		"gap between consecutive heartbeats per worker", "s", obs.ExpBuckets(0.005, 2, 12))
+	c.transitions = make(map[string]obs.Counter)
+	for _, s := range []string{"granted", "completed", "failed", "expired", "lost", "revoked", "stale"} {
+		c.transitions[s] = reg.Counter("scikey_cluster_lease_transitions_total",
+			"lease state transitions", "", obs.L("state", s))
+	}
+	c.wg.Add(3)
+	go c.acceptLoop()
+	go c.dispatchLoop()
+	go c.expireLoop()
+	return c, nil
+}
+
+// Addr is the coordinator's bound listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close stops the coordinator: pending grants fail, worker connections
+// close.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	pending := c.pending
+	c.pending = nil
+	conns := make([]*workerConn, 0, len(c.workers))
+	for _, w := range c.workers {
+		conns = append(conns, w)
+	}
+	c.mu.Unlock()
+
+	close(c.stop)
+	err := c.ln.Close()
+	for _, g := range pending {
+		g.done <- grantOutcome{err: errors.New("clusterd: coordinator closed")}
+	}
+	for _, w := range conns {
+		w.conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// RunRemote implements mapreduce.Remote: it queues the attempt for the next
+// available worker and blocks until the attempt completes, loses its lease,
+// or is canceled by the scheduler.
+func (c *Coordinator) RunRemote(phase string, task, attempt int, canceled func() bool) (*mapreduce.RemoteResult, error) {
+	g := &grantReq{phase: phase, task: task, attempt: attempt, lease: -1, done: make(chan grantOutcome, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("clusterd: coordinator closed")
+	}
+	c.pending = append(c.pending, g)
+	c.mu.Unlock()
+	c.wake()
+
+	poll := time.NewTicker(2 * time.Millisecond)
+	defer poll.Stop()
+	for {
+		select {
+		case out := <-g.done:
+			return out.rr, out.err
+		case <-poll.C:
+			if canceled != nil && canceled() {
+				if c.cancelGrant(g) {
+					return nil, mapreduce.ErrAttemptCanceled
+				}
+				// The outcome was already delivered concurrently; take it.
+				out := <-g.done
+				return out.rr, out.err
+			}
+		}
+	}
+}
+
+// cancelGrant withdraws a canceled attempt: dequeued if still pending,
+// revoked if leased. It reports true when the grant was withdrawn before an
+// outcome was delivered.
+func (c *Coordinator) cancelGrant(g *grantReq) bool {
+	c.mu.Lock()
+	for i, p := range c.pending {
+		if p == g {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			c.mu.Unlock()
+			return true
+		}
+	}
+	if g.lease >= 0 {
+		if _, ok := c.waiters[g.lease]; ok {
+			delete(c.waiters, g.lease)
+			var w *workerConn
+			if li, ok := c.leases.revoke(g.lease); ok {
+				w = c.workers[li.Worker]
+			}
+			c.gLeases.Set(int64(c.leases.count()))
+			c.transitions["revoked"].Inc()
+			c.mu.Unlock()
+			if w != nil && !w.dead {
+				w.send(kindRevoke, revokeMsg{Lease: g.lease})
+			}
+			return true
+		}
+	}
+	c.mu.Unlock()
+	return false // outcome already delivered (or being delivered)
+}
+
+// PublishRemote implements mapreduce.Remote: it installs a committed map
+// attempt's segments in the coordinator's segment store, where reduce
+// workers fetch them. Recovery republishes under a higher attempt, which
+// replaces the corrupt original.
+func (c *Coordinator) PublishRemote(mapTask, attempt int, parts [][]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.segs[mapTask]; ok && e.attempt > attempt {
+		return // never replace newer output with older
+	}
+	c.segs[mapTask] = &segEntry{attempt: attempt, parts: parts}
+}
+
+func (c *Coordinator) wake() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go c.serveWorker(conn)
+	}
+}
+
+// serveWorker runs one worker's registration and message loop.
+func (c *Coordinator) serveWorker(conn net.Conn) {
+	defer c.wg.Done()
+	kind, payload, err := readMsg(conn)
+	if err != nil || kind != kindHello {
+		conn.Close()
+		return
+	}
+	var hello helloMsg
+	if err := decode(payload, &hello); err != nil {
+		conn.Close()
+		return
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	w := &workerConn{id: c.nextWorker, pid: hello.PID, conn: conn, lastBeat: time.Now()}
+	c.nextWorker++
+	c.workers[w.id] = w
+	c.gWorkers.Set(int64(len(c.workers)))
+	c.mu.Unlock()
+
+	err = w.send(kindWelcome, welcomeMsg{
+		Worker:         w.id,
+		Spec:           c.cfg.Spec,
+		HeartbeatEvery: c.cfg.HeartbeatEvery,
+		LeaseTTL:       c.cfg.LeaseTTL,
+	})
+	if err != nil {
+		c.retireWorker(w)
+		return
+	}
+	c.logf("clusterd: worker %d registered (pid %d, %s)", w.id, hello.PID, conn.RemoteAddr())
+	c.wake() // a new worker can take pending grants
+
+	for {
+		kind, payload, err := readMsg(conn)
+		if err != nil {
+			c.retireWorker(w)
+			return
+		}
+		switch kind {
+		case kindHeartbeat:
+			var m heartbeatMsg
+			if decode(payload, &m) == nil {
+				c.handleHeartbeat(w, m)
+			}
+		case kindStarted:
+			var m startedMsg
+			if decode(payload, &m) == nil {
+				c.handleStarted(w, m)
+			}
+		case kindComplete:
+			var m completeMsg
+			if decode(payload, &m) == nil {
+				c.settleLease(w, m.Lease, grantOutcome{rr: m.Result}, "completed")
+			}
+		case kindFail:
+			var m failMsg
+			if decode(payload, &m) == nil {
+				c.settleLease(w, m.Lease, grantOutcome{err: reconstructError(m)}, "failed")
+			}
+		case kindSegReq:
+			var m segReqMsg
+			if decode(payload, &m) == nil {
+				c.handleSegReq(w, m)
+			}
+		case kindGoodbye:
+			var m goodbyeMsg
+			if decode(payload, &m) == nil && m.Draining {
+				c.mu.Lock()
+				w.draining = true
+				c.mu.Unlock()
+				c.logf("clusterd: worker %d draining", w.id)
+			}
+		default:
+			// Worker-bound kinds arriving here indicate a confused peer;
+			// drop the session.
+			c.retireWorker(w)
+			return
+		}
+	}
+}
+
+// retireWorker tears down a worker whose connection ended. A draining
+// worker with no leases left deregisters cleanly; any leases still held are
+// lost immediately and their waiters fail without waiting for the heartbeat
+// deadline.
+func (c *Coordinator) retireWorker(w *workerConn) {
+	c.mu.Lock()
+	if w.dead {
+		c.mu.Unlock()
+		return
+	}
+	w.dead = true
+	delete(c.workers, w.id)
+	c.gWorkers.Set(int64(len(c.workers)))
+	lost := c.leases.dropWorker(w.id)
+	type forfeit struct {
+		g  *grantReq
+		li *leaseInfo
+	}
+	var deliver []forfeit
+	for _, li := range lost {
+		if g, ok := c.waiters[li.ID]; ok {
+			delete(c.waiters, li.ID)
+			g.lease = li.ID
+			deliver = append(deliver, forfeit{g, li})
+		}
+	}
+	c.gLeases.Set(int64(c.leases.count()))
+	clean := w.draining && len(lost) == 0
+	c.mu.Unlock()
+
+	w.conn.Close()
+	if clean {
+		c.logf("clusterd: worker %d deregistered cleanly", w.id)
+	} else {
+		c.logf("clusterd: worker %d lost (%d leases forfeited)", w.id, len(lost))
+	}
+	now := time.Now()
+	for _, f := range deliver {
+		c.transitions["lost"].Inc()
+		f.g.done <- grantOutcome{
+			rr:  lostWork(f.li, now),
+			err: fmt.Errorf("clusterd: lease %d lost: worker %d connection dropped", f.li.ID, w.id),
+		}
+	}
+	c.wake()
+}
+
+// lostWork synthesizes the waste charge for an attempt whose worker died
+// without reporting: the process could not ship its footprint, so the cost
+// model is charged the wall-clock time the lease occupied the worker.
+func lostWork(li *leaseInfo, now time.Time) *mapreduce.RemoteResult {
+	held := now.Sub(li.Granted).Seconds()
+	if held < 0 {
+		held = 0
+	}
+	return &mapreduce.RemoteResult{
+		Footprint:   cluster.Task{CPUSeconds: held},
+		WallSeconds: held,
+	}
+}
+
+func (c *Coordinator) handleHeartbeat(w *workerConn, m heartbeatMsg) {
+	now := time.Now()
+	c.mu.Lock()
+	c.hBeatGap.Observe(now.Sub(w.lastBeat).Seconds())
+	w.lastBeat = now
+	unknown := c.leases.renew(w.id, m.Leases, now)
+	c.mu.Unlock()
+	for _, id := range unknown {
+		w.send(kindRevoke, revokeMsg{Lease: id})
+	}
+}
+
+// handleStarted fires process-level fault injection: the worker just began
+// running an attempt, so a kill delivered now lands mid-task.
+func (c *Coordinator) handleStarted(w *workerConn, m startedMsg) {
+	if c.cfg.Faults == nil {
+		return
+	}
+	c.mu.Lock()
+	li, ok := c.leases.active[m.Lease]
+	c.mu.Unlock()
+	if !ok || li.Worker != w.id {
+		return
+	}
+	fault := c.cfg.Faults.WorkerFault(w.id, procPhase(li.Phase), li.GrantSeq)
+	if fault == nil {
+		return
+	}
+	c.logf("clusterd: injecting %s into worker %d (pid %d) on %s grant %d",
+		fault.Action, w.id, w.pid, li.Phase, li.GrantSeq)
+	go c.cfg.Signal(w.pid, fault)
+}
+
+// settleLease delivers a worker-reported outcome to the attempt's waiter.
+// Outcomes for leases the table no longer tracks — expired, revoked, or
+// reassigned attempts — are stale and dropped: the scheduler already acted
+// on the lease loss, and the first-finisher rule must only ever see results
+// from live leases.
+func (c *Coordinator) settleLease(w *workerConn, lease int, out grantOutcome, state string) {
+	c.mu.Lock()
+	li, ok := c.leases.complete(lease)
+	if !ok || li.Worker != w.id {
+		c.mu.Unlock()
+		c.transitions["stale"].Inc()
+		c.logf("clusterd: dropping stale %s for lease %d from worker %d", state, lease, w.id)
+		return
+	}
+	g, haveWaiter := c.waiters[lease]
+	delete(c.waiters, lease)
+	c.gLeases.Set(int64(c.leases.count()))
+	c.mu.Unlock()
+
+	c.transitions[state].Inc()
+	if haveWaiter {
+		g.done <- out
+	}
+	c.wake()
+}
+
+func (c *Coordinator) handleSegReq(w *workerConn, m segReqMsg) {
+	c.mu.Lock()
+	e, ok := c.segs[m.MapTask]
+	c.mu.Unlock()
+	resp := segDataMsg{Seq: m.Seq}
+	switch {
+	case !ok:
+		resp.Error = fmt.Sprintf("map task %d output not published", m.MapTask)
+	case m.Partition < 0 || m.Partition >= len(e.parts):
+		resp.Error = fmt.Sprintf("map task %d has no partition %d", m.MapTask, m.Partition)
+	default:
+		resp.Attempt = e.attempt
+		resp.Data = e.parts[m.Partition]
+	}
+	w.send(kindSegData, resp)
+}
+
+// dispatchLoop binds pending grants to live workers, preferring the least
+// loaded so speculative twins land on different processes.
+func (c *Coordinator) dispatchLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.kick:
+		}
+		for {
+			c.mu.Lock()
+			if c.closed || len(c.pending) == 0 {
+				c.mu.Unlock()
+				break
+			}
+			var best *workerConn
+			bestLoad := 0
+			for _, w := range c.workers {
+				if w.dead || w.draining {
+					continue
+				}
+				load := c.leases.load(w.id)
+				if best == nil || load < bestLoad {
+					best, bestLoad = w, load
+				}
+			}
+			if best == nil {
+				c.mu.Unlock()
+				break // no eligible worker; retry on next registration
+			}
+			g := c.pending[0]
+			c.pending = c.pending[1:]
+			li := c.leases.grant(best.id, g.phase, g.task, g.attempt, time.Now())
+			g.lease = li.ID
+			c.waiters[li.ID] = g
+			c.gLeases.Set(int64(c.leases.count()))
+			c.mu.Unlock()
+
+			c.transitions["granted"].Inc()
+			err := best.send(kindGrant, grantMsg{Lease: li.ID, Phase: g.phase, Task: g.task, Attempt: g.attempt})
+			if err != nil {
+				c.retireWorker(best) // delivers this grant's loss via dropWorker
+			}
+		}
+	}
+}
+
+// expireLoop sweeps the lease table: attempts whose worker stopped
+// heartbeating (SIGSTOP, kill -9, partition) fail over to a fresh lease.
+func (c *Coordinator) expireLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.HeartbeatEvery / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		lapsed := c.leases.expired(now)
+		type victim struct {
+			g *grantReq
+			w *workerConn
+			l *leaseInfo
+		}
+		var victims []victim
+		for _, li := range lapsed {
+			v := victim{w: c.workers[li.Worker], l: li}
+			if g, ok := c.waiters[li.ID]; ok {
+				delete(c.waiters, li.ID)
+				v.g = g
+			}
+			victims = append(victims, v)
+		}
+		c.gLeases.Set(int64(c.leases.count()))
+		c.mu.Unlock()
+
+		for _, v := range victims {
+			c.transitions["expired"].Inc()
+			c.logf("clusterd: lease %d (%s task %d attempt %d) expired on worker %d",
+				v.l.ID, v.l.Phase, v.l.Task, v.l.Attempt, v.l.Worker)
+			if v.w != nil && !v.w.dead {
+				v.w.send(kindRevoke, revokeMsg{Lease: v.l.ID})
+			}
+			if v.g != nil {
+				v.g.done <- grantOutcome{
+					rr:  lostWork(v.l, now),
+					err: fmt.Errorf("clusterd: lease %d expired: worker %d heartbeat lapsed", v.l.ID, v.l.Worker),
+				}
+			}
+		}
+		if len(victims) > 0 {
+			c.wake()
+		}
+	}
+}
+
+// reconstructError rebuilds a worker-reported failure in the engine's error
+// vocabulary, so canceled attempts stay silent and corrupt-segment
+// detections drive map re-execution exactly as in-process failures do.
+func reconstructError(m failMsg) error {
+	switch {
+	case m.Canceled:
+		return mapreduce.ErrAttemptCanceled
+	case m.Corrupt != nil:
+		return &mapreduce.ErrCorruptSegment{
+			MapTask:   m.Corrupt.MapTask,
+			Partition: m.Corrupt.Partition,
+			Attempt:   m.Corrupt.Attempt,
+			Err:       errors.New(m.Error),
+		}
+	default:
+		return errors.New(m.Error)
+	}
+}
+
+// realSignal delivers a proc fault to a live process: kill is SIGKILL —
+// no cleanup, no goodbye, the real thing — and hang is SIGSTOP for the
+// configured delay, then SIGCONT, long enough for the heartbeat deadline to
+// lapse and the lease to move.
+func realSignal(pid int, fault *faults.ProcFault) {
+	switch fault.Action {
+	case faults.ActKill:
+		syscall.Kill(pid, syscall.SIGKILL)
+	case faults.ActHang:
+		syscall.Kill(pid, syscall.SIGSTOP)
+		time.Sleep(fault.Delay)
+		syscall.Kill(pid, syscall.SIGCONT)
+	}
+}

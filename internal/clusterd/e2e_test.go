@@ -1,0 +1,372 @@
+package clusterd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"scikey/internal/faults"
+	"scikey/internal/hdfs"
+	"scikey/internal/keys"
+	"scikey/internal/mapreduce"
+	"scikey/internal/obs"
+	"scikey/internal/serial"
+)
+
+// The kill-recovery end-to-end test runs the real thing: a coordinator in
+// the test process and worker subprocesses that are re-executions of this
+// test binary (TestMain diverts to worker duty when CLUSTERD_E2E_WORKER is
+// set). Fault rules SIGKILL one worker during its first map attempt and
+// another during its first reduce attempt — kill -9 on live PIDs, no
+// simulation — and the run must still produce byte-identical output and
+// payload counters, with the killed attempts' work charged as waste.
+
+const e2eWorkerEnv = "CLUSTERD_E2E_WORKER"
+
+func TestMain(m *testing.M) {
+	if addr := os.Getenv(e2eWorkerEnv); addr != "" {
+		os.Exit(runE2EWorker(addr))
+	}
+	os.Exit(m.Run())
+}
+
+// e2eSpec is the job description the coordinator pushes to workers.
+type e2eSpec struct {
+	Docs     []string
+	Reducers int
+	SleepMs  int
+}
+
+// e2eJob builds the deterministic word-count job both sides run. Every
+// attempt sleeps SleepMs before doing its work, so an injected SIGKILL
+// reliably lands mid-attempt.
+func e2eJob(spec e2eSpec, fs *hdfs.FileSystem) *mapreduce.Job {
+	splits := make([]mapreduce.Split, len(spec.Docs))
+	for i, d := range spec.Docs {
+		splits[i] = mapreduce.Split{ID: i, Data: d}
+	}
+	sleep := time.Duration(spec.SleepMs) * time.Millisecond
+	return &mapreduce.Job{
+		Name:        "e2e-wordcount",
+		FS:          fs,
+		Splits:      splits,
+		NumReducers: spec.Reducers,
+		Compare:     serial.CompareBytes,
+		Partition:   keys.HashPartition,
+		OutputPath:  "/out",
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {
+				time.Sleep(sleep)
+				doc := split.Data.(string)
+				ctx.CountInput(1, int64(len(doc)))
+				one := []byte{0, 0, 0, 1}
+				for _, w := range strings.Fields(doc) {
+					emit([]byte(w), one)
+				}
+				return nil
+			})
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFunc(func(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emit) error {
+				time.Sleep(sleep / 4)
+				var sum uint32
+				for _, v := range values {
+					sum += binary.BigEndian.Uint32(v)
+				}
+				var out [4]byte
+				binary.BigEndian.PutUint32(out[:], sum)
+				emit(key, out[:])
+				return nil
+			})
+		},
+	}
+}
+
+func e2eFS() *hdfs.FileSystem {
+	return hdfs.New(1<<20, 1, []string{"n0", "n1", "n2"})
+}
+
+// runE2EWorker is worker-subprocess duty: serve attempts until the
+// connection story ends or SIGTERM asks for a graceful drain.
+func runE2EWorker(addr string) int {
+	w := NewWorker(WorkerConfig{
+		Addr: addr,
+		Build: func(raw []byte) (Runner, error) {
+			var spec e2eSpec
+			if err := json.Unmarshal(raw, &spec); err != nil {
+				return nil, err
+			}
+			return &JobRunner{Job: e2eJob(spec, e2eFS())}, nil
+		},
+	})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	go func() {
+		<-sig
+		w.Drain()
+	}()
+	if err := w.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "e2e worker: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+var e2eSpecFixture = e2eSpec{
+	Docs: []string{
+		"the quick brown fox jumps over the lazy dog",
+		"pack my box with five dozen liquor jugs",
+		"the five boxing wizards jump quickly",
+		"how vexingly quick daft zebras jump",
+		"sphinx of black quartz judge my vow",
+		"the dog and the fox and the sphinx",
+	},
+	Reducers: 3,
+	SleepMs:  120,
+}
+
+// procHandle wraps a worker subprocess with a single-flight Wait, so test
+// assertions and cleanup can both reap it without racing.
+type procHandle struct {
+	cmd  *exec.Cmd
+	once sync.Once
+	err  error
+}
+
+func (p *procHandle) wait() error {
+	p.once.Do(func() { p.err = p.cmd.Wait() })
+	return p.err
+}
+
+// waitTimeout reaps the process, failing the test if it never exits.
+func (p *procHandle) waitTimeout(t *testing.T, d time.Duration) bool {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { p.wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		t.Error("worker subprocess never exited")
+		return false
+	}
+}
+
+// clusterRun is one full cluster execution with real worker subprocesses.
+type clusterRun struct {
+	res   *mapreduce.Result
+	outs  [][]byte
+	obs   *obs.Observer
+	procs []*procHandle
+}
+
+// runE2ECluster executes the fixture job on a coordinator plus nWorkers
+// subprocesses, under the given fault schedule ("" for none).
+func runE2ECluster(t *testing.T, nWorkers int, faultSpec string) *clusterRun {
+	t.Helper()
+	var inj *faults.Injector
+	if faultSpec != "" {
+		var err error
+		inj, err = faults.NewFromSpec(faultSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	specJSON, err := json.Marshal(e2eSpecFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	c, err := Start(Config{
+		Spec:           specJSON,
+		HeartbeatEvery: 25 * time.Millisecond,
+		LeaseTTL:       125 * time.Millisecond,
+		Faults:         inj,
+		Obs:            o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	procs := make([]*procHandle, nWorkers)
+	for i := range procs {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), e2eWorkerEnv+"="+c.Addr())
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = &procHandle{cmd: cmd}
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.cmd.Process.Kill()
+			p.wait()
+		}
+	})
+
+	fs := e2eFS()
+	job := e2eJob(e2eSpecFixture, fs)
+	job.Remote = c
+	job.Parallelism = 4
+	job.Retry = mapreduce.RetryPolicy{MaxAttempts: 5}
+	res, err := mapreduce.Run(job)
+	if err != nil {
+		t.Fatalf("cluster job (faults=%q): %v", faultSpec, err)
+	}
+	outs := make([][]byte, len(res.OutputPaths))
+	for i, p := range res.OutputPaths {
+		if outs[i], err = fs.ReadAll(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &clusterRun{res: res, outs: outs, obs: o, procs: procs}
+}
+
+// payloadFingerprint lists the data-path counters that must be identical
+// across fault-free and recovered runs (scheduler bookkeeping like retry
+// counts legitimately differs).
+func payloadFingerprint(res *mapreduce.Result) []int64 {
+	c := res.Counters
+	return []int64{
+		c.MapInputRecords.Value(), c.MapInputBytes.Value(),
+		c.MapOutputRecords.Value(), c.MapOutputBytes.Value(),
+		c.MapOutputMaterializedBytes.Value(), c.SpilledRecords.Value(),
+		c.ReduceShuffleBytes.Value(), c.ReduceInputGroups.Value(),
+		c.ReduceInputRecords.Value(), c.ReduceOutputRecords.Value(),
+		c.ReduceOutputBytes.Value(),
+	}
+}
+
+func transitionCount(o *obs.Observer, state string) int64 {
+	return o.R().Counter("scikey_cluster_lease_transitions_total",
+		"lease state transitions", "", obs.L("state", state)).Value()
+}
+
+// TestE2EKillRecoveryByteIdentical is the acceptance test: SIGKILL one real
+// worker subprocess mid-map and another mid-reduce; the recovered run's
+// output bytes and payload counters must match both a fault-free cluster
+// run and the single-process reference, and the killed attempts' work must
+// be charged as waste.
+func TestE2EKillRecoveryByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+
+	// Single-process reference: no Remote at all.
+	refFS := e2eFS()
+	refRes, err := mapreduce.Run(e2eJob(e2eSpecFixture, refFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOuts := make([][]byte, len(refRes.OutputPaths))
+	for i, p := range refRes.OutputPaths {
+		if refOuts[i], err = refFS.ReadAll(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	clean := runE2ECluster(t, 3, "")
+	// Worker 0 dies at its first map attempt, worker 1 at its first reduce
+	// attempt — real SIGKILLs delivered by the coordinator's fault hook.
+	killed := runE2ECluster(t, 3, "seed=1;proc:0.0:kill@0;proc:1.1:kill@0")
+
+	for name, run := range map[string]*clusterRun{"fault-free": clean, "killed": killed} {
+		if len(run.outs) != len(refOuts) {
+			t.Fatalf("%s: %d outputs, want %d", name, len(run.outs), len(refOuts))
+		}
+		for i := range refOuts {
+			if !bytes.Equal(run.outs[i], refOuts[i]) {
+				t.Errorf("%s: output %d differs from single-process reference (%d vs %d bytes)",
+					name, i, len(run.outs[i]), len(refOuts[i]))
+			}
+		}
+	}
+	refPayload := payloadFingerprint(refRes)
+	for name, run := range map[string]*clusterRun{"fault-free": clean, "killed": killed} {
+		got := payloadFingerprint(run.res)
+		for i := range refPayload {
+			if got[i] != refPayload[i] {
+				t.Errorf("%s: payload counter %d = %d, want %d", name, i, got[i], refPayload[i])
+			}
+		}
+	}
+
+	// The fault-free run wasted nothing; the killed run charged both lost
+	// attempts' occupancy to the waste ledger.
+	if n := len(clean.res.WastedMapTasks) + len(clean.res.WastedReduceTasks); n != 0 {
+		t.Errorf("fault-free cluster run charged %d wasted attempts", n)
+	}
+	if len(killed.res.WastedMapTasks) == 0 {
+		t.Error("no wasted map attempt recorded for the mid-map kill")
+	} else if killed.res.WastedMapTasks[0].CPUSeconds <= 0 {
+		t.Error("mid-map kill charged zero occupancy")
+	}
+	if len(killed.res.WastedReduceTasks) == 0 {
+		t.Error("no wasted reduce attempt recorded for the mid-reduce kill")
+	} else if killed.res.WastedReduceTasks[0].CPUSeconds <= 0 {
+		t.Error("mid-reduce kill charged zero occupancy")
+	}
+	if got := killed.res.Counters.MapAttemptsFailed.Value(); got == 0 {
+		t.Error("map kill did not register as a failed attempt")
+	}
+	if got := killed.res.Counters.ReduceAttemptsFailed.Value(); got == 0 {
+		t.Error("reduce kill did not register as a failed attempt")
+	}
+
+	// Exactly the two victims died of SIGKILL; the survivor drains cleanly
+	// on SIGTERM and exits 0.
+	dead := 0
+	for _, p := range killed.procs {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+		if !p.waitTimeout(t, 10*time.Second) {
+			continue
+		}
+		if st, ok := p.cmd.ProcessState.Sys().(syscall.WaitStatus); ok &&
+			st.Signaled() && st.Signal() == syscall.SIGKILL {
+			dead++
+		} else if code := p.cmd.ProcessState.ExitCode(); code != 0 {
+			t.Errorf("surviving worker exited %d, want 0", code)
+		}
+	}
+	if dead != 2 {
+		t.Errorf("%d workers died of SIGKILL, want 2", dead)
+	}
+}
+
+// TestE2EGracefulShutdown: SIGTERM drains workers cleanly — they finish
+// their leases, deregister, and exit 0 without a single lease expiry.
+func TestE2EGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	run := runE2ECluster(t, 2, "")
+
+	for _, p := range run.procs {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for _, p := range run.procs {
+		if p.waitTimeout(t, 10*time.Second) {
+			if code := p.cmd.ProcessState.ExitCode(); code != 0 {
+				t.Errorf("drained worker exited %d, want 0", code)
+			}
+		}
+	}
+
+	if n := transitionCount(run.obs, "expired"); n != 0 {
+		t.Errorf("%d leases expired across a clean run + drain, want 0", n)
+	}
+	if n := transitionCount(run.obs, "lost"); n != 0 {
+		t.Errorf("%d leases lost across a clean run + drain, want 0", n)
+	}
+}

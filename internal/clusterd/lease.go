@@ -1,0 +1,168 @@
+package clusterd
+
+import (
+	"time"
+
+	"scikey/internal/mapreduce"
+)
+
+// A lease is the coordinator's claim check for one task attempt handed to
+// one worker: the attempt runs remotely only while its lease is alive, and
+// the lease stays alive only while the worker's heartbeats keep renewing it.
+// The rules the rest of the package (and the kill-recovery tests) rely on:
+//
+//   - Grant: a lease binds (phase, task, attempt) to a worker and gets a
+//     deadline of now+TTL. Each grant also gets the worker's next per-phase
+//     grant sequence number — the coordinate the proc fault site targets.
+//   - Renew: a heartbeat naming the lease pushes the deadline to now+TTL. A
+//     renewal arriving exactly at the deadline still saves the lease; only
+//     now strictly after the deadline expires it.
+//   - Expire: an expired or revoked lease is forgotten. A completion (or
+//     failure) that arrives later for that lease ID is stale and must be
+//     ignored — the attempt was already reissued under a new lease, and the
+//     first-finisher commit rule upstream decides among live attempts only.
+//   - Worker death: a worker's connection dropping forfeits all its leases
+//     at once, without waiting for the heartbeat deadline.
+//
+// leaseInfo and leaseTable are pure bookkeeping: every method takes the
+// current time explicitly, so tests drive the state machine with a fake
+// clock and real servers pass time.Now().
+
+// leaseInfo is one outstanding lease.
+type leaseInfo struct {
+	ID      int
+	Worker  int
+	Phase   string
+	Task    int
+	Attempt int
+	// GrantSeq is this grant's rank among the worker's grants of this phase
+	// (0 for the worker's first map or first reduce grant). Fault schedules
+	// address workers by it: proc:1.1:kill@0 fires on worker 1's reduce
+	// grant with GrantSeq 0.
+	GrantSeq int
+	Granted  time.Time
+	Deadline time.Time
+}
+
+// leaseTable tracks outstanding leases. It is not safe for concurrent use;
+// the coordinator guards it with its own mutex.
+type leaseTable struct {
+	ttl    time.Duration
+	nextID int
+	active map[int]*leaseInfo
+	// grants counts past grants per (worker, phase), assigning GrantSeq.
+	grants map[grantKey]int
+}
+
+type grantKey struct {
+	worker int
+	phase  string
+}
+
+func newLeaseTable(ttl time.Duration) *leaseTable {
+	return &leaseTable{
+		ttl:    ttl,
+		active: make(map[int]*leaseInfo),
+		grants: make(map[grantKey]int),
+	}
+}
+
+// grant issues a new lease on (phase, task, attempt) to worker.
+func (t *leaseTable) grant(worker int, phase string, task, attempt int, now time.Time) *leaseInfo {
+	k := grantKey{worker, phase}
+	li := &leaseInfo{
+		ID:       t.nextID,
+		Worker:   worker,
+		Phase:    phase,
+		Task:     task,
+		Attempt:  attempt,
+		GrantSeq: t.grants[k],
+		Granted:  now,
+		Deadline: now.Add(t.ttl),
+	}
+	t.nextID++
+	t.grants[k]++
+	t.active[li.ID] = li
+	return li
+}
+
+// renew pushes the deadline of each listed lease that is still active and
+// still held by worker. It returns the IDs the coordinator no longer tracks
+// for this worker — the worker must be told to abandon those attempts.
+func (t *leaseTable) renew(worker int, ids []int, now time.Time) (unknown []int) {
+	for _, id := range ids {
+		li, ok := t.active[id]
+		if !ok || li.Worker != worker {
+			unknown = append(unknown, id)
+			continue
+		}
+		li.Deadline = now.Add(t.ttl)
+	}
+	return unknown
+}
+
+// expired removes and returns every lease whose deadline has strictly
+// passed. A lease whose deadline equals now survives: renewal at the
+// deadline is on time.
+func (t *leaseTable) expired(now time.Time) []*leaseInfo {
+	var out []*leaseInfo
+	for id, li := range t.active {
+		if now.After(li.Deadline) {
+			delete(t.active, id)
+			out = append(out, li)
+		}
+	}
+	return out
+}
+
+// complete removes lease id on its way to commitment. ok is false when the
+// lease is no longer tracked — an expired, revoked, or reassigned attempt
+// whose late result must be dropped.
+func (t *leaseTable) complete(id int) (li *leaseInfo, ok bool) {
+	li, ok = t.active[id]
+	if ok {
+		delete(t.active, id)
+	}
+	return li, ok
+}
+
+// revoke removes lease id because its result is no longer wanted (the
+// scheduler canceled the attempt).
+func (t *leaseTable) revoke(id int) (li *leaseInfo, ok bool) {
+	return t.complete(id)
+}
+
+// dropWorker removes and returns all leases held by worker — its connection
+// died, so every attempt it was running is lost immediately.
+func (t *leaseTable) dropWorker(worker int) []*leaseInfo {
+	var out []*leaseInfo
+	for id, li := range t.active {
+		if li.Worker == worker {
+			delete(t.active, id)
+			out = append(out, li)
+		}
+	}
+	return out
+}
+
+// load counts worker's active leases (grant placement balances on it).
+func (t *leaseTable) load(worker int) int {
+	n := 0
+	for _, li := range t.active {
+		if li.Worker == worker {
+			n++
+		}
+	}
+	return n
+}
+
+// count is the number of active leases.
+func (t *leaseTable) count() int { return len(t.active) }
+
+// procPhase maps a phase name to the fault site's phase coordinate.
+func procPhase(phase string) int {
+	if phase == mapreduce.PhaseReduce {
+		return 1
+	}
+	return 0
+}

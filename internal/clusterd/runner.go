@@ -1,0 +1,34 @@
+package clusterd
+
+import (
+	"fmt"
+
+	"scikey/internal/mapreduce"
+)
+
+// JobRunner executes attempts of one rebuilt mapreduce job — the production
+// Runner a worker process uses. Each attempt runs the exact in-process data
+// path (RunMapAttempt / RunReduceAttempt), so cluster output bytes and
+// payload counters match a single-process run's.
+type JobRunner struct {
+	Job *mapreduce.Job
+}
+
+// Run implements Runner. Panics in the attempt (a hostile spec, a fault
+// rule's panic action reaching user code) become ordinary failures on the
+// wire instead of killing the whole worker.
+func (r *JobRunner) Run(phase string, task, attempt int, canceled func() bool, fetch mapreduce.RemoteFetch) (rr *mapreduce.RemoteResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rr, err = nil, fmt.Errorf("clusterd: %s task %d attempt %d panicked: %v", phase, task, attempt, p)
+		}
+	}()
+	switch phase {
+	case mapreduce.PhaseMap:
+		return mapreduce.RunMapAttempt(r.Job, task, attempt, canceled)
+	case mapreduce.PhaseReduce:
+		return mapreduce.RunReduceAttempt(r.Job, task, attempt, canceled, fetch)
+	default:
+		return nil, fmt.Errorf("clusterd: unknown phase %q", phase)
+	}
+}

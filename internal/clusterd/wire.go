@@ -1,0 +1,166 @@
+package clusterd
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"scikey/internal/mapreduce"
+)
+
+// Wire protocol: one persistent connection per worker, carrying framed
+// messages in both directions. Every frame is
+//
+//	kind u8 | len u32 | crc32 u32 | payload [len]byte
+//
+// (integers big-endian, CRC32 IEEE over the payload, payloads JSON). The
+// frame CRC is the same end-to-end integrity idiom the shufflenet transport
+// uses: a corrupted frame is detected at the reader and tears the session
+// down rather than delivering garbage into the lease state machine.
+//
+// Registration handshake: the worker connects, sends hello{PID}, and the
+// coordinator answers welcome{Worker, Spec, HeartbeatEvery, LeaseTTL}. After
+// that the worker heartbeats on schedule and the coordinator pushes grant
+// frames; the worker answers each grant with started, then complete or fail.
+// Reduce attempts pull map output segments through segReq/segData pairs
+// correlated by Seq on the same connection. goodbye{Draining} starts a
+// graceful drain: no further grants, the worker finishes what it holds and
+// hangs up.
+const (
+	kindHello byte = iota + 1
+	kindWelcome
+	kindHeartbeat
+	kindGrant
+	kindStarted
+	kindComplete
+	kindFail
+	kindRevoke
+	kindSegReq
+	kindSegData
+	kindGoodbye
+)
+
+// maxFrame bounds one frame's payload so a corrupt length field cannot make
+// the reader allocate unbounded memory.
+const maxFrame = 1 << 30
+
+type helloMsg struct {
+	PID int
+}
+
+type welcomeMsg struct {
+	Worker         int
+	Spec           []byte
+	HeartbeatEvery time.Duration
+	LeaseTTL       time.Duration
+}
+
+type heartbeatMsg struct {
+	Seq int
+	// Leases lists the lease IDs the worker believes it holds; the
+	// coordinator renews them and revokes any it no longer tracks.
+	Leases []int
+}
+
+type grantMsg struct {
+	Lease   int
+	Phase   string
+	Task    int
+	Attempt int
+}
+
+type startedMsg struct {
+	Lease int
+}
+
+type completeMsg struct {
+	Lease  int
+	Result *mapreduce.RemoteResult
+}
+
+// corruptInfo carries a reduce-side corruption detection across the wire so
+// the coordinator can rebuild the *mapreduce.ErrCorruptSegment that drives
+// map re-execution.
+type corruptInfo struct {
+	MapTask   int
+	Partition int
+	Attempt   int
+}
+
+type failMsg struct {
+	Lease    int
+	Error    string
+	Canceled bool
+	Corrupt  *corruptInfo
+}
+
+type revokeMsg struct {
+	Lease int
+}
+
+type segReqMsg struct {
+	Seq       int
+	MapTask   int
+	Partition int
+}
+
+type segDataMsg struct {
+	Seq     int
+	Attempt int
+	Data    []byte
+	Error   string
+}
+
+type goodbyeMsg struct {
+	Draining bool
+}
+
+// writeMsg frames and writes one message. Callers serialize writes per
+// connection themselves.
+func writeMsg(w io.Writer, kind byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("clusterd: marshal kind %d: %v", kind, err)
+	}
+	hdr := make([]byte, 9, 9+len(payload))
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[5:], crc32.ChecksumIEEE(payload))
+	_, err = w.Write(append(hdr, payload...))
+	return err
+}
+
+// readMsg reads one frame and returns its kind and verified payload.
+func readMsg(r io.Reader) (byte, []byte, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	kind := hdr[0]
+	if kind < kindHello || kind > kindGoodbye {
+		return 0, nil, fmt.Errorf("clusterd: unknown frame kind %d", kind)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("clusterd: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	if got := crc32.ChecksumIEEE(payload); got != binary.BigEndian.Uint32(hdr[5:]) {
+		return 0, nil, fmt.Errorf("clusterd: frame CRC mismatch on kind %d", kind)
+	}
+	return kind, payload, nil
+}
+
+// decode unmarshals a frame payload into v.
+func decode(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("clusterd: bad frame payload: %v", err)
+	}
+	return nil
+}

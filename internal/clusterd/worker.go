@@ -1,0 +1,423 @@
+package clusterd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"scikey/internal/backoff"
+	"scikey/internal/mapreduce"
+)
+
+// Runner executes one task attempt inside a worker process. JobRunner is
+// the production implementation; tests substitute stubs.
+type Runner interface {
+	Run(phase string, task, attempt int, canceled func() bool, fetch mapreduce.RemoteFetch) (*mapreduce.RemoteResult, error)
+}
+
+// WorkerConfig configures a worker process.
+type WorkerConfig struct {
+	// Addr is the coordinator's TCP address.
+	Addr string
+	// Build rebuilds the job from the coordinator's opaque spec and returns
+	// the attempt runner. It runs once per session, after welcome.
+	Build func(spec []byte) (Runner, error)
+	// Reconnect is the redial backoff schedule. Zero value retries
+	// immediately; the default is 50ms base, 2s cap.
+	Reconnect backoff.Policy
+	// MaxDials bounds consecutive failed connection attempts before the
+	// worker gives up. Default 20.
+	MaxDials int
+	// Logf, when non-nil, receives worker diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Worker is one worker process's connection to the coordinator: it
+// registers, heartbeats, executes granted attempts, and reconnects with
+// backoff when the session drops. Drain (the SIGTERM path) stops new grants,
+// lets in-flight attempts finish, and deregisters so no lease is left to
+// time out.
+type Worker struct {
+	cfg WorkerConfig
+
+	mu       sync.Mutex
+	sess     *session
+	draining bool
+	stopped  bool
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// session is one live connection epoch. A reconnect builds a fresh one.
+type session struct {
+	w    *Worker
+	conn net.Conn
+	wmu  sync.Mutex // serializes frame writes
+	id   int        // worker ID assigned by the coordinator
+
+	mu         sync.Mutex
+	leases     map[int]*workerLease
+	segSeq     int
+	segWaiters map[int]chan segDataMsg
+	hbSeq      int
+	done       chan struct{} // closed when the read loop exits
+	closeOnce  sync.Once
+}
+
+// workerLease is one granted attempt executing in this process.
+type workerLease struct {
+	id      int
+	revoked chan struct{}
+	once    sync.Once
+}
+
+func (l *workerLease) revoke() { l.once.Do(func() { close(l.revoked) }) }
+
+func (l *workerLease) canceled() bool {
+	select {
+	case <-l.revoked:
+		return true
+	default:
+		return false
+	}
+}
+
+// NewWorker prepares a worker; Run drives it.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.MaxDials <= 0 {
+		cfg.MaxDials = 20
+	}
+	if cfg.Reconnect == (backoff.Policy{}) {
+		cfg.Reconnect = backoff.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+	}
+	return &Worker{cfg: cfg, stop: make(chan struct{})}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Run connects to the coordinator and serves grants until Drain completes
+// or the connection is lost beyond MaxDials redials.
+func (w *Worker) Run() error {
+	dials := 0
+	for {
+		w.mu.Lock()
+		if w.stopped || w.draining {
+			w.mu.Unlock()
+			return nil
+		}
+		w.mu.Unlock()
+
+		err := w.session()
+		w.mu.Lock()
+		finished := w.stopped || w.draining
+		w.mu.Unlock()
+		if finished {
+			return nil
+		}
+		if err == nil {
+			dials = 0 // a full session ran; restart the redial budget
+			continue
+		}
+		dials++
+		if dials >= w.cfg.MaxDials {
+			return fmt.Errorf("clusterd: worker gave up after %d dials: %w", dials, err)
+		}
+		w.logf("clusterd: worker session failed (%v), redialing", err)
+		if !backoff.Sleep(w.cfg.Reconnect.Delay(int64(os.Getpid()), 0, dials), w.stop) {
+			return nil
+		}
+	}
+}
+
+// Drain begins a graceful shutdown: tell the coordinator to stop granting,
+// finish in-flight attempts, then hang up. It returns immediately; Run
+// returns once the drain completes.
+func (w *Worker) Drain() {
+	w.mu.Lock()
+	w.draining = true
+	s := w.sess
+	w.mu.Unlock()
+	if s == nil {
+		w.stopOnce.Do(func() { close(w.stop) })
+		return
+	}
+	s.send(kindGoodbye, goodbyeMsg{Draining: true})
+	s.mu.Lock()
+	idle := len(s.leases) == 0
+	s.mu.Unlock()
+	if idle {
+		s.close()
+	}
+}
+
+// Stop abandons everything immediately (test teardown).
+func (w *Worker) Stop() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.stopped = true
+	s := w.sess
+	w.mu.Unlock()
+	w.stopOnce.Do(func() { close(w.stop) })
+	if s != nil {
+		s.close()
+	}
+}
+
+// session runs one connection epoch: dial, register, serve until the
+// connection ends. A nil error means the session got as far as registration
+// (so redial budgets restart); dial and handshake failures return the error.
+func (w *Worker) session() error {
+	conn, err := net.Dial("tcp", w.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s := &session{
+		w:          w,
+		conn:       conn,
+		leases:     make(map[int]*workerLease),
+		segWaiters: make(map[int]chan segDataMsg),
+		done:       make(chan struct{}),
+	}
+	if err := s.send(kindHello, helloMsg{PID: os.Getpid()}); err != nil {
+		conn.Close()
+		return err
+	}
+	kind, payload, err := readMsg(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if kind != kindWelcome {
+		conn.Close()
+		return fmt.Errorf("clusterd: expected welcome, got frame kind %d", kind)
+	}
+	var welcome welcomeMsg
+	if err := decode(payload, &welcome); err != nil {
+		conn.Close()
+		return err
+	}
+	runner, err := w.cfg.Build(welcome.Spec)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("clusterd: building job from spec: %w", err)
+	}
+	s.id = welcome.Worker
+	w.mu.Lock()
+	w.sess = s
+	draining := w.draining
+	w.mu.Unlock()
+	if draining { // Drain raced the dial; bow out before taking work
+		s.send(kindGoodbye, goodbyeMsg{Draining: true})
+		s.close()
+	}
+	w.logf("clusterd: registered as worker %d", s.id)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.heartbeatLoop(welcome.HeartbeatEvery)
+	}()
+	s.readLoop(runner)
+	wg.Wait()
+
+	w.mu.Lock()
+	if w.sess == s {
+		w.sess = nil
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+func (s *session) send(kind byte, v any) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return writeMsg(s.conn, kind, v)
+}
+
+// close ends the session; the read loop unblocks with an error.
+func (s *session) close() {
+	s.closeOnce.Do(func() { s.conn.Close() })
+}
+
+func (s *session) heartbeatLoop(every time.Duration) {
+	if every <= 0 {
+		every = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+		}
+		s.mu.Lock()
+		s.hbSeq++
+		m := heartbeatMsg{Seq: s.hbSeq}
+		for id := range s.leases {
+			m.Leases = append(m.Leases, id)
+		}
+		s.mu.Unlock()
+		if s.send(kindHeartbeat, m) != nil {
+			return
+		}
+	}
+}
+
+// readLoop serves coordinator frames until the connection ends, then
+// revokes whatever attempts were still in flight (their results could no
+// longer be delivered anyway).
+func (s *session) readLoop(runner Runner) {
+	defer func() {
+		close(s.done)
+		s.close()
+		s.mu.Lock()
+		leases := make([]*workerLease, 0, len(s.leases))
+		for _, l := range s.leases {
+			leases = append(leases, l)
+		}
+		waiters := s.segWaiters
+		s.segWaiters = make(map[int]chan segDataMsg)
+		s.mu.Unlock()
+		for _, l := range leases {
+			l.revoke()
+		}
+		for _, ch := range waiters {
+			ch <- segDataMsg{Error: "session closed"}
+		}
+	}()
+	for {
+		kind, payload, err := readMsg(s.conn)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case kindGrant:
+			var m grantMsg
+			if decode(payload, &m) == nil {
+				s.startGrant(runner, m)
+			}
+		case kindRevoke:
+			var m revokeMsg
+			if decode(payload, &m) == nil {
+				s.mu.Lock()
+				l := s.leases[m.Lease]
+				s.mu.Unlock()
+				if l != nil {
+					l.revoke()
+				}
+			}
+		case kindSegData:
+			var m segDataMsg
+			if decode(payload, &m) == nil {
+				s.mu.Lock()
+				ch := s.segWaiters[m.Seq]
+				delete(s.segWaiters, m.Seq)
+				s.mu.Unlock()
+				if ch != nil {
+					ch <- m
+				}
+			}
+		default:
+			return // coordinator-bound kind from the coordinator: broken peer
+		}
+	}
+}
+
+// startGrant launches one attempt. The worker refuses grants while
+// draining (a race with goodbye) as ordinary failures so the scheduler
+// reissues them elsewhere.
+func (s *session) startGrant(runner Runner, m grantMsg) {
+	s.w.mu.Lock()
+	draining := s.w.draining
+	s.w.mu.Unlock()
+	if draining {
+		s.send(kindFail, failMsg{Lease: m.Lease, Error: "worker draining"})
+		return
+	}
+	l := &workerLease{id: m.Lease, revoked: make(chan struct{})}
+	s.mu.Lock()
+	s.leases[m.Lease] = l
+	s.mu.Unlock()
+	go func() {
+		s.send(kindStarted, startedMsg{Lease: m.Lease})
+		rr, err := runner.Run(m.Phase, m.Task, m.Attempt, l.canceled, s.fetch)
+
+		s.mu.Lock()
+		delete(s.leases, m.Lease)
+		s.mu.Unlock()
+
+		if err != nil {
+			s.send(kindFail, classifyFailure(m.Lease, err))
+		} else {
+			s.send(kindComplete, completeMsg{Lease: m.Lease, Result: rr})
+		}
+
+		// A draining worker hangs up once the last in-flight attempt ends.
+		s.w.mu.Lock()
+		draining := s.w.draining
+		s.w.mu.Unlock()
+		if draining {
+			s.mu.Lock()
+			idle := len(s.leases) == 0
+			s.mu.Unlock()
+			if idle {
+				s.close()
+			}
+		}
+	}()
+}
+
+// fetch retrieves one map output segment from the coordinator's segment
+// store, correlated by sequence number on the shared connection.
+func (s *session) fetch(mapTask, part int) ([]byte, int, error) {
+	ch := make(chan segDataMsg, 1)
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		return nil, 0, errors.New("clusterd: session closed")
+	default:
+	}
+	s.segSeq++
+	seq := s.segSeq
+	s.segWaiters[seq] = ch
+	s.mu.Unlock()
+
+	if err := s.send(kindSegReq, segReqMsg{Seq: seq, MapTask: mapTask, Partition: part}); err != nil {
+		s.mu.Lock()
+		delete(s.segWaiters, seq)
+		s.mu.Unlock()
+		return nil, 0, err
+	}
+	m := <-ch
+	if m.Error != "" {
+		return nil, 0, fmt.Errorf("clusterd: segment fetch map %d part %d: %s", mapTask, part, m.Error)
+	}
+	return m.Data, m.Attempt, nil
+}
+
+// classifyFailure maps an attempt error onto the wire so the coordinator
+// can rebuild it in the engine's vocabulary.
+func classifyFailure(lease int, err error) failMsg {
+	m := failMsg{Lease: lease, Error: err.Error()}
+	if errors.Is(err, mapreduce.ErrAttemptCanceled) {
+		m.Canceled = true
+	}
+	var ce *mapreduce.ErrCorruptSegment
+	if errors.As(err, &ce) {
+		m.Corrupt = &corruptInfo{MapTask: ce.MapTask, Partition: ce.Partition, Attempt: ce.Attempt}
+	}
+	return m
+}

@@ -129,15 +129,18 @@ type Report struct {
 	Output scihadoop.CellResults
 }
 
-// RunQuery executes the query under the strategy and gathers a Report.
-// When decodeOutput is false the (possibly large) output map stays nil.
-func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, clus cluster.Config, decodeOutput bool) (*Report, error) {
-	var (
-		job     *mapreduce.Job
-		kc      *keys.Codec
-		decoder func(*mapreduce.Result) (scihadoop.CellResults, error)
-		err     error
-	)
+// JobPlan is a fully built query job plus the machinery to decode its
+// output: what RunQuery executes, and what a cluster worker process
+// rebuilds from the job spec so its attempts produce the coordinator's
+// exact bytes.
+type JobPlan struct {
+	Job    *mapreduce.Job
+	Codec  *keys.Codec
+	Decode func(*mapreduce.Result) (scihadoop.CellResults, error)
+}
+
+// BuildJob constructs the query job for a strategy without running it.
+func BuildJob(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy) (*JobPlan, error) {
 	switch strat.Kind {
 	case Baseline, ByteTransform:
 		if strat.Kind == ByteTransform {
@@ -153,13 +156,13 @@ func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, c
 			t.StatsFunc = predictorStatsFunc(qcfg.Obs)
 			qcfg.MapOutputCodec = t
 		}
-		job, kc, err = scihadoop.SimpleKeyJob(fs, qcfg)
+		job, kc, err := scihadoop.SimpleKeyJob(fs, qcfg)
 		if err != nil {
 			return nil, err
 		}
-		decoder = func(r *mapreduce.Result) (scihadoop.CellResults, error) {
+		return &JobPlan{Job: job, Codec: kc, Decode: func(r *mapreduce.Result) (scihadoop.CellResults, error) {
 			return scihadoop.ReadSimpleOutput(fs, r, kc)
-		}
+		}}, nil
 	case Aggregation:
 		if strat.Curve != "" {
 			qcfg.Curve = strat.Curve
@@ -167,33 +170,40 @@ func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, c
 		if strat.FlushCells > 0 {
 			qcfg.FlushCells = strat.FlushCells
 		}
-		job2, m, aerr := scihadoop.AggKeyJob(fs, qcfg)
-		if aerr != nil {
-			return nil, aerr
+		job, m, err := scihadoop.AggKeyJob(fs, qcfg)
+		if err != nil {
+			return nil, err
 		}
-		job = job2
-		kc = outputCodec(qcfg)
-		decoder = func(r *mapreduce.Result) (scihadoop.CellResults, error) {
+		kc := outputCodec(qcfg)
+		return &JobPlan{Job: job, Codec: kc, Decode: func(r *mapreduce.Result) (scihadoop.CellResults, error) {
 			return scihadoop.ReadAggOutput(fs, r, kc, m)
-		}
+		}}, nil
 	case BoxAggregation:
 		if strat.FlushCells > 0 {
 			qcfg.FlushCells = strat.FlushCells
 		}
-		job2, berr := scihadoop.BoxKeyJob(fs, qcfg)
-		if berr != nil {
-			return nil, berr
+		job, err := scihadoop.BoxKeyJob(fs, qcfg)
+		if err != nil {
+			return nil, err
 		}
-		job = job2
-		kc = outputCodec(qcfg)
-		decoder = func(r *mapreduce.Result) (scihadoop.CellResults, error) {
+		kc := outputCodec(qcfg)
+		return &JobPlan{Job: job, Codec: kc, Decode: func(r *mapreduce.Result) (scihadoop.CellResults, error) {
 			return scihadoop.ReadBoxOutput(fs, r, kc)
-		}
+		}}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown strategy kind %v", strat.Kind)
 	}
+}
 
-	res, err := mapreduce.Run(job)
+// RunQuery executes the query under the strategy and gathers a Report.
+// When decodeOutput is false the (possibly large) output map stays nil.
+func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, clus cluster.Config, decodeOutput bool) (*Report, error) {
+	plan, err := BuildJob(fs, qcfg, strat)
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := mapreduce.Run(plan.Job)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +229,7 @@ func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, c
 		Estimate:                res.Estimate(clus),
 	}
 	if decodeOutput {
-		out, derr := decoder(res)
+		out, derr := plan.Decode(res)
 		if derr != nil {
 			return nil, derr
 		}

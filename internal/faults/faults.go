@@ -26,6 +26,11 @@
 //   - node: takes a whole shuffle node down for a duration, measured from
 //     the first dial the injector observes for that node; every dial inside
 //     the window is refused.
+//   - proc: kills (SIGKILL) or hangs (SIGSTOP for a duration, then SIGCONT)
+//     a real worker process of the cluster runtime, fired by the coordinator
+//     as the worker starts a matching task attempt. Targets are
+//     worker[.phase] where phase 0 is map and 1 is reduce; attempt numbers
+//     are the worker's per-phase grant sequence.
 package faults
 
 import (
@@ -51,6 +56,7 @@ const (
 	SiteNet     Site = "net"
 	SiteNode    Site = "node"
 	SiteOut     Site = "out"
+	SiteProc    Site = "proc"
 )
 
 // Action names what a rule does when it fires.
@@ -69,6 +75,19 @@ const (
 	ActTruncate Action = "truncate"
 	// ActDown is the node-site outage action.
 	ActDown Action = "down"
+	// Proc-site actions: kill delivers SIGKILL to a real worker process,
+	// hang SIGSTOPs it for a duration and then SIGCONTs it — the two shapes
+	// of genuine node death the cluster runtime must survive.
+	ActKill Action = "kill"
+	ActHang Action = "hang"
+)
+
+// Proc-site phase coordinates: a proc rule's partition selects which task
+// phase the targeted worker must be starting for the rule to fire (-1, i.e.
+// an omitted partition, matches either).
+const (
+	ProcPhaseMap    = 0
+	ProcPhaseReduce = 1
 )
 
 // ErrInjected marks transient injected failures (error and codec actions).
@@ -151,7 +170,7 @@ func (r Rule) String() string {
 	}
 	sb.WriteByte(':')
 	switch r.Action {
-	case ActSlow, ActStall, ActDown:
+	case ActSlow, ActStall, ActDown, ActHang:
 		fmt.Fprintf(&sb, "%s=%s", r.Action, r.Delay)
 	case ActCorrupt:
 		if r.Flips > 0 {
@@ -541,6 +560,41 @@ func (in *Injector) NodeDown(node int) bool {
 		}
 	}
 	return down
+}
+
+// ProcFault describes what a fired proc-site rule does to one worker
+// process: kill delivers SIGKILL (the worker vanishes mid-lease; the
+// coordinator must recover by reassigning its leases), hang SIGSTOPs the
+// process for Delay and then SIGCONTs it (heartbeats lapse, leases expire,
+// and the thawed worker's stale completions must be reconciled).
+type ProcFault struct {
+	Action Action
+	// Delay is the hang (SIGSTOP) duration.
+	Delay time.Duration
+}
+
+// WorkerFault consults the proc-site rules when worker starts executing its
+// grantSeq-th task attempt of the given phase (ProcPhaseMap or
+// ProcPhaseReduce). Coordinates are (worker, phase, per-worker-per-phase
+// grant sequence), so "kill worker 1 on its first reduce grant" is
+// proc:1.1:kill@0. The first firing rule wins and is recorded; nil means
+// the worker runs undisturbed. Like every injector decision it is a pure
+// function of (seed, coordinates).
+func (in *Injector) WorkerFault(worker, phase, grantSeq int) *ProcFault {
+	if in == nil {
+		return nil
+	}
+	for i, r := range in.sched.Rules {
+		if r.Site != SiteProc {
+			continue
+		}
+		if !in.fires(i, r, SiteProc, worker, phase, grantSeq) {
+			continue
+		}
+		in.record(r)
+		return &ProcFault{Action: r.Action, Delay: r.Delay}
+	}
+	return nil
 }
 
 // hash64 is a stable FNV-1a mix of the given values — the package's only

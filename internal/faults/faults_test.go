@@ -346,3 +346,63 @@ func TestNodeDownWindow(t *testing.T) {
 		t.Error("nil injector must be inert for net/node sites")
 	}
 }
+
+// TestProcRules: proc-site parse round trips, shape rejection, and
+// deterministic WorkerFault matching on (worker, phase, grant-sequence)
+// coordinates.
+func TestProcRules(t *testing.T) {
+	for _, spec := range []string{
+		"proc:1:kill",
+		"proc:0.0:kill@0",
+		"proc:2.1:hang=50ms@1",
+		"proc:*:kill@*%0.5",
+		"seed=7;proc:0.0:kill@0;proc:1.1:hang=20ms@0",
+	} {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		s2, err := Parse(s.String())
+		if err != nil || s.String() != s2.String() {
+			t.Errorf("round trip of %q drifted: %q -> %v, %v", spec, s.String(), s2, err)
+		}
+	}
+	for _, spec := range []string{
+		"proc:1:error",  // not a proc action
+		"proc:1:hang",   // missing duration
+		"proc:1.2:kill", // phase must be 0 or 1
+		"proc:1:kill=5", // kill takes no argument
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+
+	in, err := NewFromSpec("proc:1.1:kill@0;proc:0:hang=30ms@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := in.WorkerFault(1, ProcPhaseReduce, 0); f == nil || f.Action != ActKill {
+		t.Errorf("worker 1 first reduce grant: got %+v, want kill", f)
+	}
+	if f := in.WorkerFault(1, ProcPhaseMap, 0); f != nil {
+		t.Errorf("worker 1 map grant fired %+v, want nil (rule is reduce-phase)", f)
+	}
+	if f := in.WorkerFault(1, ProcPhaseReduce, 1); f != nil {
+		t.Errorf("worker 1 second reduce grant fired %+v, want nil (rule is @0)", f)
+	}
+	// The no-phase hang rule matches either phase, grant 1 only.
+	if f := in.WorkerFault(0, ProcPhaseMap, 1); f == nil || f.Action != ActHang || f.Delay != 30*time.Millisecond {
+		t.Errorf("worker 0 grant 1: got %+v, want hang=30ms", f)
+	}
+	if f := in.WorkerFault(0, ProcPhaseMap, 0); f != nil {
+		t.Errorf("worker 0 grant 0 fired %+v, want nil", f)
+	}
+	if got := in.Fired()["proc/kill"]; got != 1 {
+		t.Errorf("proc/kill fired %d times, want 1", got)
+	}
+	var nilInj *Injector
+	if f := nilInj.WorkerFault(0, ProcPhaseMap, 0); f != nil {
+		t.Errorf("nil injector fired %+v", f)
+	}
+}

@@ -11,17 +11,22 @@ import (
 //
 //	spec    := [ "seed=" int ";" ] rule *( ";" rule )
 //	rule    := site ":" target ":" action
-//	site    := "map" | "reduce" | "segment" | "codec" | "out" | "net" | "node"
+//	site    := "map" | "reduce" | "segment" | "codec" | "out" | "net"
+//	         | "node" | "proc"
 //	target  := "*" | task [ "." part ]          (task/part are ints)
 //	action  := kind [ "@" attempts ] [ "%" prob ]
 //	kind    := "error" | "panic" | "slow=" dur | "corrupt" [ "=" flips ]
 //	         | "refuse" | "cut" | "stall=" dur | "truncate" | "down=" dur
+//	         | "kill" | "hang=" dur
 //	attempts:= "*" | int *( "," int )           (default: attempt 0 only)
 //
 // Net rules target the *producing map task* (optionally one partition) and
 // their attempt numbers are shuffle *fetch* attempts; node rules target a
 // shuffle node index and take it down for the given duration. Out rules
-// target a reduce task and fail its output-file writes.
+// target a reduce task and fail its output-file writes. Proc rules target a
+// cluster worker[.phase] (phase 0 map, 1 reduce) and their attempt numbers
+// are that worker's per-phase grant sequence: proc:1.1:kill@0 SIGKILLs
+// worker 1 as it starts its first reduce attempt.
 //
 // Examples:
 //
@@ -65,10 +70,10 @@ func parseRule(text string) (Rule, error) {
 	r := Rule{Task: -1, Part: -1}
 
 	switch Site(fields[0]) {
-	case SiteMap, SiteReduce, SiteSegment, SiteCodec, SiteOut, SiteNet, SiteNode:
+	case SiteMap, SiteReduce, SiteSegment, SiteCodec, SiteOut, SiteNet, SiteNode, SiteProc:
 		r.Site = Site(fields[0])
 	default:
-		return Rule{}, fmt.Errorf("faults: rule %q: unknown site %q (map|reduce|segment|codec|out|net|node)", text, fields[0])
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown site %q (map|reduce|segment|codec|out|net|node|proc)", text, fields[0])
 	}
 
 	if fields[1] != "*" {
@@ -115,12 +120,12 @@ func parseRule(text string) (Rule, error) {
 
 	kind, arg, hasArg := strings.Cut(action, "=")
 	switch Action(kind) {
-	case ActError, ActPanic, ActRefuse, ActCut, ActTruncate:
+	case ActError, ActPanic, ActRefuse, ActCut, ActTruncate, ActKill:
 		if hasArg {
 			return Rule{}, fmt.Errorf("faults: rule %q: %s takes no argument", text, kind)
 		}
 		r.Action = Action(kind)
-	case ActSlow, ActStall, ActDown:
+	case ActSlow, ActStall, ActDown, ActHang:
 		if !hasArg {
 			return Rule{}, fmt.Errorf("faults: rule %q: %s needs a duration (%s=5ms)", text, kind, kind)
 		}
@@ -140,7 +145,7 @@ func parseRule(text string) (Rule, error) {
 			r.Flips = n
 		}
 	default:
-		return Rule{}, fmt.Errorf("faults: rule %q: unknown action %q (error|panic|slow=dur|corrupt[=n]|refuse|cut|stall=dur|truncate|down=dur)", text, kind)
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown action %q (error|panic|slow=dur|corrupt[=n]|refuse|cut|stall=dur|truncate|down=dur|kill|hang=dur)", text, kind)
 	}
 
 	if err := checkRuleShape(r); err != nil {
@@ -189,6 +194,15 @@ func checkRuleShape(r Rule) error {
 		}
 		if r.Part != -1 {
 			return fmt.Errorf("node targets have no partition")
+		}
+	case SiteProc:
+		switch r.Action {
+		case ActKill, ActHang:
+		default:
+			return fmt.Errorf("proc site supports kill|hang=dur")
+		}
+		if r.Part != -1 && r.Part != ProcPhaseMap && r.Part != ProcPhaseReduce {
+			return fmt.Errorf("proc phase must be %d (map) or %d (reduce)", ProcPhaseMap, ProcPhaseReduce)
 		}
 	}
 	return nil

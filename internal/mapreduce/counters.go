@@ -122,6 +122,33 @@ func (c *Counters) rows() []*Counter {
 	}
 }
 
+// Snapshot returns every counter's value in the fixed rows() order — the
+// wire form a worker process ships an attempt's private counters in. A
+// snapshot restored with AddSnapshot on the coordinator merges exactly like
+// an in-process attempt's counters, so cluster runs keep the byte-identity
+// invariant.
+func (c *Counters) Snapshot() []int64 {
+	rows := c.rows()
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r.Value()
+	}
+	return out
+}
+
+// AddSnapshot adds a Snapshot's values into c. Snapshots from a different
+// engine version (wrong length) are rejected rather than misattributed.
+func (c *Counters) AddSnapshot(vs []int64) error {
+	rows := c.rows()
+	if len(vs) != len(rows) {
+		return fmt.Errorf("mapreduce: counter snapshot has %d values, want %d", len(vs), len(rows))
+	}
+	for i, r := range rows {
+		r.Add(vs[i])
+	}
+	return nil
+}
+
 // String renders the counters in Hadoop's log style.
 func (c *Counters) String() string {
 	var sb strings.Builder

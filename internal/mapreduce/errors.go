@@ -59,8 +59,12 @@ func (e *ErrCorruptSegment) Error() string {
 // Unwrap exposes the underlying read error.
 func (e *ErrCorruptSegment) Unwrap() error { return e.Err }
 
-// errAttemptCanceled aborts an attempt whose result can no longer be used:
+// ErrAttemptCanceled aborts an attempt whose result can no longer be used:
 // the phase failed fatally elsewhere, or a speculative twin already
-// committed. It is engine-internal — canceled attempts are discarded
-// silently, never surfaced as job errors.
-var errAttemptCanceled = errors.New("mapreduce: attempt canceled")
+// committed. Canceled attempts are discarded silently, never surfaced as
+// job errors. Exported so Remote executors can report a revoked lease with
+// the same vocabulary the in-process scheduler uses.
+var ErrAttemptCanceled = errors.New("mapreduce: attempt canceled")
+
+// errAttemptCanceled is the historical internal name.
+var errAttemptCanceled = ErrAttemptCanceled

@@ -27,6 +27,12 @@ type reduceTask struct {
 	tmpPath   string
 	outPath   string
 
+	// remote marks an attempt executed in a worker process: its output
+	// arrived as bytes (remoteData) instead of a local temp file, and commit
+	// materializes them at the final path directly.
+	remote     bool
+	remoteData []byte
+
 	// tracer/span parent this attempt's phase spans (zero when the job has
 	// no Observer); wallSeconds is the attempt's wall-clock duration, a
 	// cost-model calibration sample if the attempt wins.
@@ -57,13 +63,22 @@ func newReduceTask(job *Job, id, attempt int, canceled func() bool) *reduceTask 
 // totals only if the attempt commits.
 func (t *reduceTask) counters() *Counters { return t.ctx.counters }
 
-// commit promotes this attempt's temp output to the final part path.
+// commit promotes this attempt's temp output to the final part path. A
+// remote attempt's bytes came back over the wire; they land at the final
+// path in one write, the coordinator-side half of the output committer.
 func (t *reduceTask) commit() error {
+	if t.remote {
+		return t.job.FS.WriteFile(t.outPath, t.remoteData)
+	}
 	return t.job.FS.Rename(t.tmpPath, t.outPath)
 }
 
 // abort discards this attempt's temp output, if any was materialized.
+// Remote attempts have no coordinator-side temp file.
 func (t *reduceTask) abort() {
+	if t.remote {
+		return
+	}
 	_ = t.job.FS.Delete(t.tmpPath)
 }
 

@@ -1,0 +1,257 @@
+package mapreduce
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"scikey/internal/hdfs"
+)
+
+// loopbackRemote implements Remote by running attempts in-process through
+// the same RunMapAttempt/RunReduceAttempt entry points a worker process
+// uses, against a separate "worker-side" job instance with its own
+// filesystem — the cluster data path minus the TCP. failOnce lists attempt
+// coordinates ("map/task/attempt") whose first execution is reported as a
+// lost lease after the work ran, charging the footprint as waste exactly
+// like a worker killed after Started.
+type loopbackRemote struct {
+	workerJob func() *Job
+
+	mu   sync.Mutex
+	segs map[int]*struct {
+		attempt int
+		parts   [][]byte
+	}
+	failOnce map[string]bool
+	runs     int
+}
+
+func newLoopbackRemote(workerJob func() *Job) *loopbackRemote {
+	return &loopbackRemote{
+		workerJob: workerJob,
+		segs: make(map[int]*struct {
+			attempt int
+			parts   [][]byte
+		}),
+		failOnce: make(map[string]bool),
+	}
+}
+
+func (r *loopbackRemote) RunRemote(phase string, task, attempt int, canceled func() bool) (*RemoteResult, error) {
+	r.mu.Lock()
+	r.runs++
+	r.mu.Unlock()
+	job := r.workerJob()
+	var rr *RemoteResult
+	var err error
+	switch phase {
+	case PhaseMap:
+		rr, err = RunMapAttempt(job, task, attempt, canceled)
+	case PhaseReduce:
+		rr, err = RunReduceAttempt(job, task, attempt, canceled, r.fetch)
+	default:
+		return nil, fmt.Errorf("unknown phase %q", phase)
+	}
+	key := fmt.Sprintf("%s/%d/%d", phase, task, attempt)
+	r.mu.Lock()
+	lose := r.failOnce[key]
+	delete(r.failOnce, key)
+	r.mu.Unlock()
+	if lose {
+		// The worker did the work and died before reporting: the
+		// coordinator sees only a lapsed lease plus the footprint charge.
+		return &RemoteResult{Footprint: rr.Footprint, WallSeconds: rr.WallSeconds},
+			errors.New("lease expired: worker heartbeat lapsed")
+	}
+	return rr, err
+}
+
+func (r *loopbackRemote) PublishRemote(mapTask, attempt int, parts [][]byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.segs[mapTask]; ok && e.attempt > attempt {
+		return
+	}
+	r.segs[mapTask] = &struct {
+		attempt int
+		parts   [][]byte
+	}{attempt, parts}
+}
+
+func (r *loopbackRemote) fetch(mapTask, part int) ([]byte, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.segs[mapTask]
+	if !ok {
+		return nil, 0, fmt.Errorf("map task %d not published", mapTask)
+	}
+	return e.parts[part], e.attempt, nil
+}
+
+var remoteDocs = []string{
+	"the quick brown fox jumps over the lazy dog",
+	"pack my box with five dozen liquor jugs",
+	"the five boxing wizards jump quickly",
+	"how vexingly quick daft zebras jump",
+}
+
+// runRemoteJob runs the word-count job with a loopback Remote and returns
+// the result plus the coordinator-side filesystem.
+func runRemoteJob(t *testing.T, par int, failOnce ...string) (*hdfs.FileSystem, *Result, *loopbackRemote) {
+	t.Helper()
+	fs := testFS()
+	job := wordCountJob(fs, remoteDocs, 3, true)
+	job.Parallelism = par
+	job.Retry = RetryPolicy{MaxAttempts: 3}
+	remote := newLoopbackRemote(func() *Job {
+		return wordCountJob(testFS(), remoteDocs, 3, true)
+	})
+	for _, k := range failOnce {
+		remote.failOnce[k] = true
+	}
+	job.Remote = remote
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, res, remote
+}
+
+// remotePayloadCounters is the prefix of the snapshot rows that describe
+// the data path (as opposed to scheduler bookkeeping like retry counts):
+// everything before MapAttemptsFailed.
+func remotePayloadCounters(res *Result) []*Counter {
+	rows := res.Counters.rows()
+	for i, r := range rows {
+		if r == &res.Counters.MapAttemptsFailed {
+			return rows[:i]
+		}
+	}
+	return rows
+}
+
+// outputsAndCounters fingerprints a run: every output file's bytes plus the
+// full payload-counter snapshot.
+func outputsAndCounters(t *testing.T, fs *hdfs.FileSystem, res *Result) ([][]byte, []int64) {
+	t.Helper()
+	outs := make([][]byte, len(res.OutputPaths))
+	for i, p := range res.OutputPaths {
+		data, err := fs.ReadAll(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = data
+	}
+	return outs, res.Counters.Snapshot()
+}
+
+// TestRemoteExecutionByteIdentical: the remote data path (attempts executed
+// against separate per-worker job instances, segments travelling through
+// the coordinator's store) produces exactly the bytes and payload counters
+// of the in-process reference run.
+func TestRemoteExecutionByteIdentical(t *testing.T) {
+	refFS := testFS()
+	refJob := wordCountJob(refFS, remoteDocs, 3, true)
+	refRes, err := Run(refJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOuts, refCounts := outputsAndCounters(t, refFS, refRes)
+
+	for _, par := range []int{1, 3} {
+		fs, res, remote := runRemoteJob(t, par)
+		outs, counts := outputsAndCounters(t, fs, res)
+		for i := range refOuts {
+			if !bytes.Equal(outs[i], refOuts[i]) {
+				t.Errorf("par=%d: output %d differs from in-process run (%d vs %d bytes)",
+					par, i, len(outs[i]), len(refOuts[i]))
+			}
+		}
+		for i := range refCounts {
+			if counts[i] != refCounts[i] {
+				t.Errorf("par=%d: counter %d = %d, want %d", par, i, counts[i], refCounts[i])
+			}
+		}
+		wantRuns := len(remoteDocs) + 3 // every attempt ran remotely
+		if remote.runs != wantRuns {
+			t.Errorf("par=%d: %d remote runs, want %d", par, remote.runs, wantRuns)
+		}
+		if len(res.WastedMapTasks)+len(res.WastedReduceTasks) != 0 {
+			t.Errorf("par=%d: clean run charged waste", par)
+		}
+	}
+}
+
+// TestRemoteLeaseLossRetriesAndChargesWaste: a lease lost mid-map and one
+// lost mid-reduce retry under fresh attempts; output stays byte-identical
+// and the lost attempts' footprints land in the waste ledger.
+func TestRemoteLeaseLossRetriesAndChargesWaste(t *testing.T) {
+	refFS, refRes, _ := runRemoteJob(t, 1)
+	refOuts, refCounts := outputsAndCounters(t, refFS, refRes)
+
+	fs, res, _ := runRemoteJob(t, 2, "map/1/0", "reduce/2/0")
+	outs, counts := outputsAndCounters(t, fs, res)
+	for i := range refOuts {
+		if !bytes.Equal(outs[i], refOuts[i]) {
+			t.Errorf("output %d differs after lease losses", i)
+		}
+	}
+	// Payload counters (everything up to the scheduler bookkeeping rows)
+	// must match the clean run exactly: lost attempts never double-count.
+	payload := len(remotePayloadCounters(res))
+	for i := 0; i < payload; i++ {
+		if counts[i] != refCounts[i] {
+			t.Errorf("counter %d = %d, want %d (lost attempts must not double-count)", i, counts[i], refCounts[i])
+		}
+	}
+	if res.Counters.MapAttemptsFailed.Value() != 1 || res.Counters.ReduceAttemptsFailed.Value() != 1 {
+		t.Errorf("failure bookkeeping = %d map, %d reduce; want 1 and 1",
+			res.Counters.MapAttemptsFailed.Value(), res.Counters.ReduceAttemptsFailed.Value())
+	}
+	if len(res.WastedMapTasks) != 1 || len(res.WastedReduceTasks) != 1 {
+		t.Fatalf("waste ledger = %d map, %d reduce entries; want 1 and 1",
+			len(res.WastedMapTasks), len(res.WastedReduceTasks))
+	}
+	if res.WastedMapTasks[0].CPUSeconds <= 0 && res.WastedMapTasks[0].DiskBytes <= 0 {
+		t.Error("lost map attempt charged an empty footprint")
+	}
+}
+
+// TestRemoteExhaustedBudgetFails: a lease that keeps lapsing consumes the
+// retry budget and surfaces as an AttemptError naming the task.
+func TestRemoteExhaustedBudgetFails(t *testing.T) {
+	fs := testFS()
+	job := wordCountJob(fs, remoteDocs, 2, false)
+	job.Retry = RetryPolicy{MaxAttempts: 2}
+	remote := newLoopbackRemote(func() *Job {
+		return wordCountJob(testFS(), remoteDocs, 2, false)
+	})
+	remote.failOnce["map/0/0"] = true
+	remote.failOnce["map/0/1"] = true
+	job.Remote = remote
+	_, err := Run(job)
+	var ae *AttemptError
+	if !errors.As(err, &ae) || ae.Phase != "map" || ae.Task != 0 {
+		t.Fatalf("exhausted budget returned %v, want AttemptError for map task 0", err)
+	}
+	if !strings.Contains(err.Error(), "lease expired") {
+		t.Errorf("error %v does not surface the lease loss", err)
+	}
+}
+
+// TestRemoteRejectsNetworkedShuffle: the two transports are mutually
+// exclusive; validation must say so before any task runs.
+func TestRemoteRejectsNetworkedShuffle(t *testing.T) {
+	fs := testFS()
+	job := wordCountJob(fs, remoteDocs, 2, false)
+	job.Shuffle = &ShuffleConfig{Mode: "net"}
+	job.Remote = newLoopbackRemote(func() *Job { return nil })
+	_, err := Run(job)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("networked shuffle + remote accepted: %v", err)
+	}
+}

@@ -112,16 +112,23 @@ func Run(job *Job) (*Result, error) {
 		mapOutputs = make([][]segment, len(job.Splits))
 		wastedMaps []cluster.Task
 	)
-	// publish pushes a committed map attempt's segments to its shuffle node.
+	// publish pushes a committed map attempt's segments to its shuffle node
+	// (networked shuffle) or to the coordinator's segment table (remote
+	// execution) so reduce attempts fetch the freshest committed output.
 	publish := func(t *mapTask) {
-		if svc == nil {
+		if svc == nil && job.Remote == nil {
 			return
 		}
 		parts := make([][]byte, len(t.finals))
 		for p := range t.finals {
 			parts[p] = t.finals[p].data
 		}
-		svc.Publish(t.id, t.attempt, parts)
+		if svc != nil {
+			svc.Publish(t.id, t.attempt, parts)
+		}
+		if job.Remote != nil {
+			job.Remote.PublishRemote(t.id, t.attempt, parts)
+		}
 	}
 	addMapWaste := func(t *mapTask) {
 		if t == nil {
@@ -145,6 +152,10 @@ func Run(job *Job) (*Result, error) {
 		attemptHist: job.Obs.R().Histogram("scikey_attempt_seconds",
 			attemptHelp, "seconds", nil, obs.L("phase", "map")),
 		run: func(task, attempt int, canceled func() bool, sp obs.Span) (any, error) {
+			if job.Remote != nil {
+				rr, err := job.Remote.RunRemote(PhaseMap, task, attempt, canceled)
+				return newRemoteMapTask(job, task, attempt, rr), err
+			}
 			t := newMapTask(job, task, attempt, canceled)
 			t.tracer, t.span = sp.Tracer(), sp.ID()
 			return t, t.run(job.Splits[task])
@@ -244,6 +255,10 @@ func Run(job *Job) (*Result, error) {
 		attemptHist: job.Obs.R().Histogram("scikey_attempt_seconds",
 			attemptHelp, "seconds", nil, obs.L("phase", "reduce")),
 		run: func(task, attempt int, canceled func() bool, sp obs.Span) (any, error) {
+			if job.Remote != nil {
+				rr, err := job.Remote.RunRemote(PhaseReduce, task, attempt, canceled)
+				return newRemoteReduceTask(job, task, attempt, rr), err
+			}
 			t := newReduceTask(job, task, attempt, canceled)
 			t.tracer, t.span = sp.Tracer(), sp.ID()
 			var src segmentSource

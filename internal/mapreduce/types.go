@@ -207,6 +207,15 @@ type Job struct {
 	// in-flight attempts (including their backoff and straggler waits) are
 	// interrupted and Run returns a *TimeoutError. 0 means no limit.
 	Timeout time.Duration
+	// Remote, when non-nil, delegates task attempt execution to an external
+	// control plane — the cluster coordinator hands each attempt to a worker
+	// process as a lease and returns its result (or its loss). The attempt
+	// scheduler, retry budgets, speculation, and first-finisher commit run
+	// unchanged on the coordinator, so recovered cluster runs stay
+	// byte-identical to single-process ones. Mutually exclusive with a
+	// networked Shuffle: map output travels through the coordinator's
+	// segment channel instead.
+	Remote Remote
 	// Obs, when non-nil, records the run: a job → attempt → phase span tree
 	// in the tracer (attempt spans carry won/lost/failed/canceled outcomes)
 	// and the job counters, attempt-duration histograms, and shuffle
@@ -236,6 +245,9 @@ func (j *Job) validate() error {
 		if err := j.Shuffle.validate(); err != nil {
 			return fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
 		}
+	}
+	if j.Remote != nil && j.Shuffle.networked() {
+		return fmt.Errorf("mapreduce: job %q: remote execution and a networked shuffle are mutually exclusive (map output travels through the coordinator)", j.Name)
 	}
 	return nil
 }

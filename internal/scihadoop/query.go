@@ -92,6 +92,14 @@ type QueryConfig struct {
 	Shuffle *mapreduce.ShuffleConfig
 	// Timeout bounds the whole job's wall-clock time. 0 means no deadline.
 	Timeout time.Duration
+	// Remote, when non-nil, hands task attempts to the cluster coordinator
+	// for execution in worker processes (see mapreduce.Job.Remote). Nil
+	// runs everything in this process.
+	Remote mapreduce.Remote
+	// Parallelism caps concurrently executing task attempts. 0 keeps the
+	// engine's sequential default; cluster mode wants it above 1 so several
+	// workers hold grants at once.
+	Parallelism int
 	// Obs, when non-nil, records the job's trace spans and metrics (see
 	// mapreduce.Job.Obs). Nil disables observability.
 	Obs *obs.Observer
@@ -165,6 +173,8 @@ func SimpleKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, *keys.C
 		Faults:         cfg.Faults,
 		Shuffle:        cfg.Shuffle,
 		Timeout:        cfg.Timeout,
+		Remote:         cfg.Remote,
+		Parallelism:    cfg.Parallelism,
 		Obs:            cfg.Obs,
 		NewMapper: func() mapreduce.Mapper {
 			return mapreduce.MapperFunc(func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {

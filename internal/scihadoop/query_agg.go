@@ -53,6 +53,8 @@ func AggKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, aggregate.
 		Faults:         cfg.Faults,
 		Shuffle:        cfg.Shuffle,
 		Timeout:        cfg.Timeout,
+		Remote:         cfg.Remote,
+		Parallelism:    cfg.Parallelism,
 		Obs:            cfg.Obs,
 
 		// Section IV-B, case one: split aggregate keys at routing time.

@@ -46,6 +46,8 @@ func BoxKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, error) {
 		Faults:         cfg.Faults,
 		Shuffle:        cfg.Shuffle,
 		Timeout:        cfg.Timeout,
+		Remote:         cfg.Remote,
+		Parallelism:    cfg.Parallelism,
 		Obs:            cfg.Obs,
 
 		PartitionSplit: func(key, value []byte, n int) []mapreduce.RoutedKV {

@@ -1,0 +1,43 @@
+#!/bin/sh
+# E14 worker-kill soak: run the sliding-median query on a real multi-process
+# cluster (coordinator + 3 worker subprocesses) twice — fault-free, then with
+# scheduled SIGKILLs on one worker's first map grant and another's first
+# reduce grant. Both runs must verify against the reference, the killed run
+# must report identical payload counters to the clean one, and at least one
+# worker must actually have died by signal. Race-enabled end to end (workers
+# re-exec the same binary). Strict byte identity of the output files is
+# asserted by internal/clusterd's TestE2EKillRecoveryByteIdentical.
+set -eu
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+echo "e14: clean cluster run"
+go run -race ./cmd/scijob -cluster 3 -side 64 -verify \
+    >"$dir/clean.txt" 2>"$dir/clean.err"
+
+echo "e14: killed cluster run (SIGKILL mid-map and mid-reduce)"
+go run -race ./cmd/scijob -cluster 3 -side 64 -verify -retries 4 \
+    -faults "seed=1;proc:0.0:kill@0;proc:1.1:kill@0" \
+    >"$dir/killed.txt" 2>"$dir/killed.err"
+
+# Payload counters and verification must be identical; modeled runtime and
+# recovery lines legitimately differ (the killed run carries a recovery tax).
+payload='records|bytes|splits|verification'
+grep -E "$payload" "$dir/clean.txt" >"$dir/clean.payload"
+grep -E "$payload" "$dir/killed.txt" >"$dir/killed.payload"
+if ! diff -u "$dir/clean.payload" "$dir/killed.payload"; then
+    echo "e14: payload counters diverged between clean and killed runs" >&2
+    exit 1
+fi
+
+grep -q 'died (signal: killed)' "$dir/killed.err" || {
+    echo "e14: expected at least one worker SIGKILLed" >&2
+    cat "$dir/killed.err" >&2
+    exit 1
+}
+grep -q 'recovery: ' "$dir/killed.txt" || {
+    echo "e14: expected failed attempts reported in the killed run" >&2
+    exit 1
+}
+echo "e14 worker-kill soak OK"
