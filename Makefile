@@ -37,7 +37,7 @@ race:
 # in BENCH_shuffle.json with the committed baseline's numbers embedded per
 # benchmark (speedup_mb_per_s / allocs_ratio > 1 means faster / fewer allocs
 # than the baseline).
-SHUFFLE_BENCH = BenchmarkTransformSteadyState|BenchmarkWriteSegmentPooled|BenchmarkMapSpillPipeline|BenchmarkMergeSegments|BenchmarkReducePath|BenchmarkE4_
+SHUFFLE_BENCH = BenchmarkTransformSteadyState|BenchmarkWriteSegmentPooled|BenchmarkMapSpillPipeline|BenchmarkMergeSegments|BenchmarkReducePath|BenchmarkShuffleFetch|BenchmarkE4_
 
 bench:
 	$(GO) test -run '^$$' -bench '$(SHUFFLE_BENCH)' -benchmem ./... > bench.out
@@ -45,13 +45,19 @@ bench:
 	@rm -f bench.out
 	@echo wrote BENCH_shuffle.json
 
-# Allocation-regression gate: rerun the reduce-path benchmark briefly and
-# fail if allocs/op drifts >10% above the committed baseline. Only the
-# deterministic allocation counts are gated; ns/op and peak-B vary with the
-# machine and stay informational.
+# Regression gates: rerun the reduce-path and shuffle-fetch benchmarks
+# briefly and fail if allocs/op drifts >10% above the committed baseline —
+# the fetch path's alloc count is the zero-copy guarantee in CI form. The
+# steady-state transform additionally holds a loose throughput floor (25% of
+# baseline MB/s): wall-clock varies across machines, so the floor only
+# catches a hot path collapsing onto a slow reference, not percentage drift.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkReducePath' -benchmem -benchtime 20x ./internal/mapreduce/ \
 		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -max-allocs-regress 1.10 > /dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkShuffleFetch' -benchmem -benchtime 20x ./internal/shufflenet/ \
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -max-allocs-regress 1.10 > /dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkTransformSteadyState' -benchmem -benchtime 10x . \
+		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -min-mbps-ratio 0.25 > /dev/null
 	@echo bench gate OK
 
 # All benchmarks, raw text output.

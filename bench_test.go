@@ -10,6 +10,7 @@ package scikey
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"scikey/internal/codec"
@@ -68,6 +69,35 @@ func BenchmarkE4_TransformTimeVsSize(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				tr.Reset()
 				dst = tr.Forward(dst[:0], data)
+			}
+		})
+	}
+}
+
+// BenchmarkE4_BlockPipeline measures the parallel block codec around the
+// steady-state transform: the Fig. 4 stream encoded as block+transform+none
+// at pipeline widths 1 (the sequential reference — no goroutines), 2, and
+// GOMAXPROCS. Every width emits identical bytes; the MB/s spread is the
+// tentpole's speedup on the machine at hand (flat on a single-core box).
+func BenchmarkE4_BlockPipeline(b *testing.B) {
+	data := workload.GridWalkTriples(60)
+	widths := []int{1}
+	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+		if w > widths[len(widths)-1] {
+			widths = append(widths, w)
+		}
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			blk := codec.NewBlock(codec.NewTransform(codec.None))
+			blk.Workers = w
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Compress(blk, data); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -15,6 +15,12 @@
 // allocs/op exceeds N times its baseline's. Only allocation counts are
 // gated — they are deterministic for a fixed workload, unlike wall-clock
 // throughput or sampled peak-memory metrics, which stay informational.
+//
+// With -min-mbps-ratio R (e.g. 0.25), benchmarks that report MB/s must also
+// hold at least R times their baseline throughput. Wall-clock throughput is
+// machine- and load-dependent, so this gate is only useful with a deliberately
+// loose R — it catches order-of-magnitude collapses (a hot path quietly
+// falling back to a slow reference implementation), not percentage drifts.
 package main
 
 import (
@@ -120,6 +126,8 @@ func main() {
 	baselinePath := flag.String("baseline", "", "JSON file of prior results to embed per-benchmark")
 	maxAllocsRegress := flag.Float64("max-allocs-regress", 0,
 		"fail (exit 1) if any benchmark's allocs/op exceeds this multiple of its baseline's; 0 disables")
+	minMBPerSRatio := flag.Float64("min-mbps-ratio", 0,
+		"fail (exit 1) if any benchmark's MB/s falls below this fraction of its baseline's; 0 disables (use a loose fraction — wall-clock varies across machines)")
 	flag.Parse()
 
 	var baseline map[string]*Bench
@@ -172,8 +180,8 @@ func main() {
 		os.Exit(1)
 	}
 
+	regressed := false
 	if *maxAllocsRegress > 0 {
-		regressed := false
 		for _, b := range rep.Benchmarks {
 			prior := b.Baseline
 			if prior == nil || prior.AllocsPerOp <= 0 || b.AllocsPerOp <= 0 {
@@ -185,9 +193,22 @@ func main() {
 					b.Name, b.AllocsPerOp, prior.AllocsPerOp, *maxAllocsRegress)
 			}
 		}
-		if regressed {
-			os.Exit(1)
+	}
+	if *minMBPerSRatio > 0 {
+		for _, b := range rep.Benchmarks {
+			prior := b.Baseline
+			if prior == nil || prior.MBPerS <= 0 || b.MBPerS <= 0 {
+				continue
+			}
+			if b.MBPerS < prior.MBPerS*(*minMBPerSRatio) {
+				regressed = true
+				fmt.Fprintf(os.Stderr, "benchjson: %s throughput collapsed: %.1f MB/s vs baseline %.1f (floor %.2fx)\n",
+					b.Name, b.MBPerS, prior.MBPerS, *minMBPerSRatio)
+			}
 		}
+	}
+	if regressed {
+		os.Exit(1)
 	}
 }
 

@@ -30,12 +30,17 @@ type jobSpec struct {
 	Side     int    `json:"side"`
 	Strategy string `json:"strategy"`
 	Codec    string `json:"codec,omitempty"`
-	Curve    string `json:"curve,omitempty"`
-	Flush    int    `json:"flush,omitempty"`
-	Op       string `json:"op"`
-	Radius   int    `json:"radius"`
-	Splits   int    `json:"splits"`
-	Reducers int    `json:"reducers"`
+	// CodecWorkers sets the block+ codec's pipeline width. Any width
+	// produces the same bytes (position-determined framing), so workers
+	// and coordinator may not even need to agree — but shipping it keeps
+	// the whole cluster on the configuration under test.
+	CodecWorkers int    `json:"codec_workers,omitempty"`
+	Curve        string `json:"curve,omitempty"`
+	Flush        int    `json:"flush,omitempty"`
+	Op           string `json:"op"`
+	Radius       int    `json:"radius"`
+	Splits       int    `json:"splits"`
+	Reducers     int    `json:"reducers"`
 	// Faults is the full fault schedule string. Engine-level sites (map
 	// errors, segment corruption) fire inside worker attempts; the proc site
 	// is coordinator business and workers ignore it.
@@ -57,6 +62,7 @@ func (s jobSpec) setup() (*hdfs.FileSystem, scihadoop.QueryConfig, core.Strategy
 	qcfg.NumSplits = s.Splits
 	qcfg.NumReducers = s.Reducers
 	qcfg.Radius = s.Radius
+	qcfg.CodecWorkers = s.CodecWorkers
 	if s.Op == "max" {
 		qcfg.Op = scihadoop.Max
 	}

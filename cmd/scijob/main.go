@@ -25,6 +25,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"scikey/internal/cluster"
@@ -41,7 +42,8 @@ import (
 func main() {
 	side := flag.Int("side", 128, "grid side length (side x side int32 cells)")
 	stratName := flag.String("strategy", "baseline", "baseline | transform | aggregation | boxes")
-	codecName := flag.String("codec", "zlib", "inner codec for -strategy transform")
+	codecName := flag.String("codec", "zlib", "inner codec for -strategy transform; a block+ prefix (e.g. block+zlib) runs the stack through the parallel block pipeline")
+	codecWorkers := flag.Int("codec-workers", 0, "parallel block codec width for block+ codecs: 0 = GOMAXPROCS, 1 = sequential reference path, n = n workers")
 	curve := flag.String("curve", "zorder", "curve for -strategy aggregation: zorder | hilbert | rowmajor")
 	op := flag.String("op", "median", "window operator: median | max")
 	radius := flag.Int("radius", 1, "window radius (1 = 3x3)")
@@ -74,6 +76,9 @@ func main() {
 	// clear message instead of surfacing mid-job.
 	strat, err := parseStrategy(*stratName, *codecName, *curve, *flush)
 	if err != nil {
+		fatal(err)
+	}
+	if err := validateCodecWorkers(*codecWorkers, *stratName, *codecName); err != nil {
 		fatal(err)
 	}
 	switch *shuffle {
@@ -124,6 +129,7 @@ func main() {
 		qcfg.Op = scihadoop.Max
 	}
 	qcfg.OutputPath = "/out/scijob"
+	qcfg.CodecWorkers = *codecWorkers
 	qcfg.Faults = inj
 	qcfg.Retry = mapreducePolicy(*retries, *backoff, *speculate)
 	qcfg.Timeout = *timeout
@@ -157,16 +163,17 @@ func main() {
 		// processes); engine-level sites travel to workers inside the spec.
 		// The driver's own scheduler runs no attempts, so it gets no injector.
 		spec := jobSpec{
-			Side:     *side,
-			Strategy: *stratName,
-			Codec:    *codecName,
-			Curve:    *curve,
-			Flush:    *flush,
-			Op:       *op,
-			Radius:   *radius,
-			Splits:   *splits,
-			Reducers: *reducers,
-			Faults:   *faultSpec,
+			Side:         *side,
+			Strategy:     *stratName,
+			Codec:        *codecName,
+			CodecWorkers: *codecWorkers,
+			Curve:        *curve,
+			Flush:        *flush,
+			Op:           *op,
+			Radius:       *radius,
+			Splits:       *splits,
+			Reducers:     *reducers,
+			Faults:       *faultSpec,
 		}
 		specBytes, err := json.Marshal(spec)
 		if err != nil {
@@ -285,6 +292,29 @@ func parseStrategy(name, codecName, curve string, flush int) (core.Strategy, err
 	default:
 		return core.Strategy{}, fmt.Errorf("unknown strategy %q (want baseline, transform, aggregation, or boxes)", name)
 	}
+}
+
+// validateCodecWorkers rejects a -codec-workers the job would ignore or
+// misread, before any machinery starts. Negative widths are always wrong;
+// an explicitly set width (flag.Visit distinguishes "-codec-workers 0" from
+// an untouched default) demands a block+ transform codec to act on.
+func validateCodecWorkers(n int, stratName, codecName string) error {
+	if n < 0 {
+		return fmt.Errorf("-codec-workers must be >= 0, got %d", n)
+	}
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "codec-workers" {
+			set = true
+		}
+	})
+	if !set {
+		return nil
+	}
+	if stratName != "transform" || !strings.HasPrefix(strings.ToLower(codecName), "block+") {
+		return fmt.Errorf("-codec-workers only applies to -strategy transform with a block+ codec (got -strategy %s -codec %s)", stratName, codecName)
+	}
+	return nil
 }
 
 // writeFileWith streams a writer-taking renderer into a freshly created file.

@@ -19,7 +19,12 @@ import (
 
 const (
 	minShift = 9  // smallest pooled class: 512 B
-	maxShift = 24 // largest pooled class: 16 MiB
+	maxShift = 26 // largest pooled class: 64 MiB
+	// 64 MiB covers writeSegment's exact-size estimate at the default
+	// 16 MiB spill limit plus IFile framing, and whole-segment codec block
+	// buffers — sizes that previously fell through to a raw make on every
+	// call. Classes are lazily populated, so unused large classes cost
+	// nothing.
 )
 
 var classes [maxShift - minShift + 1]sync.Pool

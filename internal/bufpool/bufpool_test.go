@@ -13,8 +13,10 @@ func TestClassFor(t *testing.T) {
 		{513, 1},
 		{1024, 1},
 		{1025, 2},
-		{1 << 24, maxShift - minShift},
-		{1<<24 + 1, -1},
+		{1 << 24, 24 - minShift},
+		{1<<24 + 1, 24 - minShift + 1},
+		{1 << 26, maxShift - minShift},
+		{1<<26 + 1, -1},
 	}
 	for _, c := range cases {
 		if got := classFor(c.n); got != c.class {
@@ -50,6 +52,27 @@ func TestReuse(t *testing.T) {
 	}
 	if len(again) != 0 {
 		t.Fatalf("reused buffer has len %d", len(again))
+	}
+	again = again[:1]
+	if &again[0] != p {
+		t.Log("pool did not return the same buffer (allowed, but unexpected here)")
+	}
+	Put(again)
+}
+
+// TestSegmentSizedReuse: writeSegment's exact-size estimate at the default
+// 16 MiB spill limit lands just above 16 MiB once IFile framing is added.
+// Those buffers must pool (class 25), not fall through to a raw make —
+// the regression the maxShift bump fixed.
+func TestSegmentSizedReuse(t *testing.T) {
+	est := 16<<20 + 64<<10 // spill limit + framing slop
+	b := Get(est)
+	b = b[:1]
+	p := &b[0]
+	Put(b)
+	again := Get(est)
+	if cap(again) < est {
+		t.Fatalf("cap %d after reuse", cap(again))
 	}
 	again = again[:1]
 	if &again[0] != p {

@@ -15,6 +15,15 @@ func newBitWriter(w io.Writer) *bitWriter {
 	return &bitWriter{w: w, buf: make([]byte, 0, 4096)}
 }
 
+// reset rebinds the bit writer to a new destination, keeping the buffer.
+func (bw *bitWriter) reset(w io.Writer) {
+	bw.w = w
+	bw.bits = 0
+	bw.n = 0
+	bw.buf = bw.buf[:0]
+	bw.err = nil
+}
+
 // writeBits appends the low n bits of v (n <= 48).
 func (bw *bitWriter) writeBits(v uint64, n uint) {
 	if bw.err != nil {

@@ -342,3 +342,33 @@ func BenchmarkCompressGridWalk(b *testing.B) {
 		}
 	}
 }
+
+// TestWriterReset: a reset writer must emit a byte-identical fresh stream,
+// even after a dirty (unclosed) previous stream — the contract the codec
+// pools rely on.
+func TestWriterReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 300000)
+	rng.Read(data)
+	want, err := Compress(data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriterLevel(io.Discard, 6)
+	if _, err := w.Write([]byte("abandoned stream, never closed")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		var buf bytes.Buffer
+		w.Reset(&buf)
+		if _, err := w.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("round %d: reset stream differs from fresh stream", i)
+		}
+	}
+}

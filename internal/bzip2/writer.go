@@ -51,6 +51,22 @@ func NewWriterLevel(w io.Writer, level int) *Writer {
 	}
 }
 
+// Reset discards the writer's state and rebinds it to out, starting a fresh
+// bzip2 stream at the same level. It retains the block and bit buffers, so
+// pooled writers (codec.WriterPool) restart streams allocation-free — the
+// parallel block codec opens one stream per block and leans on this.
+func (w *Writer) Reset(out io.Writer) {
+	w.out = out
+	w.bw.reset(out)
+	w.block = w.block[:0]
+	w.blockCRC = newBlockCRC()
+	w.setIn = symbolSet{}
+	w.stream = 0
+	w.runByte, w.runLen = 0, 0
+	w.headerDone = false
+	w.closed = false
+}
+
 // Write compresses p. Data is buffered per block; nothing may appear on the
 // underlying writer until a block fills or Close is called.
 func (w *Writer) Write(p []byte) (int, error) {

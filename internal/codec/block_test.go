@@ -1,0 +1,357 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// blockInners are the inner stacks the pipeline is used with in anger.
+func blockInners() map[string]func() Codec {
+	return map[string]func() Codec{
+		"none":            func() Codec { return None },
+		"zlib":            func() Codec { return Zlib },
+		"transform+zlib":  func() Codec { return NewTransform(Zlib) },
+		"transform+bzip2": func() Codec { return NewTransform(Bzip2) },
+	}
+}
+
+func blockTestInputs() map[string][]byte {
+	rng := rand.New(rand.NewSource(7))
+	random := make([]byte, 40000)
+	rng.Read(random)
+	return map[string][]byte{
+		"empty":    nil,
+		"tiny":     []byte("x"),
+		"oneblock": gridWalkStream(9),
+		"exact":    make([]byte, 4096), // multiple of the 1 KiB/4 KiB sizes below
+		"gridwalk": gridWalkStream(20),
+		"random":   random,
+	}
+}
+
+// TestBlockByteIdenticalAcrossWorkers is the core determinism contract:
+// framing is position-determined, so every worker count emits the same
+// bytes, and any worker count decodes any other's output.
+func TestBlockByteIdenticalAcrossWorkers(t *testing.T) {
+	workerCounts := []int{1, 2, 4, 8}
+	for innerName, mk := range blockInners() {
+		for _, bb := range []int{1 << 10, 4096, DefaultBlockBytes} {
+			for label, data := range blockTestInputs() {
+				var want []byte
+				for _, w := range workerCounts {
+					b := &Block{Inner: mk(), BlockBytes: bb, Workers: w}
+					comp, err := Compress(b, data)
+					if err != nil {
+						t.Fatalf("%s/bb=%d/%s/w=%d: %v", innerName, bb, label, w, err)
+					}
+					if want == nil {
+						want = comp
+					} else if !bytes.Equal(want, comp) {
+						t.Fatalf("%s/bb=%d/%s: workers=%d bytes differ from workers=1", innerName, bb, label, w)
+					}
+				}
+				// Cross-decode: every worker count reads the shared bytes.
+				for _, w := range workerCounts {
+					b := &Block{Inner: mk(), BlockBytes: bb, Workers: w}
+					back, err := Decompress(b, want)
+					if err != nil {
+						t.Fatalf("%s/bb=%d/%s/w=%d decode: %v", innerName, bb, label, w, err)
+					}
+					if !bytes.Equal(back, data) {
+						t.Fatalf("%s/bb=%d/%s/w=%d roundtrip mismatch", innerName, bb, label, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockChunkedWriteInvariance: block boundaries depend on stream
+// position only, never on how the caller chunks Write calls.
+func TestBlockChunkedWriteInvariance(t *testing.T) {
+	data := gridWalkStream(16)
+	b := &Block{Inner: NewTransform(Zlib), BlockBytes: 3000, Workers: 3}
+	oneShot, err := Compress(b, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := b.NewWriter(&buf)
+	for i := 0; i < len(data); {
+		n := 577
+		if i+n > len(data) {
+			n = len(data) - i
+		}
+		if _, err := w.Write(data[i : i+n]); err != nil {
+			t.Fatal(err)
+		}
+		i += n
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oneShot, buf.Bytes()) {
+		t.Fatal("chunked writes changed the encoded bytes")
+	}
+}
+
+// TestBlockPooledReuse: block streams recycle through the generic codec
+// pools (Reset(io.Writer) / Reset(io.Reader) error) byte-identically.
+func TestBlockPooledReuse(t *testing.T) {
+	b := &Block{Inner: NewTransform(Zlib), BlockBytes: 2048, Workers: 4}
+	wp, rp := NewWriterPool(b), NewReaderPool(b)
+	data := gridWalkStream(14)
+	var want []byte
+	for i := 0; i < 5; i++ {
+		var buf bytes.Buffer
+		w := wp.Get(&buf)
+		if _, err := w.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wp.Put(w)
+		if want == nil {
+			want = append([]byte(nil), buf.Bytes()...)
+		} else if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("pooled writer round %d produced different bytes", i)
+		}
+		r, err := rp.Get(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rp.Put(r)
+		if !bytes.Equal(back, data) {
+			t.Fatalf("pooled reader round %d mismatch", i)
+		}
+	}
+}
+
+// errAfterReader fails with errBoom once limit bytes have been served —
+// the same shape as the faults package's codec-site injection.
+var errBoom = errors.New("boom")
+
+type errAfterReader struct {
+	r     io.Reader
+	limit int
+}
+
+func (e *errAfterReader) Read(p []byte) (int, error) {
+	if e.limit <= 0 {
+		return 0, errBoom
+	}
+	if len(p) > e.limit {
+		p = p[:e.limit]
+	}
+	n, err := e.r.Read(p)
+	e.limit -= n
+	if err == io.EOF {
+		err = errBoom
+	}
+	return n, err
+}
+
+// TestBlockErrorParityAcrossWorkers: an injected source fault surfaces the
+// same error after the same delivered prefix for every worker count —
+// the parallel prefetcher may hit the fault early in wall time, but results
+// are consumed strictly in frame order.
+func TestBlockErrorParityAcrossWorkers(t *testing.T) {
+	data := gridWalkStream(18)
+	b := &Block{Inner: NewTransform(Zlib), BlockBytes: 2000, Workers: 1}
+	comp, err := Compress(b, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{0, 5, len(comp) / 3, len(comp) / 2, len(comp) - 4} {
+		type outcome struct {
+			prefix []byte
+			err    error
+		}
+		var want *outcome
+		for _, w := range []int{1, 2, 4} {
+			b := &Block{Inner: NewTransform(Zlib), BlockBytes: 2000, Workers: w}
+			r, err := b.NewReader(&errAfterReader{r: bytes.NewReader(comp), limit: limit})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prefix, rerr := io.ReadAll(r)
+			r.Close()
+			if rerr == nil {
+				t.Fatalf("limit=%d w=%d: fault did not surface", limit, w)
+			}
+			got := &outcome{prefix: prefix, err: rerr}
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(want.prefix, got.prefix) {
+				t.Fatalf("limit=%d w=%d: delivered prefix %d bytes, workers=1 delivered %d",
+					limit, w, len(got.prefix), len(want.prefix))
+			}
+			if !errors.Is(got.err, errBoom) != !errors.Is(want.err, errBoom) ||
+				got.err.Error() != want.err.Error() {
+				t.Fatalf("limit=%d w=%d: error %v, workers=1 got %v", limit, w, got.err, want.err)
+			}
+		}
+	}
+}
+
+// TestBlockCorruptStream: truncation, header garbage, payload corruption,
+// and over-long inner streams all error out instead of returning bad bytes.
+func TestBlockCorruptStream(t *testing.T) {
+	data := gridWalkStream(12)
+	b := &Block{Inner: Zlib, BlockBytes: 1500, Workers: 2}
+	comp, err := Compress(b, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated-mid-frame":  comp[:len(comp)/2],
+		"missing-end-marker":   comp[:len(comp)-8],
+		"empty":                {},
+		"garbage-header":       append([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, comp...),
+		"zero-comp-len":        {0, 0, 0, 5, 0, 0, 0, 0},
+		"huge-raw-len":         {0xff, 0, 0, 0, 0, 0, 0, 8, 1, 2, 3, 4, 5, 6, 7, 8},
+		"short-declared-003":   flipDeclaredRawLen(comp, -3),
+		"corrupt-payload-byte": flipPayloadByte(comp),
+	}
+	for name, stream := range cases {
+		for _, w := range []int{1, 4} {
+			b := &Block{Inner: Zlib, BlockBytes: 1500, Workers: w}
+			if _, err := Decompress(b, stream); err == nil {
+				t.Errorf("%s w=%d: corrupt stream decoded without error", name, w)
+			}
+		}
+	}
+}
+
+// flipDeclaredRawLen rewrites the first frame's rawLen by delta, making the
+// inner stream longer than declared.
+func flipDeclaredRawLen(comp []byte, delta int) []byte {
+	out := append([]byte(nil), comp...)
+	raw := int(out[0])<<24 | int(out[1])<<16 | int(out[2])<<8 | int(out[3])
+	raw += delta
+	out[0], out[1], out[2], out[3] = byte(raw>>24), byte(raw>>16), byte(raw>>8), byte(raw)
+	return out
+}
+
+func flipPayloadByte(comp []byte) []byte {
+	out := append([]byte(nil), comp...)
+	out[8+len(out)/3] ^= 0x40
+	return out
+}
+
+// TestBlockAbandonedReader: closing mid-stream (the merge abandon path)
+// must tear the pipeline down without deadlocking or leaking buffers.
+func TestBlockAbandonedReader(t *testing.T) {
+	data := gridWalkStream(24)
+	b := &Block{Inner: NewTransform(Zlib), BlockBytes: 1 << 10, Workers: 4}
+	comp, err := Compress(b, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		r, err := b.NewReader(bytes.NewReader(comp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 100)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBlockMetrics: traffic counters see every block on both sides.
+func TestBlockMetrics(t *testing.T) {
+	m := &BlockMetrics{}
+	b := &Block{Inner: Zlib, BlockBytes: 1000, Workers: 2, Metrics: m}
+	data := make([]byte, 10500) // 11 blocks
+	comp, err := Compress(b, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(b, comp); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BlocksEncoded.Load(); got != 11 {
+		t.Errorf("BlocksEncoded = %d, want 11", got)
+	}
+	if got := m.BlocksDecoded.Load(); got != 11 {
+		t.Errorf("BlocksDecoded = %d, want 11", got)
+	}
+}
+
+// TestBlockGet: registry integration via the block+ prefix.
+func TestBlockGet(t *testing.T) {
+	c, err := Get("block+transform+bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "block+transform+bzip2" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if _, err := Get("block+nope"); err == nil {
+		t.Error("block+unknown must error")
+	}
+	if _, err := Get("block+"); err == nil {
+		t.Error("bare block+ must error")
+	}
+	data := gridWalkStream(10)
+	comp, err := Compress(c, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(c, comp)
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("block+transform+bzip2 roundtrip: %v", err)
+	}
+}
+
+// FuzzBlockRoundTrip: random payloads, block sizes, and worker counts must
+// roundtrip and stay byte-identical to the sequential reference encode.
+func FuzzBlockRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world"), 64, uint8(2))
+	f.Add(gridWalkStream(6), 1000, uint8(4))
+	f.Add([]byte{}, 1, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, blockBytes int, workers uint8) {
+		if blockBytes <= 0 || blockBytes > 1<<20 {
+			blockBytes = 1 + (blockBytes&0xffff+0x10000)%0xffff
+		}
+		w := int(workers%8) + 1
+		ref := &Block{Inner: NewTransform(Zlib), BlockBytes: blockBytes, Workers: 1}
+		par := &Block{Inner: NewTransform(Zlib), BlockBytes: blockBytes, Workers: w}
+		want, err := Compress(ref, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Compress(par, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("workers=%d encode differs from sequential (bb=%d)", w, blockBytes)
+		}
+		back, err := Decompress(par, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("roundtrip mismatch")
+		}
+	})
+}

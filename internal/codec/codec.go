@@ -5,7 +5,9 @@
 //
 // Available codecs: none, gzip, zlib, bzip2 (this repository's encoder),
 // and "transform+X" stacks that run the Section III predictive transform
-// before a generic codec.
+// before a generic codec. Any name accepts a "block+" prefix wrapping the
+// stack in the parallel block pipeline (independent fixed-size blocks,
+// ordered reassembly across a worker pool — see Block).
 package codec
 
 import (
@@ -230,11 +232,22 @@ func registry() map[string]func() Codec {
 	}
 }
 
-// Get returns the codec registered under name.
+// Get returns the codec registered under name. A "block+" prefix wraps any
+// registered codec in the parallel block pipeline with default block size
+// and GOMAXPROCS workers (e.g. "block+transform+bzip2"); tune via the Block
+// fields.
 func Get(name string) (Codec, error) {
-	f, ok := registry()[strings.ToLower(name)]
+	lname := strings.ToLower(name)
+	if rest, ok := strings.CutPrefix(lname, "block+"); ok {
+		inner, err := Get(rest)
+		if err != nil {
+			return nil, err
+		}
+		return NewBlock(inner), nil
+	}
+	f, ok := registry()[lname]
 	if !ok {
-		return nil, fmt.Errorf("codec: unknown codec %q (have %s)", name, strings.Join(Names(), ", "))
+		return nil, fmt.Errorf("codec: unknown codec %q (have %s, optionally prefixed block+)", name, strings.Join(Names(), ", "))
 	}
 	return f(), nil
 }

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"scikey/internal/cluster"
 	"scikey/internal/codec"
@@ -61,7 +62,11 @@ func (k StrategyKind) String() string {
 type Strategy struct {
 	Kind StrategyKind
 	// Codec names the generic codec under the transform (ByteTransform
-	// only; default "zlib", the paper's choice in Section III-E).
+	// only; default "zlib", the paper's choice in Section III-E). A
+	// "block+" prefix (e.g. "block+zlib") wraps the whole transform stack
+	// in the parallel block pipeline — each block runs the predictive
+	// transform and the generic codec independently on a worker, with
+	// QueryConfig.CodecWorkers setting the width.
 	Codec string
 	// Curve names the space-filling curve (Aggregation only; default
 	// "zorder").
@@ -137,16 +142,32 @@ type JobPlan struct {
 	Job    *mapreduce.Job
 	Codec  *keys.Codec
 	Decode func(*mapreduce.Result) (scihadoop.CellResults, error)
+	// BlockMetrics is the parallel block pipeline's traffic/stall counters
+	// when the strategy uses a block+ codec; nil otherwise. RunQuery
+	// publishes them into the observer after the job completes.
+	BlockMetrics *codec.BlockMetrics
 }
 
 // BuildJob constructs the query job for a strategy without running it.
 func BuildJob(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy) (*JobPlan, error) {
+	if qcfg.CodecWorkers < 0 {
+		return nil, fmt.Errorf("core: CodecWorkers must be >= 0, got %d", qcfg.CodecWorkers)
+	}
+	if qcfg.CodecWorkers > 0 &&
+		(strat.Kind != ByteTransform || !strings.HasPrefix(strings.ToLower(strat.Codec), "block+")) {
+		return nil, fmt.Errorf("core: CodecWorkers is set but strategy %q has no block+ codec", strat.Name())
+	}
 	switch strat.Kind {
 	case Baseline, ByteTransform:
+		var bm *codec.BlockMetrics
 		if strat.Kind == ByteTransform {
 			inner := strat.Codec
 			if inner == "" {
 				inner = "zlib"
+			}
+			rest, blocked := strings.CutPrefix(strings.ToLower(inner), "block+")
+			if blocked {
+				inner = rest
 			}
 			base, cerr := codec.Get(inner)
 			if cerr != nil {
@@ -154,13 +175,24 @@ func BuildJob(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy) (
 			}
 			t := codec.NewTransform(base)
 			t.StatsFunc = predictorStatsFunc(qcfg.Obs)
-			qcfg.MapOutputCodec = t
+			if blocked {
+				// block+ wraps the WHOLE transform stack: each block runs
+				// the predictive transform and the generic codec on its own
+				// worker, so the expensive predictor parallelizes too.
+				blk := codec.NewBlock(t)
+				blk.Workers = qcfg.CodecWorkers
+				bm = new(codec.BlockMetrics)
+				blk.Metrics = bm
+				qcfg.MapOutputCodec = blk
+			} else {
+				qcfg.MapOutputCodec = t
+			}
 		}
 		job, kc, err := scihadoop.SimpleKeyJob(fs, qcfg)
 		if err != nil {
 			return nil, err
 		}
-		return &JobPlan{Job: job, Codec: kc, Decode: func(r *mapreduce.Result) (scihadoop.CellResults, error) {
+		return &JobPlan{Job: job, Codec: kc, BlockMetrics: bm, Decode: func(r *mapreduce.Result) (scihadoop.CellResults, error) {
 			return scihadoop.ReadSimpleOutput(fs, r, kc)
 		}}, nil
 	case Aggregation:
@@ -207,6 +239,7 @@ func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, c
 	if err != nil {
 		return nil, err
 	}
+	publishBlockMetrics(qcfg.Obs, plan.BlockMetrics)
 	c := res.Counters
 	rep := &Report{
 		Strategy:                strat.Name(),

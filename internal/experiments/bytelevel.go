@@ -178,6 +178,62 @@ func E4TransformTimeVsSize(ns []int, ob *obs.Observer) E4Result {
 	return res
 }
 
+// E4PipelineRow is one sample of the parallel block-pipeline sweep: the n^3
+// walk pushed through block+transform+none at one worker width.
+type E4PipelineRow struct {
+	Workers      int
+	Bytes        int64
+	Seconds      float64
+	MBPerSec     float64
+	Blocks       int64
+	EncodeStalls int64
+	// Identical reports whether this width's output is byte-identical to
+	// the first width swept (callers lead with workers=1, the sequential
+	// reference) — it must always be true; the framing is
+	// position-determined.
+	Identical bool
+}
+
+// E4ParallelPipeline extends Fig. 4's throughput question to the parallel
+// block codec: the same n^3 walk is encoded through the predictive transform
+// inside the block pipeline at each worker width. The inner codec is
+// transform+none so the sweep isolates what the tentpole parallelizes — the
+// transform itself — from generic-codec cost. Outputs are checked
+// byte-identical against the sequential reference at every width.
+func E4ParallelPipeline(n int, workerCounts []int) ([]E4PipelineRow, error) {
+	data := workload.GridWalkTriples(n)
+	var ref []byte
+	rows := make([]E4PipelineRow, 0, len(workerCounts))
+	for i, w := range workerCounts {
+		var m codec.BlockMetrics
+		blk := codec.NewBlock(codec.NewTransform(codec.None))
+		blk.Workers = w
+		blk.Metrics = &m
+		t0 := time.Now()
+		comp, err := codec.Compress(blk, data)
+		dt := time.Since(t0).Seconds()
+		if err != nil {
+			return nil, fmt.Errorf("workers=%d: %w", w, err)
+		}
+		if i == 0 {
+			ref = comp
+		}
+		row := E4PipelineRow{
+			Workers:      w,
+			Bytes:        int64(len(data)),
+			Seconds:      dt,
+			Blocks:       m.BlocksEncoded.Load(),
+			EncodeStalls: m.EncodeStalls.Load(),
+			Identical:    string(comp) == string(ref),
+		}
+		if dt > 0 {
+			row.MBPerSec = float64(len(data)) / dt / (1 << 20)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 // E5Result compares stride-selection strategies (Section III's discussion).
 type E5Result struct {
 	// Compressed sizes (bzip2 of the residual) under each strategy.

@@ -278,7 +278,7 @@ func (t *mapTask) combine(pairs []KV) ([]KV, error) {
 		out = append(out, KV{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)})
 	}
 	comb := t.job.NewCombiner()
-	if err := groupReduce(t.ctx, &sliceStream{pairs: pairs}, t.job.Compare, comb, emit, c, true, nil); err != nil {
+	if err := groupReduce(t.ctx, &sliceStream{pairs: pairs}, t.job.Compare, comb, emit, c, true, nil, false); err != nil {
 		return nil, err
 	}
 	c.CombineOutputRecords.Add(int64(len(out)))

@@ -546,16 +546,31 @@ func sortSegmentsBySize(segs []segment) {
 
 // groupReduce walks a sorted record stream, invoking red once per group of
 // equal keys (per cmp), as Hadoop's reduce-phase grouping iterator does.
-// Only the current group is held in memory, so its source must hand out
-// records that stay valid across pulls (owned or arena copies, not borrow
-// mode). It aborts between groups when the attempt is canceled, and — when
-// bail is non-nil — when bail reports a downstream error, so a failed
-// reduce-output write stops the attempt promptly instead of reducing on
-// into a dead writer.
-func groupReduce(ctx *TaskContext, src kvStream, cmp func(a, b []byte) int, red Reducer, emit Emit, counters *Counters, isCombine bool, bail func() error) error {
+// Only the current group is held in memory. It aborts between groups when
+// the attempt is canceled, and — when bail is non-nil — when bail reports a
+// downstream error, so a failed reduce-output write stops the attempt
+// promptly instead of reducing on into a dead writer.
+//
+// With borrowed set the stream's records are valid only until its next pull
+// (a borrow-mode merge aliasing decoder scratch); each record is then landed
+// in a group-owned arena the moment it arrives. Two arenas ping-pong: the
+// current group's key and values accumulate in one while a group boundary
+// copies the next group's first record into the other, so Reduce always
+// reads live memory while the stream advances underneath — and the
+// per-record heap copies the non-borrowed path pays disappear. Arguments
+// passed to Reduce are only valid during the call in either mode (Hadoop's
+// iterator-reuse contract).
+func groupReduce(ctx *TaskContext, src kvStream, cmp func(a, b []byte) int, red Reducer, emit Emit, counters *Counters, isCombine bool, bail func() error, borrowed bool) error {
+	var ga, gb *kvArena // current group arena, boundary arena
+	if borrowed {
+		ga, gb = &kvArena{}, &kvArena{}
+	}
 	cur, ok, err := src.next()
 	if err != nil {
 		return err
+	}
+	if ok && borrowed {
+		cur = KV{Key: ga.copy(cur.Key), Value: ga.copy(cur.Value)}
 	}
 	for ok {
 		if ctx.Canceled() {
@@ -578,8 +593,15 @@ func groupReduce(ctx *TaskContext, src kvStream, cmp func(a, b []byte) int, red 
 				break
 			}
 			if cmp(key, nxt.Key) != 0 {
+				if borrowed {
+					gb.reset()
+					nxt = KV{Key: gb.copy(nxt.Key), Value: gb.copy(nxt.Value)}
+				}
 				cur, ok = nxt, true
 				break
+			}
+			if borrowed {
+				nxt.Value = ga.copy(nxt.Value)
 			}
 			values = append(values, nxt.Value)
 		}
@@ -588,6 +610,11 @@ func groupReduce(ctx *TaskContext, src kvStream, cmp func(a, b []byte) int, red 
 		}
 		if err := red.Reduce(ctx, key, values, emit); err != nil {
 			return err
+		}
+		// The finished group's arena becomes the next boundary scratch; the
+		// next group's first record already lives in the other one.
+		if borrowed {
+			ga, gb = gb, ga
 		}
 	}
 	return nil

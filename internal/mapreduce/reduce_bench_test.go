@@ -98,6 +98,10 @@ func BenchmarkReducePath(b *testing.B) {
 	}{{"8k", 8192}, {"64k", 65536}} {
 		segs := benchReduceSegments(b, size.n, 8)
 		env := readEnv{codec: codec.None, part: -1}
+		// The production streaming path borrows decoder scratch straight
+		// through the merge into groupReduce's group arenas.
+		benv := env
+		benv.borrow = true
 		var iw ifile.Writer
 		emit := func(k, v []byte) {
 			if err := iw.Append(k, v); err != nil {
@@ -110,12 +114,12 @@ func BenchmarkReducePath(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ctx := &TaskContext{counters: &Counters{}}
-				m, err := newMergeStream(segs, env, cmp)
+				m, err := newMergeStream(segs, benv, cmp)
 				if err != nil {
 					b.Fatal(err)
 				}
 				iw.Reset(io.Discard)
-				if err := groupReduce(ctx, m, cmp, red, emit, ctx.counters, false, nil); err != nil {
+				if err := groupReduce(ctx, m, cmp, red, emit, ctx.counters, false, nil, true); err != nil {
 					b.Fatal(err)
 				}
 				m.close()
@@ -135,7 +139,7 @@ func BenchmarkReducePath(b *testing.B) {
 				}
 				iw.Reset(io.Discard)
 				src := &sliceStream{pairs: pairs}
-				if err := groupReduce(ctx, src, cmp, red, emit, ctx.counters, false, nil); err != nil {
+				if err := groupReduce(ctx, src, cmp, red, emit, ctx.counters, false, nil, false); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -177,7 +177,15 @@ func (t *reduceTask) run(src segmentSource) error {
 		if err != nil {
 			return fmt.Errorf("mapreduce: reduce task %d merge: %w", t.id, err)
 		}
-		ms, err := newMergeStream(segs, env, t.job.Compare)
+		// With no merge transform in the way, the final merge runs in
+		// borrow mode: records alias decoder scratch (fetched chunk memory
+		// decodes straight through, no per-record heap copies) and
+		// groupReduce lands each record in its group arena on arrival.
+		// transformStream buffers whole windows of records, so it keeps
+		// the owning merge.
+		fenv := env
+		fenv.borrow = t.job.MergeTransform == nil
+		ms, err := newMergeStream(segs, fenv, t.job.Compare)
 		if err != nil {
 			return fmt.Errorf("mapreduce: reduce task %d merge: %w", t.id, err)
 		}
@@ -234,7 +242,8 @@ func (t *reduceTask) run(src segmentSource) error {
 	defer reduceSpan.End()
 	red := t.job.NewReducer()
 	bail := func() error { return emitErr }
-	if err := groupReduce(t.ctx, stream, t.job.Compare, red, emit, c, false, bail); err != nil {
+	borrowed := !t.job.ReferenceReduce && t.job.MergeTransform == nil
+	if err := groupReduce(t.ctx, stream, t.job.Compare, red, emit, c, false, bail, borrowed); err != nil {
 		return fmt.Errorf("mapreduce: reduce task %d: %w", t.id, err)
 	}
 	if f, ok := red.(Finalizer); ok {

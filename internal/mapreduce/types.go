@@ -61,6 +61,12 @@ type Mapper interface {
 
 // Reducer folds the values of one intermediate key. It is also the
 // interface for combiners.
+//
+// key and values are framework-owned and valid only for the duration of the
+// Reduce call — Hadoop's iterator-reuse contract. The streaming reduce path
+// recycles the backing memory for the next group; a Reducer that needs a
+// key or value beyond the call (e.g. buffering for a Finalizer) must copy
+// it.
 type Reducer interface {
 	Reduce(ctx *TaskContext, key []byte, values [][]byte, emit Emit) error
 }

@@ -1,0 +1,37 @@
+package shufflenet
+
+import "testing"
+
+// BenchmarkShuffleFetch drives the wire fetch path end to end over the
+// in-memory transport: request, header, 64 chunk frames, CRC verification.
+// allocs/op is the zero-copy gate for the committed-segment path — the
+// server hands Publish-time bytes straight to the connection (writev, CRC
+// from the commit-time table) and the client lands chunks directly in the
+// one result buffer sized from the response header, so per-op allocations
+// are connection scaffolding plus that single buffer, independent of chunk
+// count and segment size.
+func BenchmarkShuffleFetch(b *testing.B) {
+	const segBytes = 4 << 20
+	s, err := NewService(Config{Transport: NewMemTransport(), Nodes: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.Publish(0, 0, [][]byte{testBytes(segBytes, 3)})
+
+	b.SetBytes(segBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Fetch(nil, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Data) != segBytes {
+			b.Fatalf("fetched %d bytes, want %d", len(res.Data), segBytes)
+		}
+	}
+}

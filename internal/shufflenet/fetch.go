@@ -181,6 +181,17 @@ func (s *Service) fetchOnce(node, mapTask, part, fetchAttempt int, st *fetchStat
 		st.resumedBytes += hdr.start
 	}
 
+	// Size the buffer for the whole declared transfer up front: chunks then
+	// land directly in their final position, with no growth-reallocation
+	// copies of already-verified bytes. The total is bounds-checked against
+	// each chunk below, exactly as before; a lying header costs at most one
+	// allocation, same as a completed transfer would.
+	if int64(cap(st.buf)) < hdr.total {
+		grown := make([]byte, len(st.buf), hdr.total)
+		copy(grown, st.buf)
+		st.buf = grown
+	}
+
 	var chunkHdr [8]byte
 	for {
 		if _, err := io.ReadFull(conn, chunkHdr[:]); err != nil {
@@ -197,7 +208,7 @@ func (s *Service) fetchOnce(node, mapTask, part, fetchAttempt int, st *fetchStat
 		// Read the chunk into the tail of buf, then keep it only if its CRC
 		// verifies — len(st.buf) stays the verified resume offset.
 		tail := len(st.buf)
-		st.buf = append(st.buf, make([]byte, n)...)
+		st.buf = st.buf[:tail+int(n)]
 		if _, err := io.ReadFull(conn, st.buf[tail:]); err != nil {
 			st.buf = st.buf[:tail]
 			return err

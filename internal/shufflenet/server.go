@@ -1,6 +1,7 @@
 package shufflenet
 
 import (
+	"hash/crc32"
 	"net"
 	"time"
 
@@ -94,12 +95,26 @@ func (s *Service) handle(conn net.Conn) {
 		stopAfter = int64(len(remaining)) / 2
 	}
 
+	// Clients resume at whole-chunk boundaries (the verified prefix grows
+	// chunk by chunk), so start is chunk-aligned and every chunk served
+	// lines up with a commit-time CRC from Publish — the committed bytes
+	// are neither copied nor rescanned on this path. The on-the-fly
+	// fallback only guards a foreign client with an odd offset.
+	cb := s.cfg.chunkBytes()
+	crcIdx := -1
+	if start%int64(cb) == 0 {
+		crcIdx = int(start / int64(cb))
+	}
+	crcs := pub.crcs[req.partition]
+	var hdr [8]byte
+	bufs := make(net.Buffers, 0, 2)
+
 	sent := int64(0)
 	first := true
 	for len(remaining) > 0 {
 		chunk := remaining
-		if len(chunk) > s.cfg.chunkBytes() {
-			chunk = chunk[:s.cfg.chunkBytes()]
+		if len(chunk) > cb {
+			chunk = chunk[:cb]
 		}
 		if stopAfter >= 0 && sent+int64(len(chunk)) > stopAfter {
 			if f.Action == faults.ActTruncate {
@@ -120,7 +135,14 @@ func (s *Service) handle(conn net.Conn) {
 		if f != nil && f.Action == faults.ActCorrupt && first {
 			corrupted = f.CorruptBytes(chunk)
 		}
-		if err := writeChunk(conn, chunk, corrupted); err != nil {
+		var crc uint32
+		if crcIdx >= 0 {
+			crc = crcs[crcIdx]
+			crcIdx++
+		} else {
+			crc = crc32.ChecksumIEEE(chunk)
+		}
+		if err := writeChunk(conn, &hdr, &bufs, chunk, corrupted, crc); err != nil {
 			return
 		}
 		first = false

@@ -161,6 +161,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 type published struct {
 	attempt int
 	parts   [][]byte
+	// crcs[p] holds the CRC32 of every chunkBytes-sized slice of parts[p],
+	// computed once at Publish. Handlers serve straight from parts with
+	// these commit-time CRCs, so the wire path neither copies nor rescans
+	// the committed bytes.
+	crcs [][]uint32
 }
 
 // Service runs the per-node shuffle servers and the reduce-side fetcher of
@@ -253,9 +258,13 @@ func (s *Service) Start() error {
 // slices are shared, not copied: the engine never mutates committed map
 // output.
 func (s *Service) Publish(mapTask, attempt int, parts [][]byte) {
+	crcs := make([][]uint32, len(parts))
+	for i, p := range parts {
+		crcs[i] = chunkCRCs(p, s.cfg.chunkBytes())
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.segments[mapTask] = published{attempt: attempt, parts: parts}
+	s.segments[mapTask] = published{attempt: attempt, parts: parts, crcs: crcs}
 }
 
 // lookup returns the published output of one map task.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"net"
 )
 
 // Wire protocol, one request/response per connection, all integers
@@ -108,21 +109,40 @@ func readRespHeader(r io.Reader) (respHeader, error) {
 	return h, nil
 }
 
-// writeChunk frames one payload chunk. corrupted, when non-nil, is sent in
-// place of the payload while the CRC still covers the original bytes — the
-// injected bit-flip a client-side CRC check must catch.
-func writeChunk(w io.Writer, payload, corrupted []byte) error {
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+// chunkCRCs precomputes the CRC32 (IEEE) of every chunkBytes-sized slice of
+// data, so handlers serve committed bytes without rescanning them — the CRC
+// is computed once, at Publish.
+func chunkCRCs(data []byte, chunkBytes int) []uint32 {
+	if len(data) == 0 {
+		return nil
 	}
+	crcs := make([]uint32, (len(data)+chunkBytes-1)/chunkBytes)
+	for i := range crcs {
+		c := data[i*chunkBytes:]
+		if len(c) > chunkBytes {
+			c = c[:chunkBytes]
+		}
+		crcs[i] = crc32.ChecksumIEEE(c)
+	}
+	return crcs
+}
+
+// writeChunk frames one payload chunk with its precomputed CRC, handing the
+// header and the committed payload bytes to the connection in a single
+// writev-style call (net.Buffers) — the payload is never copied into a
+// user-space staging buffer. hdr and bufs are caller-owned scratch reused
+// across chunks. corrupted, when non-nil, is sent in place of the payload
+// while the CRC still covers the original bytes — the injected bit-flip a
+// client-side CRC check must catch.
+func writeChunk(w io.Writer, hdr *[8]byte, bufs *net.Buffers, payload, corrupted []byte, crc uint32) error {
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc)
 	body := payload
 	if corrupted != nil {
 		body = corrupted
 	}
-	_, err := w.Write(body)
+	*bufs = append((*bufs)[:0], hdr[:], body)
+	_, err := bufs.WriteTo(w)
 	return err
 }
 
