@@ -1,18 +1,26 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-all bench-gate docs e14
+.PHONY: check build vet test race bench bench-all bench-gate docs e14 e15
 
 # The full gate: compile everything, check docs and formatting, vet, run the
 # test suite under the race detector (the attempt scheduler and fault tests
 # exercise real concurrency), hold the reduce-path allocation budget, and
-# soak the multi-process cluster runtime against real SIGKILLs.
-check: build docs vet race bench-gate e14
+# soak the multi-process cluster runtime against real SIGKILLs — of workers
+# (e14) and of the coordinator itself (e15).
+check: build docs vet race bench-gate e14 e15
 
 # E14: worker-kill soak — a coordinator plus three real worker subprocesses,
 # scheduled SIGKILLs mid-map and mid-reduce; the killed run must verify and
 # match the fault-free run's payload counters.
 e14:
 	@sh scripts/e14_soak.sh
+
+# E15: coordinator-kill soak — the coordinator runs as a journaled
+# subprocess and is SIGKILLed at three seeded points (mid-commit and twice
+# mid-grant); every respawn recovers by journal replay and the killed run
+# must verify with payload counters identical to the fault-free run.
+e15:
+	@sh scripts/e15_soak.sh
 
 # The docs gate CI runs: gofmt-clean tree and a package doc comment on
 # every package.

@@ -6,6 +6,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -18,6 +19,7 @@ import (
 	"scikey/internal/experiments"
 	"scikey/internal/faults"
 	"scikey/internal/hdfs"
+	"scikey/internal/obs"
 	"scikey/internal/scihadoop"
 )
 
@@ -112,6 +114,186 @@ func runWorkerMode(addr string) {
 	}()
 	if err := w.Run(); err != nil {
 		fatal(fmt.Errorf("worker: %w", err))
+	}
+}
+
+// coordinatorConfig carries the flag values the -coordinator daemon needs.
+type coordinatorConfig struct {
+	addr      string
+	journal   string // "" = no journal (no crash recovery)
+	spec      jobSpec
+	heartbeat time.Duration
+	leaseTTL  time.Duration
+	faults    *faults.Injector
+	debugAddr string
+}
+
+// runCoordinatorMode is the -coordinator entrypoint: a pure control-plane
+// daemon. It journals every state transition, serves workers and drivers
+// until SIGTERM, then drains — flush, checkpoint, fsync — and exits 0, so a
+// clean restart replays zero events. A SIGKILLed daemon restarted on the
+// same address and journal recovers by replay instead; proc:coord fault
+// rules self-deliver real signals for exactly that drill. The bind is
+// retried briefly so a supervisor can respawn the daemon while the dead
+// incarnation's port is still being released.
+func runCoordinatorMode(cfg coordinatorConfig) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "scijob coordinator[pid %d]: %s\n", os.Getpid(), fmt.Sprintf(format, args...))
+	}
+	if cfg.leaseTTL == 0 && cfg.journal != "" {
+		// Journaled grants and settles fsync inside the coordinator's
+		// critical section, which can delay heartbeat processing under load;
+		// give renewals more slack than the in-memory default of five
+		// heartbeats so a busy disk doesn't masquerade as a dead worker.
+		cfg.leaseTTL = 2 * time.Second
+	}
+	specBytes, err := json.Marshal(cfg.spec)
+	if err != nil {
+		fatal(err)
+	}
+	ob := obs.New()
+	var c *clusterd.Coordinator
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err = clusterd.Start(clusterd.Config{
+			Addr:           cfg.addr,
+			Spec:           specBytes,
+			Journal:        cfg.journal,
+			HeartbeatEvery: cfg.heartbeat,
+			LeaseTTL:       cfg.leaseTTL,
+			Faults:         cfg.faults,
+			Obs:            ob,
+			Logf:           logf,
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("starting coordinator: %w", err))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	journal := cfg.journal
+	if journal == "" {
+		journal = "none"
+	}
+	fmt.Printf("coordinator listening on %s (journal %s, epoch %d)\n", c.Addr(), journal, c.Epoch())
+	if cfg.debugAddr != "" {
+		dbg, err := obs.NewServer(cfg.debugAddr, ob)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s (metrics, pprof)\n", dbg.Addr())
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	<-sig
+	logf("SIGTERM: draining journal and shutting down")
+	if err := c.Shutdown(); err != nil {
+		fatal(fmt.Errorf("coordinator shutdown: %w", err))
+	}
+}
+
+// coordProc supervises the -cluster mode coordinator subprocess the same way
+// workerPool supervises workers: respawn on unexpected death (a proc:coord
+// kill fault, say), SIGTERM-drain on shutdown. Every incarnation reuses the
+// same address and journal, so a respawn is a crash recovery.
+type coordProc struct {
+	args []string
+
+	mu     sync.Mutex
+	cur    *exec.Cmd
+	closed bool
+	done   chan struct{}
+}
+
+// startCoordProc spawns the coordinator subprocess re-executing this binary
+// with the given -coordinator argument list and begins supervising it.
+func startCoordProc(args []string) *coordProc {
+	p := &coordProc{args: args, done: make(chan struct{})}
+	p.spawn()
+	go p.reap()
+	return p
+}
+
+func (p *coordProc) spawn() {
+	cmd := exec.Command(os.Args[0], p.args...)
+	cmd.Stdout = os.Stderr // the daemon's banner is driver-side noise
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatal(fmt.Errorf("spawning coordinator: %w", err))
+	}
+	p.mu.Lock()
+	p.cur = cmd
+	p.mu.Unlock()
+}
+
+func (p *coordProc) reap() {
+	defer close(p.done)
+	for {
+		p.mu.Lock()
+		cmd := p.cur
+		p.mu.Unlock()
+		err := cmd.Wait()
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scijob: coordinator pid %d died (%v); respawning\n", cmd.Process.Pid, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "scijob: coordinator pid %d exited early; respawning\n", cmd.Process.Pid)
+		}
+		p.spawn()
+	}
+}
+
+// shutdown SIGTERMs the live incarnation so it drains its journal and exits.
+func (p *coordProc) shutdown() {
+	p.mu.Lock()
+	p.closed = true
+	cmd := p.cur
+	p.mu.Unlock()
+	_ = cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-p.done:
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		<-p.done
+	}
+}
+
+// pickLoopbackAddr reserves a loopback port and releases it, fixing an
+// address every coordinator incarnation can re-listen on.
+func pickLoopbackAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// dialCoordinator connects a driver Client, retrying for up to patience —
+// the coordinator subprocess may still be binding its listener.
+func dialCoordinator(addr string, patience time.Duration) (*clusterd.Client, error) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "scijob driver: %s\n", fmt.Sprintf(format, args...))
+	}
+	deadline := time.Now().Add(patience)
+	for {
+		cl, err := clusterd.Dial(clusterd.ClientConfig{Addr: addr, Logf: logf})
+		if err == nil {
+			return cl, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 }
 

@@ -9,22 +9,26 @@
 //	scijob -side 128 -shuffle net -faults "seed=7;net:*:cut@0;node:0:down=50ms" -retries 5 -backoff 10ms -verify
 //	scijob -side 256 -strategy transform -debug-addr 127.0.0.1:6060 -trace-out trace.json
 //
-// Cluster mode runs the same job across real worker processes — a
-// coordinator daemon grants task leases over TCP and workers execute
-// attempts, so kill -9 recovery is exercised for real:
+// Cluster mode runs the same job across real processes — a coordinator
+// daemon grants task leases over TCP and journals every state transition,
+// while workers execute attempts — so kill -9 recovery is exercised for
+// real, the coordinator included:
 //
 //	scijob -cluster 3 -side 64 -verify
-//	scijob -cluster 3 -side 64 -faults "seed=1;proc:0.0:kill@0;proc:1.1:kill@0" -retries 4 -verify
-//	scijob -coordinator 127.0.0.1:7070 -side 128 &  then on each node:  scijob -worker HOST:7070
+//	scijob -cluster 3 -side 64 -faults "seed=1;proc:0.0:kill@0;proc:coord.0:kill@5" -retries 4 -verify
+//	scijob -coordinator 127.0.0.1:7070 -journal coord.journal -side 128 &
+//	scijob -worker 127.0.0.1:7070 &            (on each node)
+//	scijob -driver 127.0.0.1:7070 -side 128 -verify
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -63,8 +67,10 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof on this address, e.g. 127.0.0.1:6060; stays up after the job until interrupted (empty = off)")
 	traceOut := flag.String("trace-out", "", "write the job's Chrome trace_event JSON to this file (empty = off)")
 	metricsOut := flag.String("metrics-out", "", "write the job's metrics in Prometheus text format to this file (empty = off)")
-	coordAddr := flag.String("coordinator", "", "cluster driver mode: listen for worker processes on this address, e.g. 127.0.0.1:7070, and run the job across them (empty = off)")
+	coordAddr := flag.String("coordinator", "", "cluster coordinator daemon: listen for workers and drivers on this address, e.g. 127.0.0.1:7070, and serve until SIGTERM (empty = off)")
 	workerAddr := flag.String("worker", "", "cluster worker mode: connect to the coordinator at this address and execute granted task attempts (empty = off)")
+	driverAddr := flag.String("driver", "", "cluster driver mode: run the job's scheduler against the coordinator daemon at this address (empty = off)")
+	journalPath := flag.String("journal", "", "coordinator journal file for crash-restart recovery; with -cluster, empty means a temp file (with -coordinator, empty disables the journal)")
 	clusterN := flag.Int("cluster", 0, "local cluster mode: start a coordinator plus N real worker subprocesses and run the job across them (0 = off)")
 	heartbeat := flag.Duration("heartbeat", 0, "cluster worker heartbeat interval (0 = default 100ms)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "cluster lease time-to-live without a renewing heartbeat (0 = default 5x heartbeat)")
@@ -97,24 +103,51 @@ func main() {
 		}
 	}
 	modes := 0
-	for _, on := range []bool{*coordAddr != "", *workerAddr != "", *clusterN != 0} {
+	for _, on := range []bool{*coordAddr != "", *workerAddr != "", *driverAddr != "", *clusterN != 0} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fatal(fmt.Errorf("-coordinator, -worker, and -cluster are mutually exclusive"))
+		fatal(fmt.Errorf("-coordinator, -worker, -driver, and -cluster are mutually exclusive"))
 	}
 	if *clusterN < 0 {
 		fatal(fmt.Errorf("-cluster wants a positive worker count, got %d", *clusterN))
 	}
-	clusterMode := *coordAddr != "" || *clusterN > 0
-	if (clusterMode || *workerAddr != "") && *shuffle != mapreduce.ShuffleMem {
+	if *journalPath != "" && *coordAddr == "" && *clusterN == 0 {
+		fatal(fmt.Errorf("-journal belongs to the coordinator; use it with -coordinator or -cluster"))
+	}
+	clusterMode := *driverAddr != "" || *clusterN > 0
+	if (clusterMode || *coordAddr != "" || *workerAddr != "") && *shuffle != mapreduce.ShuffleMem {
 		fatal(fmt.Errorf("cluster modes use the in-memory shuffle; -shuffle %s runs single-process only", *shuffle))
 	}
 
 	if *workerAddr != "" {
 		runWorkerMode(*workerAddr)
+		return
+	}
+	if *coordAddr != "" {
+		runCoordinatorMode(coordinatorConfig{
+			addr:    *coordAddr,
+			journal: *journalPath,
+			spec: jobSpec{
+				Side:         *side,
+				Strategy:     *stratName,
+				Codec:        *codecName,
+				CodecWorkers: *codecWorkers,
+				Curve:        *curve,
+				Flush:        *flush,
+				Op:           *op,
+				Radius:       *radius,
+				Splits:       *splits,
+				Reducers:     *reducers,
+				Faults:       *faultSpec,
+			},
+			heartbeat: *heartbeat,
+			leaseTTL:  *leaseTTL,
+			faults:    inj,
+			debugAddr: *debugAddr,
+		})
 		return
 	}
 
@@ -159,52 +192,69 @@ func main() {
 
 	workers := 0
 	if clusterMode {
-		// The coordinator owns the proc fault site (it signals real worker
-		// processes); engine-level sites travel to workers inside the spec.
-		// The driver's own scheduler runs no attempts, so it gets no injector.
-		spec := jobSpec{
-			Side:         *side,
-			Strategy:     *stratName,
-			Codec:        *codecName,
-			CodecWorkers: *codecWorkers,
-			Curve:        *curve,
-			Flush:        *flush,
-			Op:           *op,
-			Radius:       *radius,
-			Splits:       *splits,
-			Reducers:     *reducers,
-			Faults:       *faultSpec,
-		}
-		specBytes, err := json.Marshal(spec)
-		if err != nil {
-			fatal(err)
-		}
-		listen := *coordAddr
-		if listen == "" {
-			listen = "127.0.0.1:0"
-		}
-		coord, err := clusterd.Start(clusterd.Config{
-			Addr:           listen,
-			Spec:           specBytes,
-			HeartbeatEvery: *heartbeat,
-			LeaseTTL:       *leaseTTL,
-			Faults:         inj,
-			Obs:            ob,
-		})
-		if err != nil {
-			fatal(fmt.Errorf("starting coordinator: %w", err))
-		}
-		defer coord.Close()
-		fmt.Printf("coordinator listening on %s\n", coord.Addr())
+		// The coordinator daemon owns the proc fault site (it signals real
+		// worker processes, or itself for proc:coord rules); engine-level
+		// sites travel to workers inside the spec. The driver's own scheduler
+		// runs no attempts, so it gets no injector.
+		var cl *clusterd.Client
 		if *clusterN > 0 {
+			addr, err := pickLoopbackAddr()
+			if err != nil {
+				fatal(err)
+			}
+			journal := *journalPath
+			if journal == "" {
+				dir, err := os.MkdirTemp("", "scijob-coord-")
+				if err != nil {
+					fatal(err)
+				}
+				defer os.RemoveAll(dir)
+				journal = filepath.Join(dir, "coord.journal")
+			}
+			// Forward every spec-shaping flag so the daemon subprocess builds
+			// the identical job; respawned incarnations recover from the
+			// shared journal on the same fixed address.
+			coordArgs := []string{
+				"-coordinator", addr, "-journal", journal,
+				"-side", strconv.Itoa(*side), "-strategy", *stratName,
+				"-codec", *codecName, "-curve", *curve,
+				"-flush", strconv.Itoa(*flush), "-op", *op,
+				"-radius", strconv.Itoa(*radius), "-splits", strconv.Itoa(*splits),
+				"-reducers", strconv.Itoa(*reducers),
+			}
+			if flagWasSet("codec-workers") {
+				coordArgs = append(coordArgs, "-codec-workers", strconv.Itoa(*codecWorkers))
+			}
+			if *faultSpec != "" {
+				coordArgs = append(coordArgs, "-faults", *faultSpec)
+			}
+			if *heartbeat != 0 {
+				coordArgs = append(coordArgs, "-heartbeat", heartbeat.String())
+			}
+			if *leaseTTL != 0 {
+				coordArgs = append(coordArgs, "-lease-ttl", leaseTTL.String())
+			}
+			sup := startCoordProc(coordArgs)
+			defer sup.shutdown()
+			fmt.Printf("coordinator subprocess on %s (journal %s)\n", addr, journal)
 			workers = *clusterN
-			pool := startLocalWorkers(coord.Addr(), *clusterN)
+			pool := startLocalWorkers(addr, *clusterN)
 			defer pool.shutdown()
 			fmt.Printf("spawned %d worker processes\n", *clusterN)
+			cl, err = dialCoordinator(addr, 10*time.Second)
+			if err != nil {
+				fatal(fmt.Errorf("dialing coordinator subprocess: %w", err))
+			}
 		} else {
+			var err error
+			cl, err = dialCoordinator(*driverAddr, 0)
+			if err != nil {
+				fatal(fmt.Errorf("dialing coordinator at %s: %w", *driverAddr, err))
+			}
 			workers = 4 // external workers; a guess that only sizes parallelism
 		}
-		qcfg.Remote = coord
+		defer cl.Close()
+		qcfg.Remote = cl
 		qcfg.Faults = nil
 		if qcfg.Parallelism == 0 {
 			qcfg.Parallelism = 2 * workers
@@ -302,19 +352,25 @@ func validateCodecWorkers(n int, stratName, codecName string) error {
 	if n < 0 {
 		return fmt.Errorf("-codec-workers must be >= 0, got %d", n)
 	}
-	set := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "codec-workers" {
-			set = true
-		}
-	})
-	if !set {
+	if !flagWasSet("codec-workers") {
 		return nil
 	}
 	if stratName != "transform" || !strings.HasPrefix(strings.ToLower(codecName), "block+") {
 		return fmt.Errorf("-codec-workers only applies to -strategy transform with a block+ codec (got -strategy %s -codec %s)", stratName, codecName)
 	}
 	return nil
+}
+
+// flagWasSet reports whether the named flag appeared on the command line,
+// distinguishing an explicit zero from an untouched default.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // writeFileWith streams a writer-taking renderer into a freshly created file.

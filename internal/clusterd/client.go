@@ -1,0 +1,428 @@
+package clusterd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"scikey/internal/backoff"
+	"scikey/internal/mapreduce"
+)
+
+// Client is the driver side of the cluster runtime: it implements
+// mapreduce.Remote over a TCP connection to the coordinator, so the attempt
+// scheduler can live in a different process than the control plane — which
+// is what lets the coordinator be SIGKILLed and respawned without taking the
+// job down.
+//
+// The client owns reconnection: when the coordinator vanishes it redials on
+// the backoff schedule and re-sends every outstanding submission and
+// unacknowledged publish. Submissions are idempotent on (phase, task,
+// attempt) — the restarted coordinator binds each re-send to the surviving
+// lease, the journaled orphan outcome, or a fresh grant — so from the
+// scheduler's point of view a coordinator crash is at most extra latency and
+// some waste, never a wrong answer.
+type Client struct {
+	cfg ClientConfig
+
+	mu     sync.Mutex
+	conn   *clientConn
+	seq    int
+	calls  map[int]*clientCall
+	epoch  int
+	closed bool
+	broken error // set when the redial budget is exhausted
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// Addr is the coordinator's TCP address.
+	Addr string
+	// Reconnect is the redial backoff schedule. Zero value gets the default
+	// 50ms base, 2s cap.
+	Reconnect backoff.Policy
+	// MaxDials bounds consecutive failed dials before outstanding calls fail.
+	// Default 40.
+	MaxDials int
+	// Logf, when non-nil, receives driver-side diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// clientConn is one live connection with serialized writes.
+type clientConn struct {
+	c   net.Conn
+	wmu sync.Mutex
+}
+
+func (cc *clientConn) send(kind byte, v any) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	return writeMsg(cc.c, kind, v)
+}
+
+// clientCall is one outstanding request: a run submission awaiting its
+// result, or a publish awaiting its ack. Calls keep their seq across
+// reconnects; delivered guards against double completion.
+type clientCall struct {
+	seq       int
+	kind      byte // kindRunReq or kindPublish
+	run       runReqMsg
+	pub       publishMsg
+	canceled  bool
+	delivered bool
+	res       chan runResultMsg // run calls
+	ack       chan struct{}     // publish calls
+}
+
+// Dial connects to the coordinator at cfg.Addr and starts the reconnect
+// manager. The initial connection is attempted synchronously so a bad
+// address fails fast; later losses are redialed in the background.
+func Dial(cfg ClientConfig) (*Client, error) {
+	if cfg.MaxDials <= 0 {
+		cfg.MaxDials = 40
+	}
+	if cfg.Reconnect == (backoff.Policy{}) {
+		cfg.Reconnect = backoff.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+	}
+	cl := &Client{
+		cfg:   cfg,
+		calls: make(map[int]*clientCall),
+		stop:  make(chan struct{}),
+	}
+	cc, epoch, err := cl.dial()
+	if err != nil {
+		return nil, err
+	}
+	cl.conn = cc
+	cl.epoch = epoch
+	cl.wg.Add(1)
+	go cl.manage(cc)
+	return cl, nil
+}
+
+func (cl *Client) logf(format string, args ...any) {
+	if cl.cfg.Logf != nil {
+		cl.cfg.Logf(format, args...)
+	}
+}
+
+// Close ends the client; outstanding calls fail.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	cc := cl.conn
+	cl.mu.Unlock()
+	cl.stopOnce.Do(func() { close(cl.stop) })
+	if cc != nil {
+		cc.send(kindGoodbye, goodbyeMsg{})
+		cc.c.Close()
+	}
+	cl.failAll(errors.New("clusterd: client closed"))
+	cl.wg.Wait()
+	return nil
+}
+
+// dial establishes one session: connect, driverHello, driverWelcome.
+func (cl *Client) dial() (*clientConn, int, error) {
+	conn, err := net.Dial("tcp", cl.cfg.Addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	cc := &clientConn{c: conn}
+	if err := cc.send(kindDriverHello, driverHelloMsg{PID: os.Getpid()}); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	kind, payload, err := readMsg(conn)
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	var welcome driverWelcomeMsg
+	if kind != kindDriverWelcome || decode(payload, &welcome) != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("clusterd: expected driver welcome, got frame kind %d", kind)
+	}
+	return cc, welcome.Epoch, nil
+}
+
+// manage serves the current connection and redials lost ones, re-sending
+// outstanding calls after each successful reconnect.
+func (cl *Client) manage(cc *clientConn) {
+	defer cl.wg.Done()
+	for {
+		cl.readLoop(cc)
+		cl.mu.Lock()
+		if cl.conn == cc {
+			cl.conn = nil
+		}
+		closed := cl.closed
+		cl.mu.Unlock()
+		if closed {
+			return
+		}
+		cl.logf("clusterd: coordinator connection lost, redialing")
+
+		dials := 0
+		for {
+			var epoch int
+			var err error
+			cc, epoch, err = cl.dial()
+			if err == nil {
+				cl.mu.Lock()
+				prev := cl.epoch
+				cl.epoch = epoch
+				cl.conn = cc
+				resend := make([]*clientCall, 0, len(cl.calls))
+				for _, call := range cl.calls {
+					resend = append(resend, call)
+				}
+				cl.mu.Unlock()
+				if epoch != prev {
+					cl.logf("clusterd: reconnected to coordinator epoch %d (was %d), re-sending %d calls",
+						epoch, prev, len(resend))
+				}
+				for _, call := range resend {
+					cl.resend(cc, call)
+				}
+				break
+			}
+			dials++
+			if dials >= cl.cfg.MaxDials {
+				cl.failAll(fmt.Errorf("clusterd: coordinator unreachable after %d dials: %w", dials, err))
+				return
+			}
+			if !backoff.Sleep(cl.cfg.Reconnect.Delay(int64(os.Getpid()), 1, dials), cl.stop) {
+				return
+			}
+		}
+	}
+}
+
+// resend replays one outstanding call onto a fresh connection. A canceled
+// run call is completed locally instead — the scheduler no longer wants the
+// result, and re-submitting it could start a fresh execution.
+func (cl *Client) resend(cc *clientConn, call *clientCall) {
+	cl.mu.Lock()
+	canceled := call.canceled
+	cl.mu.Unlock()
+	if canceled {
+		cl.deliver(call, runResultMsg{Seq: call.seq, Canceled: true})
+		return
+	}
+	switch call.kind {
+	case kindRunReq:
+		cc.send(kindRunReq, call.run)
+	case kindPublish:
+		cc.send(kindPublish, call.pub)
+	}
+}
+
+// readLoop dispatches responses on one connection until it dies.
+func (cl *Client) readLoop(cc *clientConn) {
+	for {
+		kind, payload, err := readMsg(cc.c)
+		if err != nil {
+			cc.c.Close()
+			return
+		}
+		switch kind {
+		case kindRunResult:
+			var m runResultMsg
+			if decode(payload, &m) == nil {
+				cl.mu.Lock()
+				call := cl.calls[m.Seq]
+				cl.mu.Unlock()
+				if call != nil {
+					cl.deliver(call, m)
+				}
+			}
+		case kindPubAck:
+			var m pubAckMsg
+			if decode(payload, &m) == nil {
+				cl.mu.Lock()
+				call := cl.calls[m.Seq]
+				if call != nil && !call.delivered {
+					call.delivered = true
+					delete(cl.calls, call.seq)
+					close(call.ack)
+				}
+				cl.mu.Unlock()
+			}
+		default:
+			cc.c.Close()
+			return
+		}
+	}
+}
+
+// deliver completes a run call exactly once.
+func (cl *Client) deliver(call *clientCall, m runResultMsg) {
+	cl.mu.Lock()
+	if call.delivered {
+		cl.mu.Unlock()
+		return
+	}
+	call.delivered = true
+	delete(cl.calls, call.seq)
+	cl.mu.Unlock()
+	if call.res != nil {
+		call.res <- m
+	}
+}
+
+// failAll completes every outstanding call with an error (redial budget
+// exhausted or client closed) and refuses future calls.
+func (cl *Client) failAll(err error) {
+	cl.mu.Lock()
+	if cl.broken == nil {
+		cl.broken = err
+	}
+	calls := make([]*clientCall, 0, len(cl.calls))
+	for _, call := range cl.calls {
+		calls = append(calls, call)
+	}
+	cl.mu.Unlock()
+	for _, call := range calls {
+		if call.kind == kindPublish {
+			cl.mu.Lock()
+			if !call.delivered {
+				call.delivered = true
+				delete(cl.calls, call.seq)
+				close(call.ack)
+			}
+			cl.mu.Unlock()
+			continue
+		}
+		cl.deliver(call, runResultMsg{Seq: call.seq, Error: err.Error()})
+	}
+}
+
+// register assigns a seq, tracks the call, and sends it if connected; a
+// disconnected client leaves the send to the reconnect manager.
+func (cl *Client) register(call *clientCall) error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return errors.New("clusterd: client closed")
+	}
+	if cl.broken != nil {
+		err := cl.broken
+		cl.mu.Unlock()
+		return err
+	}
+	cl.seq++
+	call.seq = cl.seq
+	switch call.kind {
+	case kindRunReq:
+		call.run.Seq = call.seq
+	case kindPublish:
+		call.pub.Seq = call.seq
+	}
+	cl.calls[call.seq] = call
+	cc := cl.conn
+	cl.mu.Unlock()
+	if cc != nil {
+		switch call.kind {
+		case kindRunReq:
+			if cc.send(kindRunReq, call.run) != nil {
+				cc.c.Close() // manager redials and re-sends
+			}
+		case kindPublish:
+			if cc.send(kindPublish, call.pub) != nil {
+				cc.c.Close()
+			}
+		}
+	}
+	return nil
+}
+
+// RunRemote implements mapreduce.Remote: it submits the attempt to the
+// coordinator and blocks until its outcome arrives — surviving coordinator
+// restarts in between — or the scheduler cancels it.
+func (cl *Client) RunRemote(phase string, task, attempt int, canceled func() bool) (*mapreduce.RemoteResult, error) {
+	call := &clientCall{
+		kind: kindRunReq,
+		run:  runReqMsg{Phase: phase, Task: task, Attempt: attempt},
+		res:  make(chan runResultMsg, 1),
+	}
+	if err := cl.register(call); err != nil {
+		return nil, err
+	}
+
+	poll := time.NewTicker(2 * time.Millisecond)
+	defer poll.Stop()
+	for {
+		select {
+		case m := <-call.res:
+			o := storedOutcome{Error: m.Error, Canceled: m.Canceled, Corrupt: m.Corrupt}
+			return m.Result, o.grantErr()
+		case <-poll.C:
+			if canceled != nil && canceled() && cl.cancel(call) {
+				// The cancel was sent (or completed locally); wait for the
+				// definitive answer so the coordinator-side lease is revoked
+				// before we return.
+				m := <-call.res
+				o := storedOutcome{Error: m.Error, Canceled: m.Canceled, Corrupt: m.Corrupt}
+				return m.Result, o.grantErr()
+			}
+		}
+	}
+}
+
+// cancel withdraws a run call. Connected: the coordinator revokes the lease
+// and always answers with a runResult. Disconnected: the call completes
+// locally as canceled and will not be re-sent.
+func (cl *Client) cancel(call *clientCall) bool {
+	cl.mu.Lock()
+	if call.delivered {
+		cl.mu.Unlock()
+		return true // result already buffered; caller consumes it
+	}
+	if call.canceled {
+		cl.mu.Unlock()
+		return true
+	}
+	call.canceled = true
+	cc := cl.conn
+	cl.mu.Unlock()
+	if cc == nil || cc.send(kindCancel, cancelMsg{Seq: call.seq}) != nil {
+		cl.deliver(call, runResultMsg{Seq: call.seq, Canceled: true})
+	}
+	return true
+}
+
+// PublishRemote implements mapreduce.Remote: it ships a committed map
+// attempt's segments to the coordinator and blocks until the journaled ack —
+// after which the publication survives coordinator crashes, which is why the
+// engine may safely grant reduces.
+func (cl *Client) PublishRemote(mapTask, attempt int, parts [][]byte) {
+	call := &clientCall{
+		kind: kindPublish,
+		pub:  publishMsg{MapTask: mapTask, Attempt: attempt, Parts: parts},
+		ack:  make(chan struct{}),
+	}
+	if err := cl.register(call); err != nil {
+		cl.logf("clusterd: publish map %d attempt %d dropped: %v", mapTask, attempt, err)
+		return
+	}
+	<-call.ack
+}
+
+// Epoch reports the coordinator incarnation the client last connected to.
+func (cl *Client) Epoch() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.epoch
+}

@@ -1,25 +1,38 @@
 // Package clusterd promotes the in-process attempt scheduler into a
-// multi-process cluster runtime: a coordinator daemon that owns the job and
-// the lease state machine, and worker processes that register over TCP,
-// heartbeat, and execute task attempts under leases.
+// multi-process cluster runtime: a coordinator daemon that owns the lease
+// state machine, and worker processes that register over TCP, heartbeat, and
+// execute task attempts under leases.
 //
 // The division of labor keeps recovered runs byte-identical to
 // single-process ones. All scheduling policy — retry budgets, deterministic
 // backoff, speculative twins, first-finisher commit, corrupt-segment repair
-// — stays in internal/mapreduce on the coordinator, which plugs into the
-// engine as its Remote executor. Workers only produce bytes: they rebuild
+// — stays in internal/mapreduce on the driver, which reaches the coordinator
+// either in-process (the Coordinator implements mapreduce.Remote directly)
+// or over the wire through Client. Workers only produce bytes: they rebuild
 // the job from the opaque spec pushed at registration and run single
 // attempts through the exact in-process data path. A worker dying mid-lease
 // (kill -9, SIGSTOP, network partition) surfaces as a failed attempt; the
 // scheduler retries it under a fresh lease like any other failure, and a
 // stale completion from a presumed-dead worker that comes back is dropped by
 // the lease table.
+//
+// The coordinator itself is crash-recoverable: every durable state
+// transition is journaled (see journal.go) before it takes effect, so a
+// SIGKILLed coordinator restarts by replaying journal-over-checkpoint,
+// re-listens, and waits out one lease TTL of grace during which workers
+// reconnect and re-adopt their surviving leases by presenting (lease ID,
+// grant epoch). Attempts that outlived the outage commit normally; leases
+// whose workers never return expire and are charged as waste, exactly like
+// a worker death.
 package clusterd
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"os/exec"
 	"sync"
 	"syscall"
 	"time"
@@ -43,15 +56,27 @@ type Config struct {
 	// LeaseTTL is how long a lease survives without a renewing heartbeat.
 	// Default 5×HeartbeatEvery.
 	LeaseTTL time.Duration
-	// Faults optionally injects process-level faults: when a worker reports
-	// an attempt started, a matching proc rule SIGKILLs or SIGSTOPs the
-	// worker process — a real kill, not a simulated error.
+	// Journal is the path of the durable control-plane journal. Empty runs
+	// the coordinator in-memory only (no crash recovery).
+	Journal string
+	// CheckpointEvery compacts the journal after this many appended events
+	// so replay stays O(live state). Default 256.
+	CheckpointEvery int
+	// Faults optionally injects process-level faults: proc:worker rules
+	// SIGKILL or SIGSTOP a worker process as it starts an attempt, and
+	// proc:coord rules kill or hang the coordinator itself at seeded
+	// journal points (after the event is durable, before its effect is
+	// sent), exercising the crash-recovery path.
 	Faults *faults.Injector
 	// Signal overrides how proc faults reach the worker process. Nil sends
 	// real signals; tests substitute a recorder.
 	Signal func(pid int, fault *faults.ProcFault)
-	// Obs optionally records cluster gauges, lease-transition counters, and
-	// heartbeat-gap histograms.
+	// SelfSignal overrides how proc:coord faults reach the coordinator's own
+	// process. Nil sends real signals (SIGKILL self; STOP with a helper
+	// subprocess parked to CONT); tests substitute a recorder.
+	SelfSignal func(fault *faults.ProcFault)
+	// Obs optionally records cluster gauges, lease-transition counters,
+	// journal counters, and heartbeat-gap histograms.
 	Obs *obs.Observer
 	// Logf, when non-nil, receives coordinator diagnostics.
 	Logf func(format string, args ...any)
@@ -64,14 +89,47 @@ type grantOutcome struct {
 	err error
 }
 
-// grantReq is one attempt waiting to run remotely: queued until a worker is
-// available, then bound to a lease.
+// err reconstructs a stored outcome in the engine's error vocabulary, so
+// canceled attempts stay silent and corrupt-segment detections drive map
+// re-execution exactly as in-process failures do.
+func (o *storedOutcome) grantErr() error {
+	switch {
+	case o.Canceled:
+		return mapreduce.ErrAttemptCanceled
+	case o.Corrupt != nil:
+		return &mapreduce.ErrCorruptSegment{
+			MapTask:   o.Corrupt.MapTask,
+			Partition: o.Corrupt.Partition,
+			Attempt:   o.Corrupt.Attempt,
+			Err:       errors.New(o.Error),
+		}
+	case o.Error != "":
+		return errors.New(o.Error)
+	default:
+		return nil
+	}
+}
+
+func (o *storedOutcome) grantOutcome() grantOutcome {
+	return grantOutcome{rr: o.Result, err: o.grantErr()}
+}
+
+// grantReq is one submitted attempt: queued until a worker is available,
+// then bound to a lease. deliver hands the outcome to whoever is waiting —
+// an in-process RunRemote channel or a driver connection — and reports
+// whether delivery succeeded; an undelivered outcome stays journaled for the
+// driver's re-submission. deliver is read and replaced only under the
+// coordinator mutex (a reconnecting driver redirects it).
 type grantReq struct {
 	phase   string
 	task    int
 	attempt int
 	lease   int // -1 while queued
-	done    chan grantOutcome
+	deliver func(o *storedOutcome) bool
+}
+
+func (g *grantReq) key() attemptKey {
+	return attemptKey{Phase: g.phase, Task: g.task, Attempt: g.attempt}
 }
 
 // workerConn is the coordinator's view of one registered worker.
@@ -91,27 +149,36 @@ func (w *workerConn) send(kind byte, v any) error {
 	return writeMsg(w.conn, kind, v)
 }
 
-// segEntry is one map task's published output: its per-partition segments
-// and the attempt that produced them.
-type segEntry struct {
-	attempt int
-	parts   [][]byte
+// driverConn is one connected driver (attempt scheduler) session.
+type driverConn struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes frame writes
+
+	mu   sync.Mutex
+	reqs map[int]*grantReq // seq → submission, for cancel correlation
 }
 
-// Coordinator is the cluster control plane: worker registry, lease state
-// machine, segment store, and the engine's Remote executor.
+func (d *driverConn) send(kind byte, v any) error {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	return writeMsg(d.conn, kind, v)
+}
+
+// Coordinator is the cluster control plane: worker registry, journaled lease
+// state machine, segment store, and the engine's Remote executor.
 type Coordinator struct {
 	cfg Config
 	ln  net.Listener
 
-	mu         sync.Mutex
-	workers    map[int]*workerConn
-	nextWorker int
-	leases     *leaseTable
-	waiters    map[int]*grantReq // lease ID → waiting RunRemote
-	pending    []*grantReq
-	segs       map[int]*segEntry // map task → published output
-	closed     bool
+	mu      sync.Mutex
+	state   *coordState
+	jnl     *journal          // nil when Config.Journal is empty
+	peers   map[net.Conn]bool // every accepted connection, for shutdown
+	workers map[int]*workerConn
+	waiters map[int]*grantReq        // lease ID → outstanding submission
+	subs    map[attemptKey]*grantReq // attempt → outstanding submission
+	pending []*grantReq
+	closed  bool
 
 	kick chan struct{} // wakes the dispatcher
 	stop chan struct{}
@@ -121,9 +188,16 @@ type Coordinator struct {
 	gLeases     obs.Gauge
 	hBeatGap    obs.Histogram
 	transitions map[string]obs.Counter
+	cJEvents    obs.Counter
+	cJBytes     obs.Counter
+	cCkpt       obs.Counter
+	cReadopt    obs.Counter
+	gReplayed   obs.Gauge
 }
 
-// Start listens on cfg.Addr and runs the coordinator until Close.
+// Start listens on cfg.Addr and runs the coordinator until Close. With a
+// journal configured it first replays journal-over-checkpoint, so a restart
+// resumes the previous incarnation's live state under a new epoch.
 func Start(cfg Config) (*Coordinator, error) {
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = 100 * time.Millisecond
@@ -137,17 +211,33 @@ func Start(cfg Config) (*Coordinator, error) {
 	if cfg.Signal == nil {
 		cfg.Signal = realSignal
 	}
+	now := time.Now()
+	state := newCoordState(cfg.LeaseTTL)
+	var jnl *journal
+	var stats replayStats
+	if cfg.Journal != "" {
+		var err error
+		jnl, state, stats, err = openJournal(cfg.Journal, cfg.LeaseTTL, cfg.CheckpointEvery, now)
+		if err != nil {
+			return nil, err
+		}
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		if jnl != nil {
+			jnl.Close()
+		}
 		return nil, fmt.Errorf("clusterd: listen %s: %w", cfg.Addr, err)
 	}
 	c := &Coordinator{
 		cfg:     cfg,
 		ln:      ln,
+		state:   state,
+		jnl:     jnl,
+		peers:   make(map[net.Conn]bool),
 		workers: make(map[int]*workerConn),
-		leases:  newLeaseTable(cfg.LeaseTTL),
 		waiters: make(map[int]*grantReq),
-		segs:    make(map[int]*segEntry),
+		subs:    make(map[attemptKey]*grantReq),
 		kick:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 	}
@@ -164,6 +254,39 @@ func Start(cfg Config) (*Coordinator, error) {
 		c.transitions[s] = reg.Counter("scikey_cluster_lease_transitions_total",
 			"lease state transitions", "", obs.L("state", s))
 	}
+	c.cJEvents = reg.Counter("scikey_coord_journal_events_total",
+		"control-plane events appended to the coordinator journal", "")
+	c.cJBytes = reg.Counter("scikey_coord_journal_bytes_total",
+		"bytes appended to the coordinator journal", "B")
+	c.cCkpt = reg.Counter("scikey_coord_journal_checkpoints_total",
+		"journal compactions into a checkpoint", "")
+	c.cReadopt = reg.Counter("scikey_lease_readopted_total",
+		"leases re-adopted by reconnecting workers after a coordinator restart", "")
+	c.gReplayed = reg.Gauge("scikey_coord_journal_replayed_events",
+		"journal events replayed at the last coordinator start", "")
+	c.gReplayed.Set(int64(stats.Events))
+	if jnl != nil {
+		jnl.onAppend = func(bytes int) {
+			c.cJEvents.Inc()
+			c.cJBytes.Add(int64(bytes))
+		}
+		jnl.onCheckpoint = func() { c.cCkpt.Inc() }
+	}
+
+	// Stamp the new incarnation: replayed epoch + 1, journaled first thing.
+	// Leases replayed from earlier incarnations keep their grant-time epoch
+	// — that is what workers present in their re-adoption claims — while
+	// everything this incarnation grants carries the new epoch.
+	c.mu.Lock()
+	c.journalApply(jkBoot, evBoot{Epoch: state.epoch + 1})
+	replayedLeases := state.leases.count()
+	c.gLeases.Set(int64(replayedLeases))
+	c.mu.Unlock()
+	if stats.Events > 0 || stats.Checkpoint || replayedLeases > 0 {
+		c.logf("clusterd: coordinator epoch %d: replayed %d events (checkpoint=%v, %d live leases, %d torn bytes truncated)",
+			state.epoch, stats.Events, stats.Checkpoint, replayedLeases, stats.Truncated)
+	}
+
 	c.wg.Add(3)
 	go c.acceptLoop()
 	go c.dispatchLoop()
@@ -174,30 +297,62 @@ func Start(cfg Config) (*Coordinator, error) {
 // Addr is the coordinator's bound listen address.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
-// Close stops the coordinator: pending grants fail, worker connections
-// close.
-func (c *Coordinator) Close() error {
+// Epoch is the coordinator's incarnation number (1 for a fresh journal).
+func (c *Coordinator) Epoch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state.epoch
+}
+
+// Close stops the coordinator abruptly: pending grants fail, worker
+// connections close, and the journal is left exactly as appended — the same
+// on-disk state a crash would leave, minus the torn tail.
+func (c *Coordinator) Close() error { return c.shutdown(false) }
+
+// Shutdown drains cleanly: the journal is compacted into a single checkpoint
+// before closing, so the next start replays zero events. This is the SIGTERM
+// path of scijob -coordinator; active leases ride along in the checkpoint
+// and are re-adopted when the coordinator returns.
+func (c *Coordinator) Shutdown() error { return c.shutdown(true) }
+
+func (c *Coordinator) shutdown(drain bool) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	pending := c.pending
+	if c.jnl != nil {
+		if drain {
+			if err := c.jnl.compact(c.state); err != nil {
+				c.logf("%v", err)
+			}
+		}
+		c.jnl.Close()
+	}
+	outstanding := c.pending
 	c.pending = nil
-	conns := make([]*workerConn, 0, len(c.workers))
-	for _, w := range c.workers {
-		conns = append(conns, w)
+	for _, g := range c.waiters {
+		outstanding = append(outstanding, g)
+	}
+	conns := make([]net.Conn, 0, len(c.peers))
+	for conn := range c.peers {
+		conns = append(conns, conn)
 	}
 	c.mu.Unlock()
 
 	close(c.stop)
 	err := c.ln.Close()
-	for _, g := range pending {
-		g.done <- grantOutcome{err: errors.New("clusterd: coordinator closed")}
+	// Connections die first — as in a crash. Only then are outstanding grants
+	// failed: a wire driver's delivery closure fails on its dead connection
+	// (the driver redials the restarted coordinator and re-submits), while an
+	// in-process driver gets a definite error instead of hanging.
+	for _, conn := range conns {
+		conn.Close()
 	}
-	for _, w := range conns {
-		w.conn.Close()
+	closedOutcome := &storedOutcome{State: "failed", Error: "clusterd: coordinator closed"}
+	for _, g := range outstanding {
+		c.finish(g, closedOutcome)
 	}
 	c.wg.Wait()
 	return err
@@ -209,25 +364,138 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
-// RunRemote implements mapreduce.Remote: it queues the attempt for the next
-// available worker and blocks until the attempt completes, loses its lease,
-// or is canceled by the scheduler.
-func (c *Coordinator) RunRemote(phase string, task, attempt int, canceled func() bool) (*mapreduce.RemoteResult, error) {
-	g := &grantReq{phase: phase, task: task, attempt: attempt, lease: -1, done: make(chan grantOutcome, 1)}
+// journalApply is the single choke point for durable state transitions: it
+// applies the event to the live state and appends it, fsynced, to the
+// journal. Replay calls the same apply with the same payloads, which is what
+// makes a restarted coordinator converge on this one's state. Caller holds
+// c.mu.
+func (c *Coordinator) journalApply(kind byte, ev any) {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		c.logf("clusterd: marshal journal event %d: %v", kind, err)
+		return
+	}
+	if err := c.state.apply(kind, payload, time.Now()); err != nil {
+		c.logf("clusterd: apply journal event %d: %v", kind, err)
+		return
+	}
+	if c.jnl == nil || c.closed {
+		return
+	}
+	if err := c.jnl.append(kind, payload); err != nil {
+		c.logf("%v", err)
+		return
+	}
+	if c.jnl.due() {
+		if err := c.jnl.compact(c.state); err != nil {
+			c.logf("%v", err)
+		}
+	}
+}
+
+// coordFault consults the proc:coord fault rules at a seeded journal point
+// (op CoordOpGrant or CoordOpCommit, seq = lease ID) and delivers the fault
+// to this very process. It is called after the event is journaled and
+// fsynced but before its effect leaves the process, so a kill here is the
+// tightest possible crash window — and because lease IDs are journaled
+// monotonic, a respawned coordinator never re-fires the same point.
+func (c *Coordinator) coordFault(op, seq int) {
+	if c.cfg.Faults == nil {
+		return
+	}
+	f := c.cfg.Faults.CoordFault(op, seq)
+	if f == nil {
+		return
+	}
+	c.logf("clusterd: injecting %s into coordinator (op %d, lease %d)", f.Action, op, seq)
+	sig := c.cfg.SelfSignal
+	if sig == nil {
+		sig = realSelfSignal
+	}
+	sig(f)
+}
+
+// submit registers one attempt submission. It returns a non-nil outcome when
+// the attempt already settled under a previous incarnation (a journaled
+// orphan) — the caller delivers it instead of re-running. Submissions are
+// idempotent on (phase, task, attempt): a duplicate re-sent by a
+// reconnecting driver redirects delivery of the outstanding submission; an
+// attempt whose lease survived a coordinator restart binds to that lease.
+func (c *Coordinator) submit(g *grantReq) (*storedOutcome, error) {
+	key := g.key()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, errors.New("clusterd: coordinator closed")
 	}
+	if o, ok := c.state.outcomes[key]; ok {
+		c.mu.Unlock()
+		return o, nil
+	}
+	if prior := c.subs[key]; prior != nil {
+		prior.deliver = g.deliver
+		c.mu.Unlock()
+		return nil, nil
+	}
+	c.subs[key] = g
+	if li, ok := c.state.leases.byAttempt(g.phase, g.task, g.attempt); ok {
+		// The attempt is already running under a lease that survived a
+		// coordinator restart; wait on it rather than granting a twin.
+		g.lease = li.ID
+		c.waiters[li.ID] = g
+		c.mu.Unlock()
+		return nil, nil
+	}
+	g.lease = -1
 	c.pending = append(c.pending, g)
 	c.mu.Unlock()
 	c.wake()
+	return nil, nil
+}
+
+// finish delivers a settled outcome to its submission and journals the
+// delivery on success; an undelivered outcome stays in the orphan store for
+// the driver's re-ask.
+func (c *Coordinator) finish(g *grantReq, o *storedOutcome) {
+	if g == nil {
+		return
+	}
+	c.mu.Lock()
+	deliver := g.deliver
+	c.mu.Unlock()
+	if deliver == nil || !deliver(o) {
+		return
+	}
+	c.mu.Lock()
+	c.journalApply(jkDeliver, evDeliver{Phase: o.Phase, Task: o.Task, Attempt: o.Attempt})
+	c.mu.Unlock()
+}
+
+// RunRemote implements mapreduce.Remote for an in-process driver: it queues
+// the attempt for the next available worker and blocks until the attempt
+// completes, loses its lease, or is canceled by the scheduler.
+func (c *Coordinator) RunRemote(phase string, task, attempt int, canceled func() bool) (*mapreduce.RemoteResult, error) {
+	done := make(chan grantOutcome, 1)
+	g := &grantReq{phase: phase, task: task, attempt: attempt, lease: -1,
+		deliver: func(o *storedOutcome) bool {
+			done <- o.grantOutcome()
+			return true
+		}}
+	orphan, err := c.submit(g)
+	if err != nil {
+		return nil, err
+	}
+	if orphan != nil {
+		c.finish(g, orphan)
+		out := <-done
+		return out.rr, out.err
+	}
 
 	poll := time.NewTicker(2 * time.Millisecond)
 	defer poll.Stop()
 	for {
 		select {
-		case out := <-g.done:
+		case out := <-done:
 			return out.rr, out.err
 		case <-poll.C:
 			if canceled != nil && canceled() {
@@ -235,7 +503,7 @@ func (c *Coordinator) RunRemote(phase string, task, attempt int, canceled func()
 					return nil, mapreduce.ErrAttemptCanceled
 				}
 				// The outcome was already delivered concurrently; take it.
-				out := <-g.done
+				out := <-done
 				return out.rr, out.err
 			}
 		}
@@ -244,25 +512,29 @@ func (c *Coordinator) RunRemote(phase string, task, attempt int, canceled func()
 
 // cancelGrant withdraws a canceled attempt: dequeued if still pending,
 // revoked if leased. It reports true when the grant was withdrawn before an
-// outcome was delivered.
+// outcome was delivered. A revocation is journaled as a settle+deliver pair
+// — the cancellation consumes its own outcome, so nothing lingers for
+// replay.
 func (c *Coordinator) cancelGrant(g *grantReq) bool {
 	c.mu.Lock()
 	for i, p := range c.pending {
 		if p == g {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			delete(c.subs, g.key())
 			c.mu.Unlock()
 			return true
 		}
 	}
 	if g.lease >= 0 {
 		if _, ok := c.waiters[g.lease]; ok {
-			delete(c.waiters, g.lease)
+			li := c.state.leases.active[g.lease]
+			o := &storedOutcome{State: "revoked", Canceled: true}
+			c.settleLocked(li, o)
+			c.journalApply(jkDeliver, evDeliver{Phase: o.Phase, Task: o.Task, Attempt: o.Attempt})
 			var w *workerConn
-			if li, ok := c.leases.revoke(g.lease); ok {
+			if li != nil {
 				w = c.workers[li.Worker]
 			}
-			c.gLeases.Set(int64(c.leases.count()))
-			c.transitions["revoked"].Inc()
 			c.mu.Unlock()
 			if w != nil && !w.dead {
 				w.send(kindRevoke, revokeMsg{Lease: g.lease})
@@ -274,17 +546,17 @@ func (c *Coordinator) cancelGrant(g *grantReq) bool {
 	return false // outcome already delivered (or being delivered)
 }
 
-// PublishRemote implements mapreduce.Remote: it installs a committed map
-// attempt's segments in the coordinator's segment store, where reduce
-// workers fetch them. Recovery republishes under a higher attempt, which
-// replaces the corrupt original.
+// PublishRemote implements mapreduce.Remote for an in-process driver: it
+// installs a committed map attempt's segments in the coordinator's segment
+// store, where reduce workers fetch them. Recovery republishes under a
+// higher attempt, which replaces the corrupt original. The publication is
+// journaled, so acked map output survives a coordinator crash — the engine
+// publishes before granting reduces, which is what makes re-adopted reduce
+// attempts' fetches succeed after a restart.
 func (c *Coordinator) PublishRemote(mapTask, attempt int, parts [][]byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.segs[mapTask]; ok && e.attempt > attempt {
-		return // never replace newer output with older
-	}
-	c.segs[mapTask] = &segEntry{attempt: attempt, parts: parts}
+	c.journalApply(jkPublish, evPublish{MapTask: mapTask, Attempt: attempt, Parts: parts})
 }
 
 func (c *Coordinator) wake() {
@@ -302,47 +574,130 @@ func (c *Coordinator) acceptLoop() {
 			return // listener closed
 		}
 		c.wg.Add(1)
-		go c.serveWorker(conn)
+		go c.servePeer(conn)
 	}
 }
 
-// serveWorker runs one worker's registration and message loop.
-func (c *Coordinator) serveWorker(conn net.Conn) {
+// servePeer reads the first frame to learn what connected: a worker (hello)
+// or a driver (driverHello). The connection is registered with the peer set
+// first, so shutdown can close it out from under a blocked read.
+func (c *Coordinator) servePeer(conn net.Conn) {
 	defer c.wg.Done()
-	kind, payload, err := readMsg(conn)
-	if err != nil || kind != kindHello {
-		conn.Close()
-		return
-	}
-	var hello helloMsg
-	if err := decode(payload, &hello); err != nil {
-		conn.Close()
-		return
-	}
-
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		conn.Close()
 		return
 	}
-	w := &workerConn{id: c.nextWorker, pid: hello.PID, conn: conn, lastBeat: time.Now()}
-	c.nextWorker++
-	c.workers[w.id] = w
+	c.peers[conn] = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.peers, conn)
+		c.mu.Unlock()
+	}()
+	kind, payload, err := readMsg(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch kind {
+	case kindHello:
+		var hello helloMsg
+		if decode(payload, &hello) != nil {
+			conn.Close()
+			return
+		}
+		c.serveWorker(conn, hello)
+	case kindDriverHello:
+		c.serveDriver(conn)
+	default:
+		conn.Close()
+	}
+}
+
+// serveWorker runs one worker's registration and message loop. A worker
+// presenting an ID it was assigned before (by this incarnation or a crashed
+// one) keeps that identity; its hello claims are matched against the
+// (replayed) lease table and accepted claims are re-adopted. A stale
+// workerConn under the same ID — a ghost left by a half-open connection — is
+// replaced, not duplicated, so placement load counts stay honest.
+func (c *Coordinator) serveWorker(conn net.Conn, hello helloMsg) {
+	now := time.Now()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	id := hello.Worker
+	if id < 0 || id >= c.state.nextWorker {
+		id = c.state.nextWorker
+		c.journalApply(jkWorker, evWorker{ID: id})
+	}
+	var ghost *workerConn
+	if old, ok := c.workers[id]; ok {
+		old.dead = true
+		ghost = old
+	}
+	w := &workerConn{id: id, pid: hello.PID, conn: conn, lastBeat: now}
+	c.workers[id] = w
 	c.gWorkers.Set(int64(len(c.workers)))
+
+	// Re-adopt surviving claims; forfeit this worker's unclaimed leases (the
+	// worker no longer runs those attempts, so waiting out the TTL would
+	// only delay the retry).
+	var readopted []int
+	claimed := make(map[int]bool, len(hello.Claims))
+	for _, cl := range hello.Claims {
+		if li, ok := c.state.leases.readopt(id, cl, now); ok {
+			readopted = append(readopted, li.ID)
+			claimed[li.ID] = true
+			c.cReadopt.Inc()
+		}
+	}
+	type settled struct {
+		g *grantReq
+		o *storedOutcome
+	}
+	var forfeits []settled
+	for _, li := range c.state.leases.active {
+		if li.Worker != id || claimed[li.ID] {
+			continue
+		}
+		o := &storedOutcome{
+			State:  "lost",
+			Result: lostWork(li, now),
+			Error:  fmt.Sprintf("clusterd: lease %d lost: worker %d re-registered without it", li.ID, id),
+		}
+		forfeits = append(forfeits, settled{c.settleLocked(li, o), o})
+	}
+	c.gLeases.Set(int64(c.state.leases.count()))
+	epoch := c.state.epoch
 	c.mu.Unlock()
 
-	err = w.send(kindWelcome, welcomeMsg{
-		Worker:         w.id,
+	if ghost != nil {
+		ghost.conn.Close()
+		c.logf("clusterd: worker %d reconnected; replaced stale registration", id)
+	}
+	for _, f := range forfeits {
+		c.finish(f.g, f.o)
+	}
+
+	err := w.send(kindWelcome, welcomeMsg{
+		Worker:         id,
+		Epoch:          epoch,
 		Spec:           c.cfg.Spec,
 		HeartbeatEvery: c.cfg.HeartbeatEvery,
 		LeaseTTL:       c.cfg.LeaseTTL,
+		Readopted:      readopted,
 	})
 	if err != nil {
 		c.retireWorker(w)
 		return
 	}
-	c.logf("clusterd: worker %d registered (pid %d, %s)", w.id, hello.PID, conn.RemoteAddr())
+	c.logf("clusterd: worker %d registered (pid %d, %s, %d leases re-adopted)",
+		id, hello.PID, conn.RemoteAddr(), len(readopted))
 	c.wake() // a new worker can take pending grants
 
 	for {
@@ -365,12 +720,14 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 		case kindComplete:
 			var m completeMsg
 			if decode(payload, &m) == nil {
-				c.settleLease(w, m.Lease, grantOutcome{rr: m.Result}, "completed")
+				c.settleWorker(w, m.Lease, &storedOutcome{State: "completed", Result: m.Result})
 			}
 		case kindFail:
 			var m failMsg
 			if decode(payload, &m) == nil {
-				c.settleLease(w, m.Lease, grantOutcome{err: reconstructError(m)}, "failed")
+				c.settleWorker(w, m.Lease, &storedOutcome{
+					State: "failed", Error: m.Error, Canceled: m.Canceled, Corrupt: m.Corrupt,
+				})
 			}
 		case kindSegReq:
 			var m segReqMsg
@@ -394,33 +751,187 @@ func (c *Coordinator) serveWorker(conn net.Conn) {
 	}
 }
 
+// serveDriver runs one driver's session: answer the hello with the epoch,
+// then serve run/cancel/publish requests until the connection ends. Driver
+// state is reconstructible — a reconnecting driver re-sends its outstanding
+// submissions — so a dropped driver connection leaves leases running and
+// outcomes parked in the orphan store.
+func (c *Coordinator) serveDriver(conn net.Conn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	epoch := c.state.epoch
+	c.mu.Unlock()
+
+	d := &driverConn{conn: conn, reqs: make(map[int]*grantReq)}
+	if d.send(kindDriverWelcome, driverWelcomeMsg{Epoch: epoch}) != nil {
+		conn.Close()
+		return
+	}
+	c.logf("clusterd: driver connected (%s)", conn.RemoteAddr())
+
+	for {
+		kind, payload, err := readMsg(conn)
+		if err != nil {
+			conn.Close()
+			c.logf("clusterd: driver disconnected")
+			return
+		}
+		switch kind {
+		case kindRunReq:
+			var m runReqMsg
+			if decode(payload, &m) == nil {
+				c.handleRunReq(d, m)
+			}
+		case kindCancel:
+			var m cancelMsg
+			if decode(payload, &m) == nil {
+				d.mu.Lock()
+				g := d.reqs[m.Seq]
+				d.mu.Unlock()
+				if g != nil && c.cancelGrant(g) {
+					d.send(kindRunResult, runResultMsg{Seq: m.Seq, Canceled: true})
+				}
+			}
+		case kindPublish:
+			var m publishMsg
+			if decode(payload, &m) == nil {
+				c.mu.Lock()
+				c.journalApply(jkPublish, evPublish{MapTask: m.MapTask, Attempt: m.Attempt, Parts: m.Parts})
+				c.mu.Unlock()
+				d.send(kindPubAck, pubAckMsg{Seq: m.Seq})
+			}
+		case kindGoodbye:
+			conn.Close()
+			return
+		default:
+			conn.Close()
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleRunReq(d *driverConn, m runReqMsg) {
+	seq := m.Seq
+	g := &grantReq{phase: m.Phase, task: m.Task, attempt: m.Attempt, lease: -1,
+		deliver: func(o *storedOutcome) bool {
+			return d.send(kindRunResult, runResultMsg{
+				Seq: seq, Result: o.Result, Error: o.Error, Canceled: o.Canceled, Corrupt: o.Corrupt,
+			}) == nil
+		}}
+	d.mu.Lock()
+	d.reqs[seq] = g
+	d.mu.Unlock()
+	orphan, err := c.submit(g)
+	if err != nil {
+		d.send(kindRunResult, runResultMsg{Seq: seq, Error: err.Error()})
+		return
+	}
+	if orphan != nil {
+		c.logf("clusterd: re-delivering journaled outcome for %s task %d attempt %d",
+			m.Phase, m.Task, m.Attempt)
+		c.finish(g, orphan)
+	}
+}
+
+// settleLocked journals one lease settlement and detaches its waiter, which
+// the caller must finish() after releasing c.mu. o's attempt coordinates are
+// filled from the lease. Caller holds c.mu; li must be active.
+func (c *Coordinator) settleLocked(li *leaseInfo, o *storedOutcome) *grantReq {
+	if li == nil {
+		return nil
+	}
+	o.Phase, o.Task, o.Attempt = li.Phase, li.Task, li.Attempt
+	c.journalApply(jkSettle, evSettle{Lease: li.ID, Outcome: *o})
+	g := c.waiters[li.ID]
+	delete(c.waiters, li.ID)
+	delete(c.subs, attemptKey{Phase: li.Phase, Task: li.Task, Attempt: li.Attempt})
+	c.gLeases.Set(int64(c.state.leases.count()))
+	if t, ok := c.transitions[o.State]; ok {
+		t.Inc()
+	}
+	return g
+}
+
+// settleWorker handles a worker-reported outcome. Outcomes for leases the
+// table no longer tracks — expired, revoked, or reassigned attempts — are
+// stale and dropped: the scheduler already acted on the lease loss, and the
+// first-finisher rule must only ever see results from live leases. The
+// proc:coord commit fault fires between the journaled settle and its
+// delivery — the mid-commit crash window.
+func (c *Coordinator) settleWorker(w *workerConn, lease int, o *storedOutcome) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	li, ok := c.state.leases.active[lease]
+	if !ok || li.Worker != w.id {
+		c.mu.Unlock()
+		c.transitions["stale"].Inc()
+		c.logf("clusterd: dropping stale %s for lease %d from worker %d", o.State, lease, w.id)
+		return
+	}
+	g := c.settleLocked(li, o)
+	c.mu.Unlock()
+
+	c.coordFault(faults.CoordOpCommit, lease)
+	c.finish(g, o)
+	c.wake()
+}
+
 // retireWorker tears down a worker whose connection ended. A draining
 // worker with no leases left deregisters cleanly; any leases still held are
-// lost immediately and their waiters fail without waiting for the heartbeat
-// deadline.
+// forfeited immediately — the live coordinator saw the process die, so
+// waiting out the TTL would only delay the retry. (Re-adoption is for
+// sessions the coordinator lost, not workers the coordinator lost.) A
+// workerConn that was already replaced by a newer registration under the
+// same ID is a ghost: only its connection is closed, the leases now belong
+// to the replacement.
 func (c *Coordinator) retireWorker(w *workerConn) {
 	c.mu.Lock()
+	if c.closed {
+		// Shutdown in progress: every connection is being torn down at once.
+		// A crash delivers no forfeits, so neither does this path; shutdown
+		// itself fails the outstanding grants.
+		c.mu.Unlock()
+		w.conn.Close()
+		return
+	}
+	if w.dead && c.workers[w.id] != w {
+		c.mu.Unlock()
+		w.conn.Close()
+		return
+	}
 	if w.dead {
 		c.mu.Unlock()
 		return
 	}
 	w.dead = true
-	delete(c.workers, w.id)
+	if c.workers[w.id] == w {
+		delete(c.workers, w.id)
+	}
 	c.gWorkers.Set(int64(len(c.workers)))
-	lost := c.leases.dropWorker(w.id)
-	type forfeit struct {
-		g  *grantReq
-		li *leaseInfo
+	now := time.Now()
+	type settled struct {
+		g *grantReq
+		o *storedOutcome
 	}
-	var deliver []forfeit
-	for _, li := range lost {
-		if g, ok := c.waiters[li.ID]; ok {
-			delete(c.waiters, li.ID)
-			g.lease = li.ID
-			deliver = append(deliver, forfeit{g, li})
+	var lost []settled
+	for _, li := range c.state.leases.active {
+		if li.Worker != w.id {
+			continue
 		}
+		o := &storedOutcome{
+			State:  "lost",
+			Result: lostWork(li, now),
+			Error:  fmt.Sprintf("clusterd: lease %d lost: worker %d connection dropped", li.ID, w.id),
+		}
+		lost = append(lost, settled{c.settleLocked(li, o), o})
 	}
-	c.gLeases.Set(int64(c.leases.count()))
 	clean := w.draining && len(lost) == 0
 	c.mu.Unlock()
 
@@ -430,13 +941,8 @@ func (c *Coordinator) retireWorker(w *workerConn) {
 	} else {
 		c.logf("clusterd: worker %d lost (%d leases forfeited)", w.id, len(lost))
 	}
-	now := time.Now()
-	for _, f := range deliver {
-		c.transitions["lost"].Inc()
-		f.g.done <- grantOutcome{
-			rr:  lostWork(f.li, now),
-			err: fmt.Errorf("clusterd: lease %d lost: worker %d connection dropped", f.li.ID, w.id),
-		}
+	for _, f := range lost {
+		c.finish(f.g, f.o)
 	}
 	c.wake()
 }
@@ -460,7 +966,7 @@ func (c *Coordinator) handleHeartbeat(w *workerConn, m heartbeatMsg) {
 	c.mu.Lock()
 	c.hBeatGap.Observe(now.Sub(w.lastBeat).Seconds())
 	w.lastBeat = now
-	unknown := c.leases.renew(w.id, m.Leases, now)
+	unknown := c.state.leases.renew(w.id, m.Leases, now)
 	c.mu.Unlock()
 	for _, id := range unknown {
 		w.send(kindRevoke, revokeMsg{Lease: id})
@@ -474,7 +980,7 @@ func (c *Coordinator) handleStarted(w *workerConn, m startedMsg) {
 		return
 	}
 	c.mu.Lock()
-	li, ok := c.leases.active[m.Lease]
+	li, ok := c.state.leases.active[m.Lease]
 	c.mu.Unlock()
 	if !ok || li.Worker != w.id {
 		return
@@ -488,35 +994,9 @@ func (c *Coordinator) handleStarted(w *workerConn, m startedMsg) {
 	go c.cfg.Signal(w.pid, fault)
 }
 
-// settleLease delivers a worker-reported outcome to the attempt's waiter.
-// Outcomes for leases the table no longer tracks — expired, revoked, or
-// reassigned attempts — are stale and dropped: the scheduler already acted
-// on the lease loss, and the first-finisher rule must only ever see results
-// from live leases.
-func (c *Coordinator) settleLease(w *workerConn, lease int, out grantOutcome, state string) {
-	c.mu.Lock()
-	li, ok := c.leases.complete(lease)
-	if !ok || li.Worker != w.id {
-		c.mu.Unlock()
-		c.transitions["stale"].Inc()
-		c.logf("clusterd: dropping stale %s for lease %d from worker %d", state, lease, w.id)
-		return
-	}
-	g, haveWaiter := c.waiters[lease]
-	delete(c.waiters, lease)
-	c.gLeases.Set(int64(c.leases.count()))
-	c.mu.Unlock()
-
-	c.transitions[state].Inc()
-	if haveWaiter {
-		g.done <- out
-	}
-	c.wake()
-}
-
 func (c *Coordinator) handleSegReq(w *workerConn, m segReqMsg) {
 	c.mu.Lock()
-	e, ok := c.segs[m.MapTask]
+	e, ok := c.state.segs[m.MapTask]
 	c.mu.Unlock()
 	resp := segDataMsg{Seq: m.Seq}
 	switch {
@@ -532,7 +1012,11 @@ func (c *Coordinator) handleSegReq(w *workerConn, m segReqMsg) {
 }
 
 // dispatchLoop binds pending grants to live workers, preferring the least
-// loaded so speculative twins land on different processes.
+// loaded so speculative twins land on different processes. Each grant is
+// journaled before the grant frame is sent; the proc:coord grant fault fires
+// in between — the mid-grant crash window, in which the lease exists durably
+// but no worker ever learns of it, so it expires after the re-adoption grace
+// TTL and is charged as waste.
 func (c *Coordinator) dispatchLoop() {
 	defer c.wg.Done()
 	for {
@@ -553,7 +1037,7 @@ func (c *Coordinator) dispatchLoop() {
 				if w.dead || w.draining {
 					continue
 				}
-				load := c.leases.load(w.id)
+				load := c.state.leases.load(w.id)
 				if best == nil || load < bestLoad {
 					best, bestLoad = w, load
 				}
@@ -564,23 +1048,29 @@ func (c *Coordinator) dispatchLoop() {
 			}
 			g := c.pending[0]
 			c.pending = c.pending[1:]
-			li := c.leases.grant(best.id, g.phase, g.task, g.attempt, time.Now())
+			li := c.state.leases.next(best.id, c.state.epoch, g.phase, g.task, g.attempt, time.Now())
+			c.journalApply(jkGrant, evGrant{Lease: *li})
 			g.lease = li.ID
 			c.waiters[li.ID] = g
-			c.gLeases.Set(int64(c.leases.count()))
+			c.gLeases.Set(int64(c.state.leases.count()))
 			c.mu.Unlock()
 
 			c.transitions["granted"].Inc()
-			err := best.send(kindGrant, grantMsg{Lease: li.ID, Phase: g.phase, Task: g.task, Attempt: g.attempt})
+			c.coordFault(faults.CoordOpGrant, li.ID)
+			err := best.send(kindGrant, grantMsg{
+				Lease: li.ID, Epoch: li.Epoch, Phase: g.phase, Task: g.task, Attempt: g.attempt,
+			})
 			if err != nil {
-				c.retireWorker(best) // delivers this grant's loss via dropWorker
+				c.retireWorker(best) // forfeits this grant via the lease table
 			}
 		}
 	}
 }
 
 // expireLoop sweeps the lease table: attempts whose worker stopped
-// heartbeating (SIGSTOP, kill -9, partition) fail over to a fresh lease.
+// heartbeating (SIGSTOP, kill -9, partition) — or whose worker never
+// returned to re-adopt them after a coordinator restart — fail over to a
+// fresh lease, their held time charged as waste.
 func (c *Coordinator) expireLoop() {
 	defer c.wg.Done()
 	tick := time.NewTicker(c.cfg.HeartbeatEvery / 2)
@@ -593,37 +1083,36 @@ func (c *Coordinator) expireLoop() {
 		}
 		now := time.Now()
 		c.mu.Lock()
-		lapsed := c.leases.expired(now)
+		var lapsed []*leaseInfo
+		for _, li := range c.state.leases.active {
+			if now.After(li.Deadline) {
+				lapsed = append(lapsed, li)
+			}
+		}
 		type victim struct {
 			g *grantReq
+			o *storedOutcome
 			w *workerConn
 			l *leaseInfo
 		}
 		var victims []victim
 		for _, li := range lapsed {
-			v := victim{w: c.workers[li.Worker], l: li}
-			if g, ok := c.waiters[li.ID]; ok {
-				delete(c.waiters, li.ID)
-				v.g = g
+			o := &storedOutcome{
+				State:  "expired",
+				Result: lostWork(li, now),
+				Error:  fmt.Sprintf("clusterd: lease %d expired: worker %d heartbeat lapsed", li.ID, li.Worker),
 			}
-			victims = append(victims, v)
+			victims = append(victims, victim{g: c.settleLocked(li, o), o: o, w: c.workers[li.Worker], l: li})
 		}
-		c.gLeases.Set(int64(c.leases.count()))
 		c.mu.Unlock()
 
 		for _, v := range victims {
-			c.transitions["expired"].Inc()
 			c.logf("clusterd: lease %d (%s task %d attempt %d) expired on worker %d",
 				v.l.ID, v.l.Phase, v.l.Task, v.l.Attempt, v.l.Worker)
 			if v.w != nil && !v.w.dead {
 				v.w.send(kindRevoke, revokeMsg{Lease: v.l.ID})
 			}
-			if v.g != nil {
-				v.g.done <- grantOutcome{
-					rr:  lostWork(v.l, now),
-					err: fmt.Errorf("clusterd: lease %d expired: worker %d heartbeat lapsed", v.l.ID, v.l.Worker),
-				}
-			}
+			c.finish(v.g, v.o)
 		}
 		if len(victims) > 0 {
 			c.wake()
@@ -631,27 +1120,8 @@ func (c *Coordinator) expireLoop() {
 	}
 }
 
-// reconstructError rebuilds a worker-reported failure in the engine's error
-// vocabulary, so canceled attempts stay silent and corrupt-segment
-// detections drive map re-execution exactly as in-process failures do.
-func reconstructError(m failMsg) error {
-	switch {
-	case m.Canceled:
-		return mapreduce.ErrAttemptCanceled
-	case m.Corrupt != nil:
-		return &mapreduce.ErrCorruptSegment{
-			MapTask:   m.Corrupt.MapTask,
-			Partition: m.Corrupt.Partition,
-			Attempt:   m.Corrupt.Attempt,
-			Err:       errors.New(m.Error),
-		}
-	default:
-		return errors.New(m.Error)
-	}
-}
-
-// realSignal delivers a proc fault to a live process: kill is SIGKILL —
-// no cleanup, no goodbye, the real thing — and hang is SIGSTOP for the
+// realSignal delivers a proc fault to a live worker process: kill is SIGKILL
+// — no cleanup, no goodbye, the real thing — and hang is SIGSTOP for the
 // configured delay, then SIGCONT, long enough for the heartbeat deadline to
 // lapse and the lease to move.
 func realSignal(pid int, fault *faults.ProcFault) {
@@ -662,5 +1132,24 @@ func realSignal(pid int, fault *faults.ProcFault) {
 		syscall.Kill(pid, syscall.SIGSTOP)
 		time.Sleep(fault.Delay)
 		syscall.Kill(pid, syscall.SIGCONT)
+	}
+}
+
+// realSelfSignal delivers a proc:coord fault to this process. A hang parks
+// the SIGCONT in a helper subprocess first — a stopped process cannot thaw
+// itself.
+func realSelfSignal(fault *faults.ProcFault) {
+	pid := os.Getpid()
+	switch fault.Action {
+	case faults.ActKill:
+		syscall.Kill(pid, syscall.SIGKILL)
+		time.Sleep(time.Second) // SIGKILL lands first; never proceed past here
+	case faults.ActHang:
+		cmd := exec.Command("sh", "-c",
+			fmt.Sprintf("sleep %.3f; kill -CONT %d", fault.Delay.Seconds(), pid))
+		if cmd.Start() == nil {
+			go cmd.Wait()
+			syscall.Kill(pid, syscall.SIGSTOP)
+		}
 	}
 }

@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -30,11 +32,19 @@ import (
 // simulation — and the run must still produce byte-identical output and
 // payload counters, with the killed attempts' work charged as waste.
 
-const e2eWorkerEnv = "CLUSTERD_E2E_WORKER"
+const (
+	e2eWorkerEnv  = "CLUSTERD_E2E_WORKER"
+	e2eCoordEnv   = "CLUSTERD_E2E_COORD"
+	e2eJournalEnv = "CLUSTERD_E2E_JOURNAL"
+	e2eFaultsEnv  = "CLUSTERD_E2E_FAULTS"
+)
 
 func TestMain(m *testing.M) {
 	if addr := os.Getenv(e2eWorkerEnv); addr != "" {
 		os.Exit(runE2EWorker(addr))
+	}
+	if addr := os.Getenv(e2eCoordEnv); addr != "" {
+		os.Exit(runE2ECoord(addr, os.Getenv(e2eJournalEnv), os.Getenv(e2eFaultsEnv)))
 	}
 	os.Exit(m.Run())
 }
@@ -341,6 +351,313 @@ func TestE2EKillRecoveryByteIdentical(t *testing.T) {
 	}
 	if dead != 2 {
 		t.Errorf("%d workers died of SIGKILL, want 2", dead)
+	}
+}
+
+// runE2ECoord is coordinator-subprocess duty: start a journaled coordinator
+// on the fixed address (retrying while a predecessor's port is released),
+// serve until SIGTERM, then drain through Shutdown and exit 0. proc:coord
+// fault rules use the default self-signal, so injected kills are real
+// SIGKILLs of this process.
+func runE2ECoord(addr, journal, faultSpec string) int {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "e2e coord[%d]: %s\n", os.Getpid(), fmt.Sprintf(format, args...))
+	}
+	var inj *faults.Injector
+	if faultSpec != "" {
+		var err error
+		if inj, err = faults.NewFromSpec(faultSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "e2e coord: %v\n", err)
+			return 1
+		}
+	}
+	specJSON, err := json.Marshal(e2eSpecFixture)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "e2e coord: %v\n", err)
+		return 1
+	}
+	var c *Coordinator
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err = Start(Config{
+			Addr:           addr,
+			Spec:           specJSON,
+			Journal:        journal,
+			HeartbeatEvery: 25 * time.Millisecond,
+			LeaseTTL:       400 * time.Millisecond,
+			Faults:         inj,
+			Logf:           logf,
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "e2e coord: %v\n", err)
+			return 1
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	<-sig
+	if err := c.Shutdown(); err != nil {
+		fmt.Fprintf(os.Stderr, "e2e coord shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// coordSupervisor keeps a coordinator subprocess alive the way scijob's
+// cluster mode does: spawn, reap, respawn from the same journal, recording
+// how each incarnation died. SIGKILL exits come from injected proc:coord
+// faults firing inside the subprocess.
+type coordSupervisor struct {
+	t   *testing.T
+	env []string
+
+	mu     sync.Mutex
+	cur    *exec.Cmd
+	closed bool
+	kills  int // incarnations that died of SIGKILL
+
+	done chan struct{} // closed when the reap loop ends
+}
+
+func startE2ECoordSupervisor(t *testing.T, addr, journal, faultSpec string) *coordSupervisor {
+	t.Helper()
+	s := &coordSupervisor{
+		t: t,
+		env: append(os.Environ(),
+			e2eCoordEnv+"="+addr,
+			e2eJournalEnv+"="+journal,
+			e2eFaultsEnv+"="+faultSpec),
+		done: make(chan struct{}),
+	}
+	if err := s.spawn(); err != nil {
+		t.Fatal(err)
+	}
+	go s.reap()
+	t.Cleanup(func() {
+		s.mu.Lock()
+		closed, cur := s.closed, s.cur
+		s.mu.Unlock()
+		if !closed {
+			s.mu.Lock()
+			s.closed = true
+			s.mu.Unlock()
+			cur.Process.Kill()
+			<-s.done
+		}
+	})
+	return s
+}
+
+func (s *coordSupervisor) spawn() error {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = s.env
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.cur = cmd
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *coordSupervisor) reap() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		cmd := s.cur
+		s.mu.Unlock()
+		cmd.Wait()
+		s.mu.Lock()
+		if st, ok := cmd.ProcessState.Sys().(syscall.WaitStatus); ok &&
+			st.Signaled() && st.Signal() == syscall.SIGKILL {
+			s.kills++
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		if err := s.spawn(); err != nil {
+			s.t.Errorf("respawning coordinator: %v", err)
+			return
+		}
+	}
+}
+
+// stop ends supervision, SIGTERMs the live incarnation, and reports how many
+// incarnations died of SIGKILL and whether the final exit was clean.
+func (s *coordSupervisor) stop() (kills int, cleanExit bool) {
+	s.mu.Lock()
+	s.closed = true
+	cmd := s.cur
+	s.mu.Unlock()
+	cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-s.done:
+	case <-time.After(15 * time.Second):
+		s.t.Error("coordinator subprocess never exited after SIGTERM")
+		cmd.Process.Kill()
+		<-s.done
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kills, cmd.ProcessState.ExitCode() == 0
+}
+
+// runE2ECoordCluster is runE2ECluster with the coordinator itself pushed out
+// of process: a supervised, journaled subprocess driven over the wire by a
+// reconnecting Client, with worker subprocesses riding out its deaths.
+func runE2ECoordCluster(t *testing.T, nWorkers int, faultSpec string) (*clusterRun, *coordSupervisor, int) {
+	t.Helper()
+	// Fix the address up front so every incarnation listens at the same place.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	journal := filepath.Join(t.TempDir(), "coord.journal")
+
+	sup := startE2ECoordSupervisor(t, addr, journal, faultSpec)
+	procs := make([]*procHandle, nWorkers)
+	for i := range procs {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), e2eWorkerEnv+"="+addr)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = &procHandle{cmd: cmd}
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.cmd.Process.Kill()
+			p.wait()
+		}
+	})
+
+	// The first incarnation may still be binding; dial until it answers.
+	var cl *Client
+	clLogf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "e2e driver: %s\n", fmt.Sprintf(format, args...))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cl, err = Dial(ClientConfig{Addr: addr, Logf: clLogf})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dialing coordinator subprocess: %v", err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	fs := e2eFS()
+	job := e2eJob(e2eSpecFixture, fs)
+	job.Remote = cl
+	job.Parallelism = 4
+	job.Retry = mapreduce.RetryPolicy{MaxAttempts: 6}
+	res, err := mapreduce.Run(job)
+	if err != nil {
+		t.Fatalf("coordinator-kill cluster job (faults=%q): %v", faultSpec, err)
+	}
+	outs := make([][]byte, len(res.OutputPaths))
+	for i, p := range res.OutputPaths {
+		if outs[i], err = fs.ReadAll(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &clusterRun{res: res, outs: outs, procs: procs}, sup, cl.Epoch()
+}
+
+// TestE2ECoordinatorKillRecoveryByteIdentical is the e15 acceptance test:
+// SIGKILL the coordinator subprocess at three seeded journal points — once
+// mid-commit (after fsyncing a settle, before delivering the outcome to the
+// driver) and twice mid-grant (after fsyncing a grant, before any worker
+// hears of it) — while real worker subprocesses reconnect and re-adopt their
+// leases. The supervisor respawns each incarnation from the same journal;
+// final output bytes and payload counters must match the fault-free run and
+// the single-process reference.
+func TestE2ECoordinatorKillRecoveryByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns coordinator and worker subprocesses")
+	}
+
+	refFS := e2eFS()
+	refRes, err := mapreduce.Run(e2eJob(e2eSpecFixture, refFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOuts := make([][]byte, len(refRes.OutputPaths))
+	for i, p := range refRes.OutputPaths {
+		if refOuts[i], err = refFS.ReadAll(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	clean, cleanSup, cleanEpoch := runE2ECoordCluster(t, 3, "")
+	// Lease 0's settle is the first commit; lease 7 and the retry-spawned
+	// lease 9 are grants that can only happen in later incarnations, so the
+	// three kills land in three distinct coordinator processes.
+	killed, killedSup, killedEpoch := runE2ECoordCluster(t, 3,
+		"seed=1;proc:coord.1:kill@0;proc:coord.0:kill@7;proc:coord.0:kill@9")
+
+	for name, run := range map[string]*clusterRun{"fault-free": clean, "killed": killed} {
+		if len(run.outs) != len(refOuts) {
+			t.Fatalf("%s: %d outputs, want %d", name, len(run.outs), len(refOuts))
+		}
+		for i := range refOuts {
+			if !bytes.Equal(run.outs[i], refOuts[i]) {
+				t.Errorf("%s: output %d differs from single-process reference (%d vs %d bytes)",
+					name, i, len(run.outs[i]), len(refOuts[i]))
+			}
+		}
+		got := payloadFingerprint(run.res)
+		want := payloadFingerprint(refRes)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: payload counter %d = %d, want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	kills, clean0 := cleanSup.stop()
+	if kills != 0 || !clean0 {
+		t.Errorf("fault-free coordinator: %d SIGKILLs, clean exit %v; want 0 and true", kills, clean0)
+	}
+	if cleanEpoch != 1 {
+		t.Errorf("fault-free run finished on epoch %d, want 1", cleanEpoch)
+	}
+
+	kills, clean0 = killedSup.stop()
+	if kills != 3 {
+		t.Errorf("coordinator died of SIGKILL %d times, want 3", kills)
+	}
+	if !clean0 {
+		t.Error("final coordinator incarnation did not exit 0 on SIGTERM")
+	}
+	if killedEpoch < 4 {
+		t.Errorf("driver finished on epoch %d, want >= 4 after three kills", killedEpoch)
+	}
+
+	// Workers rode out every coordinator death: SIGTERM drains all of them
+	// cleanly; none was killed.
+	for name, run := range map[string]*clusterRun{"fault-free": clean, "killed": killed} {
+		for i, p := range run.procs {
+			p.cmd.Process.Signal(syscall.SIGTERM)
+			if p.waitTimeout(t, 10*time.Second) {
+				if code := p.cmd.ProcessState.ExitCode(); code != 0 {
+					t.Errorf("%s worker %d exited %d, want 0", name, i, code)
+				}
+			}
+		}
 	}
 }
 

@@ -12,6 +12,15 @@ import (
 // deadline, renewal exactly at the deadline, zero-TTL leases, duplicate
 // completion after reassignment, and whole-worker forfeiture.
 
+// grant is the tests' shorthand for the live path's next+install pair (the
+// production grant flow journals the built lease in between). It returns
+// the installed copy, whose deadline is set.
+func (t *leaseTable) grant(worker int, phase string, task, attempt int, now time.Time) *leaseInfo {
+	li := t.next(worker, 1, phase, task, attempt, now)
+	t.install(li, now)
+	return t.active[li.ID]
+}
+
 func TestLeaseExpiryEdges(t *testing.T) {
 	t0 := time.Unix(1000, 0)
 	lt := newLeaseTable(100 * time.Millisecond)

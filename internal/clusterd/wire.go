@@ -11,7 +11,7 @@ import (
 	"scikey/internal/mapreduce"
 )
 
-// Wire protocol: one persistent connection per worker, carrying framed
+// Wire protocol: one persistent connection per peer, carrying framed
 // messages in both directions. Every frame is
 //
 //	kind u8 | len u32 | crc32 u32 | payload [len]byte
@@ -19,16 +19,34 @@ import (
 // (integers big-endian, CRC32 IEEE over the payload, payloads JSON). The
 // frame CRC is the same end-to-end integrity idiom the shufflenet transport
 // uses: a corrupted frame is detected at the reader and tears the session
-// down rather than delivering garbage into the lease state machine.
+// down rather than delivering garbage into the lease state machine. The
+// coordinator journal appends the identical frame shape to disk (its own
+// kind space), so replay shares the torn/corrupt-frame detection with the
+// wire.
 //
-// Registration handshake: the worker connects, sends hello{PID}, and the
-// coordinator answers welcome{Worker, Spec, HeartbeatEvery, LeaseTTL}. After
-// that the worker heartbeats on schedule and the coordinator pushes grant
-// frames; the worker answers each grant with started, then complete or fail.
-// Reduce attempts pull map output segments through segReq/segData pairs
-// correlated by Seq on the same connection. goodbye{Draining} starts a
-// graceful drain: no further grants, the worker finishes what it holds and
-// hangs up.
+// Two peer roles share the connection grammar:
+//
+// Workers: the worker connects, sends hello{PID, Worker, Claims}, and the
+// coordinator answers welcome{Worker, Epoch, Spec, HeartbeatEvery, LeaseTTL,
+// Readopted}. Worker is the ID a re-registering worker already holds (-1 for
+// a fresh one); Claims presents the leases it still carries from before a
+// dropped session, each with the coordinator epoch it was granted under, and
+// Readopted lists the claims the coordinator accepted — the worker abandons
+// the rest. After that the worker heartbeats on schedule and the coordinator
+// pushes grant frames; the worker answers each grant with started, then
+// complete or fail. Reduce attempts pull map output segments through
+// segReq/segData pairs correlated by Seq. goodbye{Draining} starts a
+// graceful drain.
+//
+// The driver (the process running the attempt scheduler): connects, sends
+// driverHello, and the coordinator answers driverWelcome{Epoch}. runReq
+// submits one attempt (correlated by Seq); the coordinator answers with
+// runResult carrying the attempt outcome — possibly long after a coordinator
+// crash and restart, because submissions are idempotent on (phase, task,
+// attempt) and re-sent by the driver on reconnect. cancel withdraws a
+// submitted attempt; the coordinator always answers it with a runResult.
+// publish installs a committed map output (journaled before the pubAck, so
+// an acked publish survives a coordinator crash).
 const (
 	kindHello byte = iota + 1
 	kindWelcome
@@ -41,21 +59,55 @@ const (
 	kindSegReq
 	kindSegData
 	kindGoodbye
+	kindDriverHello
+	kindDriverWelcome
+	kindRunReq
+	kindRunResult
+	kindCancel
+	kindPublish
+	kindPubAck
 )
 
 // maxFrame bounds one frame's payload so a corrupt length field cannot make
 // the reader allocate unbounded memory.
 const maxFrame = 1 << 30
 
+// frameAllocChunk bounds the reader's up-front allocation: a frame header
+// claiming a huge length only grows the buffer as bytes actually arrive, so
+// a truncated or hostile frame cannot balloon memory before its CRC check.
+const frameAllocChunk = 1 << 20
+
+// leaseClaim is one lease a re-registering worker still holds: its ID and
+// the coordinator epoch it was granted under. A claim is re-adopted only if
+// the coordinator's (replayed) lease table still tracks the lease for this
+// worker at this epoch.
+type leaseClaim struct {
+	Lease int
+	Epoch int
+}
+
 type helloMsg struct {
 	PID int
+	// Worker is the ID assigned by a previous welcome (-1 on first
+	// registration). Presenting it lets a reconnecting worker keep its
+	// identity — the coordinate fault schedules and the lease table bind to.
+	Worker int
+	// Claims lists the leases the worker still holds from before the
+	// session dropped, for re-adoption.
+	Claims []leaseClaim
 }
 
 type welcomeMsg struct {
-	Worker         int
+	Worker int
+	// Epoch is the coordinator's incarnation; grants stamp it into leases.
+	Epoch          int
 	Spec           []byte
 	HeartbeatEvery time.Duration
 	LeaseTTL       time.Duration
+	// Readopted lists the hello claims the coordinator accepted: those
+	// leases live on exactly as granted. The worker must abandon claims not
+	// listed (their attempts were forfeited and will be re-granted).
+	Readopted []int
 }
 
 type heartbeatMsg struct {
@@ -67,6 +119,7 @@ type heartbeatMsg struct {
 
 type grantMsg struct {
 	Lease   int
+	Epoch   int
 	Phase   string
 	Task    int
 	Attempt int
@@ -118,41 +171,108 @@ type goodbyeMsg struct {
 	Draining bool
 }
 
-// writeMsg frames and writes one message. Callers serialize writes per
-// connection themselves.
-func writeMsg(w io.Writer, kind byte, v any) error {
-	payload, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("clusterd: marshal kind %d: %v", kind, err)
-	}
+type driverHelloMsg struct {
+	PID int
+}
+
+type driverWelcomeMsg struct {
+	Epoch int
+}
+
+// runReqMsg submits one attempt for remote execution. Submissions are
+// idempotent on (Phase, Task, Attempt): a driver reconnecting after a
+// coordinator restart re-sends its outstanding requests, and the restarted
+// coordinator binds each to the surviving lease, the journaled outcome, or a
+// fresh grant — never a duplicate execution of a live attempt.
+type runReqMsg struct {
+	Seq     int
+	Phase   string
+	Task    int
+	Attempt int
+}
+
+// runResultMsg is one attempt's outcome. Result and Error may both be set:
+// a forfeited lease still reports the partial footprint charged as waste.
+type runResultMsg struct {
+	Seq      int
+	Result   *mapreduce.RemoteResult
+	Error    string
+	Canceled bool
+	Corrupt  *corruptInfo
+}
+
+type cancelMsg struct {
+	Seq int
+}
+
+type publishMsg struct {
+	Seq     int
+	MapTask int
+	Attempt int
+	Parts   [][]byte
+}
+
+type pubAckMsg struct {
+	Seq int
+}
+
+// writeFrame frames and writes one raw payload: kind, big-endian length,
+// CRC32 of the payload, payload bytes. Callers serialize writes per
+// destination themselves.
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
 	hdr := make([]byte, 9, 9+len(payload))
 	hdr[0] = kind
 	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[5:], crc32.ChecksumIEEE(payload))
-	_, err = w.Write(append(hdr, payload...))
+	_, err := w.Write(append(hdr, payload...))
 	return err
 }
 
-// readMsg reads one frame and returns its kind and verified payload.
-func readMsg(r io.Reader) (byte, []byte, error) {
+// readFrame reads one frame and returns its kind and CRC-verified payload.
+// The payload buffer grows only as bytes arrive, so a corrupt or hostile
+// length field cannot force a large allocation up front.
+func readFrame(r io.Reader) (byte, []byte, error) {
 	var hdr [9]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	kind := hdr[0]
-	if kind < kindHello || kind > kindGoodbye {
-		return 0, nil, fmt.Errorf("clusterd: unknown frame kind %d", kind)
-	}
 	n := binary.BigEndian.Uint32(hdr[1:])
 	if n > maxFrame {
 		return 0, nil, fmt.Errorf("clusterd: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+	payload := make([]byte, 0, min(n, frameAllocChunk))
+	for uint32(len(payload)) < n {
+		step := min(n-uint32(len(payload)), frameAllocChunk)
+		old := len(payload)
+		payload = append(payload, make([]byte, step)...)
+		if _, err := io.ReadFull(r, payload[old:]); err != nil {
+			return 0, nil, err
+		}
 	}
 	if got := crc32.ChecksumIEEE(payload); got != binary.BigEndian.Uint32(hdr[5:]) {
 		return 0, nil, fmt.Errorf("clusterd: frame CRC mismatch on kind %d", kind)
+	}
+	return kind, payload, nil
+}
+
+// writeMsg frames and writes one wire message.
+func writeMsg(w io.Writer, kind byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("clusterd: marshal kind %d: %v", kind, err)
+	}
+	return writeFrame(w, kind, payload)
+}
+
+// readMsg reads one wire frame and returns its kind and verified payload.
+func readMsg(r io.Reader) (byte, []byte, error) {
+	kind, payload, err := readFrame(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if kind < kindHello || kind > kindPubAck {
+		return 0, nil, fmt.Errorf("clusterd: unknown frame kind %d", kind)
 	}
 	return kind, payload, nil
 }

@@ -1,0 +1,62 @@
+package clusterd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzWireFrame throws arbitrary bytes at the frame reader shared by the
+// cluster wire protocol and the coordinator journal. Invariants: never panic,
+// never allocate beyond the input's actual size plus one growth chunk
+// (enforced structurally by readFrame's incremental growth, probed here with
+// huge-length headers on tiny inputs), and any frame that parses re-encodes
+// to exactly the bytes consumed.
+func FuzzWireFrame(f *testing.F) {
+	var good bytes.Buffer
+	if err := writeMsg(&good, kindHello, helloMsg{PID: 7, Worker: -1}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:5])                   // truncated mid-header
+	f.Add(good.Bytes()[:len(good.Bytes())-2]) // truncated mid-payload
+
+	corrupt := append([]byte{}, good.Bytes()...)
+	corrupt[len(corrupt)-1] ^= 0x40
+	f.Add(corrupt)
+
+	// Oversized and maximal length fields with no payload behind them.
+	var huge [9]byte
+	huge[0] = kindGrant
+	binary.BigEndian.PutUint32(huge[1:], maxFrame+1)
+	f.Add(huge[:])
+	binary.BigEndian.PutUint32(huge[1:], maxFrame)
+	f.Add(huge[:])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A parsed frame's CRC was verified; re-framing the payload must
+		// reproduce the consumed prefix byte for byte.
+		var re bytes.Buffer
+		if err := writeFrame(&re, kind, payload); err != nil {
+			t.Fatalf("re-encoding parsed frame: %v", err)
+		}
+		if re.Len() > len(data) || !bytes.Equal(re.Bytes(), data[:re.Len()]) {
+			t.Fatalf("parsed frame does not round-trip: %d bytes in, %d re-encoded", len(data), re.Len())
+		}
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(data[5:9]) {
+			t.Fatal("payload accepted with mismatched CRC")
+		}
+		// readMsg additionally gates the kind range.
+		if _, _, err := readMsg(bytes.NewReader(data)); err == nil {
+			if kind < kindHello || kind > kindPubAck {
+				t.Fatalf("readMsg accepted out-of-range kind %d", kind)
+			}
+		}
+	})
+}

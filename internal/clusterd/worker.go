@@ -23,13 +23,15 @@ type WorkerConfig struct {
 	// Addr is the coordinator's TCP address.
 	Addr string
 	// Build rebuilds the job from the coordinator's opaque spec and returns
-	// the attempt runner. It runs once per session, after welcome.
+	// the attempt runner. It runs once, after the first welcome; reconnects
+	// reuse the runner (the spec is identical across coordinator restarts).
 	Build func(spec []byte) (Runner, error)
 	// Reconnect is the redial backoff schedule. Zero value retries
 	// immediately; the default is 50ms base, 2s cap.
 	Reconnect backoff.Policy
 	// MaxDials bounds consecutive failed connection attempts before the
-	// worker gives up. Default 20.
+	// worker gives up. Default 40 — generous enough to ride out a
+	// coordinator restart.
 	MaxDials int
 	// Logf, when non-nil, receives worker diagnostics.
 	Logf func(format string, args ...any)
@@ -37,18 +39,32 @@ type WorkerConfig struct {
 
 // Worker is one worker process's connection to the coordinator: it
 // registers, heartbeats, executes granted attempts, and reconnects with
-// backoff when the session drops. Drain (the SIGTERM path) stops new grants,
-// lets in-flight attempts finish, and deregisters so no lease is left to
-// time out.
+// backoff when the session drops. Leases belong to the Worker, not the
+// session: an attempt keeps running through a coordinator outage, the next
+// hello presents its (lease, epoch) claim, and if the restarted coordinator
+// re-adopts it the buffered outcome is delivered as if nothing happened.
+// Drain (the SIGTERM path) stops new grants, lets in-flight attempts finish,
+// and deregisters so no lease is left to time out.
 type Worker struct {
 	cfg WorkerConfig
 
 	mu       sync.Mutex
 	sess     *session
+	id       int // coordinator-assigned identity; -1 until first welcome
+	runner   Runner
+	leases   map[int]*workerLease
+	outbox   []outMsg // outcomes finished while disconnected, keyed to leases
 	draining bool
 	stopped  bool
 	stop     chan struct{}
 	stopOnce sync.Once
+}
+
+// outMsg is one buffered outcome frame awaiting a live session.
+type outMsg struct {
+	lease int
+	kind  byte
+	v     any
 }
 
 // session is one live connection epoch. A reconnect builds a fresh one.
@@ -59,7 +75,6 @@ type session struct {
 	id   int        // worker ID assigned by the coordinator
 
 	mu         sync.Mutex
-	leases     map[int]*workerLease
 	segSeq     int
 	segWaiters map[int]chan segDataMsg
 	hbSeq      int
@@ -67,9 +82,11 @@ type session struct {
 	closeOnce  sync.Once
 }
 
-// workerLease is one granted attempt executing in this process.
+// workerLease is one granted attempt executing in this process. epoch is the
+// coordinator incarnation that granted it — the re-adoption claim.
 type workerLease struct {
 	id      int
+	epoch   int
 	revoked chan struct{}
 	once    sync.Once
 }
@@ -85,15 +102,19 @@ func (l *workerLease) canceled() bool {
 	}
 }
 
+// errSessionLost marks a fetch that failed because the coordinator session
+// dropped mid-flight; the worker-level fetch retries it on the next session.
+var errSessionLost = errors.New("clusterd: session lost")
+
 // NewWorker prepares a worker; Run drives it.
 func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.MaxDials <= 0 {
-		cfg.MaxDials = 20
+		cfg.MaxDials = 40
 	}
 	if cfg.Reconnect == (backoff.Policy{}) {
 		cfg.Reconnect = backoff.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second}
 	}
-	return &Worker{cfg: cfg, stop: make(chan struct{})}
+	return &Worker{cfg: cfg, id: -1, leases: make(map[int]*workerLease), stop: make(chan struct{})}
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -108,7 +129,7 @@ func (w *Worker) Run() error {
 	dials := 0
 	for {
 		w.mu.Lock()
-		if w.stopped || w.draining {
+		if w.stopped || (w.draining && len(w.leases) == 0) {
 			w.mu.Unlock()
 			return nil
 		}
@@ -116,7 +137,7 @@ func (w *Worker) Run() error {
 
 		err := w.session()
 		w.mu.Lock()
-		finished := w.stopped || w.draining
+		finished := w.stopped || (w.draining && w.sess == nil)
 		w.mu.Unlock()
 		if finished {
 			return nil
@@ -143,15 +164,13 @@ func (w *Worker) Drain() {
 	w.mu.Lock()
 	w.draining = true
 	s := w.sess
+	idle := len(w.leases) == 0
 	w.mu.Unlock()
 	if s == nil {
 		w.stopOnce.Do(func() { close(w.stop) })
 		return
 	}
 	s.send(kindGoodbye, goodbyeMsg{Draining: true})
-	s.mu.Lock()
-	idle := len(s.leases) == 0
-	s.mu.Unlock()
 	if idle {
 		s.close()
 	}
@@ -166,16 +185,36 @@ func (w *Worker) Stop() {
 	}
 	w.stopped = true
 	s := w.sess
+	leases := make([]*workerLease, 0, len(w.leases))
+	for _, l := range w.leases {
+		leases = append(leases, l)
+	}
 	w.mu.Unlock()
 	w.stopOnce.Do(func() { close(w.stop) })
+	for _, l := range leases {
+		l.revoke()
+	}
 	if s != nil {
 		s.close()
 	}
 }
 
-// session runs one connection epoch: dial, register, serve until the
-// connection ends. A nil error means the session got as far as registration
-// (so redial budgets restart); dial and handshake failures return the error.
+// claims snapshots the leases this worker still holds, for the hello.
+func (w *Worker) claims() []leaseClaim {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]leaseClaim, 0, len(w.leases))
+	for _, l := range w.leases {
+		out = append(out, leaseClaim{Lease: l.id, Epoch: l.epoch})
+	}
+	return out
+}
+
+// session runs one connection epoch: dial, register (presenting identity
+// and lease claims), flush outcomes buffered during the outage, serve until
+// the connection ends. A nil error means the session got as far as
+// registration (so redial budgets restart); dial and handshake failures
+// return the error.
 func (w *Worker) session() error {
 	conn, err := net.Dial("tcp", w.cfg.Addr)
 	if err != nil {
@@ -184,11 +223,13 @@ func (w *Worker) session() error {
 	s := &session{
 		w:          w,
 		conn:       conn,
-		leases:     make(map[int]*workerLease),
 		segWaiters: make(map[int]chan segDataMsg),
 		done:       make(chan struct{}),
 	}
-	if err := s.send(kindHello, helloMsg{PID: os.Getpid()}); err != nil {
+	w.mu.Lock()
+	id := w.id
+	w.mu.Unlock()
+	if err := s.send(kindHello, helloMsg{PID: os.Getpid(), Worker: id, Claims: w.claims()}); err != nil {
 		conn.Close()
 		return err
 	}
@@ -206,21 +247,65 @@ func (w *Worker) session() error {
 		conn.Close()
 		return err
 	}
-	runner, err := w.cfg.Build(welcome.Spec)
-	if err != nil {
-		conn.Close()
-		return fmt.Errorf("clusterd: building job from spec: %w", err)
+
+	w.mu.Lock()
+	runner := w.runner
+	w.mu.Unlock()
+	if runner == nil {
+		runner, err = w.cfg.Build(welcome.Spec)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("clusterd: building job from spec: %w", err)
+		}
 	}
 	s.id = welcome.Worker
+
+	// Reconcile claims: leases the coordinator re-adopted live on; the rest
+	// were forfeited while we were away — revoke them so their attempts stop
+	// and their buffered outcomes are dropped.
+	readopted := make(map[int]bool, len(welcome.Readopted))
+	for _, id := range welcome.Readopted {
+		readopted[id] = true
+	}
 	w.mu.Lock()
+	w.runner = runner
+	w.id = welcome.Worker
 	w.sess = s
 	draining := w.draining
+	var abandoned []*workerLease
+	for id, l := range w.leases {
+		if !readopted[id] {
+			abandoned = append(abandoned, l)
+			delete(w.leases, id)
+		}
+	}
+	flush := w.outbox
+	w.outbox = nil
 	w.mu.Unlock()
+	for _, l := range abandoned {
+		l.revoke()
+	}
+	for _, m := range flush {
+		if !readopted[m.lease] {
+			continue // forfeited while away; the outcome is stale
+		}
+		if s.send(m.kind, m.v) == nil {
+			w.removeLease(m.lease)
+		} else {
+			w.bufferOutcome(m) // session died already; keep for the next one
+		}
+	}
 	if draining { // Drain raced the dial; bow out before taking work
 		s.send(kindGoodbye, goodbyeMsg{Draining: true})
-		s.close()
+		w.mu.Lock()
+		idle := len(w.leases) == 0
+		w.mu.Unlock()
+		if idle {
+			s.close()
+		}
 	}
-	w.logf("clusterd: registered as worker %d", s.id)
+	w.logf("clusterd: registered as worker %d (epoch %d, %d leases re-adopted)",
+		s.id, welcome.Epoch, len(welcome.Readopted))
 
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -237,6 +322,25 @@ func (w *Worker) session() error {
 	}
 	w.mu.Unlock()
 	return nil
+}
+
+func (w *Worker) removeLease(id int) {
+	w.mu.Lock()
+	delete(w.leases, id)
+	w.mu.Unlock()
+}
+
+func (w *Worker) bufferOutcome(m outMsg) {
+	w.mu.Lock()
+	w.outbox = append(w.outbox, m)
+	w.mu.Unlock()
+}
+
+// liveSession returns the current registered session, or nil.
+func (w *Worker) liveSession() *session {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sess
 }
 
 func (s *session) send(kind byte, v any) error {
@@ -262,12 +366,15 @@ func (s *session) heartbeatLoop(every time.Duration) {
 			return
 		case <-tick.C:
 		}
+		s.w.mu.Lock()
+		var leases []int
+		for id := range s.w.leases {
+			leases = append(leases, id)
+		}
+		s.w.mu.Unlock()
 		s.mu.Lock()
 		s.hbSeq++
-		m := heartbeatMsg{Seq: s.hbSeq}
-		for id := range s.leases {
-			m.Leases = append(m.Leases, id)
-		}
+		m := heartbeatMsg{Seq: s.hbSeq, Leases: leases}
 		s.mu.Unlock()
 		if s.send(kindHeartbeat, m) != nil {
 			return
@@ -275,26 +382,20 @@ func (s *session) heartbeatLoop(every time.Duration) {
 	}
 }
 
-// readLoop serves coordinator frames until the connection ends, then
-// revokes whatever attempts were still in flight (their results could no
-// longer be delivered anyway).
+// readLoop serves coordinator frames until the connection ends. Leases are
+// NOT revoked when the session drops — the attempts keep running through the
+// outage, to be re-adopted (or abandoned) at the next registration. Only
+// in-flight segment fetches fail over, with a retryable error.
 func (s *session) readLoop(runner Runner) {
 	defer func() {
 		close(s.done)
 		s.close()
 		s.mu.Lock()
-		leases := make([]*workerLease, 0, len(s.leases))
-		for _, l := range s.leases {
-			leases = append(leases, l)
-		}
 		waiters := s.segWaiters
 		s.segWaiters = make(map[int]chan segDataMsg)
 		s.mu.Unlock()
-		for _, l := range leases {
-			l.revoke()
-		}
 		for _, ch := range waiters {
-			ch <- segDataMsg{Error: "session closed"}
+			ch <- segDataMsg{Error: errSessionLost.Error()}
 		}
 	}()
 	for {
@@ -306,14 +407,22 @@ func (s *session) readLoop(runner Runner) {
 		case kindGrant:
 			var m grantMsg
 			if decode(payload, &m) == nil {
-				s.startGrant(runner, m)
+				s.w.startGrant(runner, m)
 			}
 		case kindRevoke:
 			var m revokeMsg
 			if decode(payload, &m) == nil {
-				s.mu.Lock()
-				l := s.leases[m.Lease]
-				s.mu.Unlock()
+				s.w.mu.Lock()
+				l := s.w.leases[m.Lease]
+				delete(s.w.leases, m.Lease)
+				var keep []outMsg
+				for _, om := range s.w.outbox {
+					if om.lease != m.Lease {
+						keep = append(keep, om)
+					}
+				}
+				s.w.outbox = keep
+				s.w.mu.Unlock()
 				if l != nil {
 					l.revoke()
 				}
@@ -338,56 +447,95 @@ func (s *session) readLoop(runner Runner) {
 // startGrant launches one attempt. The worker refuses grants while
 // draining (a race with goodbye) as ordinary failures so the scheduler
 // reissues them elsewhere.
-func (s *session) startGrant(runner Runner, m grantMsg) {
-	s.w.mu.Lock()
-	draining := s.w.draining
-	s.w.mu.Unlock()
-	if draining {
-		s.send(kindFail, failMsg{Lease: m.Lease, Error: "worker draining"})
+func (w *Worker) startGrant(runner Runner, m grantMsg) {
+	w.mu.Lock()
+	draining := w.draining
+	if !draining {
+		l := &workerLease{id: m.Lease, epoch: m.Epoch, revoked: make(chan struct{})}
+		w.leases[m.Lease] = l
+		w.mu.Unlock()
+		go w.runGrant(runner, m, l)
 		return
 	}
-	l := &workerLease{id: m.Lease, revoked: make(chan struct{})}
-	s.mu.Lock()
-	s.leases[m.Lease] = l
-	s.mu.Unlock()
-	go func() {
+	s := w.sess
+	w.mu.Unlock()
+	if s != nil {
+		s.send(kindFail, failMsg{Lease: m.Lease, Error: "worker draining"})
+	}
+}
+
+// runGrant executes one granted attempt and reports its outcome. An outcome
+// that cannot be sent (the session died) is buffered; the next registration
+// delivers it if the lease was re-adopted.
+func (w *Worker) runGrant(runner Runner, m grantMsg, l *workerLease) {
+	if s := w.liveSession(); s != nil {
 		s.send(kindStarted, startedMsg{Lease: m.Lease})
-		rr, err := runner.Run(m.Phase, m.Task, m.Attempt, l.canceled, s.fetch)
+	}
+	rr, err := runner.Run(m.Phase, m.Task, m.Attempt, l.canceled, func(mapTask, part int) ([]byte, int, error) {
+		return w.fetch(l, mapTask, part)
+	})
 
-		s.mu.Lock()
-		delete(s.leases, m.Lease)
-		s.mu.Unlock()
+	var out outMsg
+	if err != nil {
+		out = outMsg{lease: m.Lease, kind: kindFail, v: classifyFailure(m.Lease, err)}
+	} else {
+		out = outMsg{lease: m.Lease, kind: kindComplete, v: completeMsg{Lease: m.Lease, Result: rr}}
+	}
+	s := w.liveSession()
+	if s != nil && s.send(out.kind, out.v) == nil {
+		w.removeLease(m.Lease)
+	} else {
+		w.bufferOutcome(out)
+	}
 
-		if err != nil {
-			s.send(kindFail, classifyFailure(m.Lease, err))
-		} else {
-			s.send(kindComplete, completeMsg{Lease: m.Lease, Result: rr})
-		}
-
-		// A draining worker hangs up once the last in-flight attempt ends.
-		s.w.mu.Lock()
-		draining := s.w.draining
-		s.w.mu.Unlock()
-		if draining {
-			s.mu.Lock()
-			idle := len(s.leases) == 0
-			s.mu.Unlock()
-			if idle {
-				s.close()
-			}
-		}
-	}()
+	// A draining worker hangs up once the last in-flight attempt ends.
+	w.mu.Lock()
+	draining := w.draining
+	idle := len(w.leases) == 0
+	s = w.sess
+	w.mu.Unlock()
+	if draining && idle && s != nil {
+		s.close()
+	}
 }
 
 // fetch retrieves one map output segment from the coordinator's segment
-// store, correlated by sequence number on the shared connection.
+// store. A fetch that loses its session waits for the reconnect loop to
+// register a new one and retries — published segments are journaled on the
+// coordinator, so they survive its restart.
+func (w *Worker) fetch(l *workerLease, mapTask, part int) ([]byte, int, error) {
+	wait := time.NewTicker(5 * time.Millisecond)
+	defer wait.Stop()
+	for {
+		if s := w.liveSession(); s != nil {
+			data, attempt, err := s.fetch(mapTask, part)
+			if err == nil {
+				return data, attempt, nil
+			}
+			if !errors.Is(err, errSessionLost) {
+				return nil, 0, err
+			}
+		}
+		select {
+		case <-w.stop:
+			return nil, 0, errors.New("clusterd: worker stopped")
+		case <-l.revoked:
+			return nil, 0, mapreduce.ErrAttemptCanceled
+		case <-wait.C:
+		}
+	}
+}
+
+// fetch issues one segment request on this session, correlated by sequence
+// number on the shared connection. errSessionLost means the session dropped
+// before the answer arrived.
 func (s *session) fetch(mapTask, part int) ([]byte, int, error) {
 	ch := make(chan segDataMsg, 1)
 	s.mu.Lock()
 	select {
 	case <-s.done:
 		s.mu.Unlock()
-		return nil, 0, errors.New("clusterd: session closed")
+		return nil, 0, errSessionLost
 	default:
 	}
 	s.segSeq++
@@ -399,9 +547,12 @@ func (s *session) fetch(mapTask, part int) ([]byte, int, error) {
 		s.mu.Lock()
 		delete(s.segWaiters, seq)
 		s.mu.Unlock()
-		return nil, 0, err
+		return nil, 0, errSessionLost
 	}
 	m := <-ch
+	if m.Error == errSessionLost.Error() {
+		return nil, 0, errSessionLost
+	}
 	if m.Error != "" {
 		return nil, 0, fmt.Errorf("clusterd: segment fetch map %d part %d: %s", mapTask, part, m.Error)
 	}

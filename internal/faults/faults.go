@@ -30,7 +30,13 @@
 //     a real worker process of the cluster runtime, fired by the coordinator
 //     as the worker starts a matching task attempt. Targets are
 //     worker[.phase] where phase 0 is map and 1 is reduce; attempt numbers
-//     are the worker's per-phase grant sequence.
+//     are the worker's per-phase grant sequence. The special target
+//     coord[.op] instead kills or hangs the coordinator process itself at a
+//     seeded journal point: op 0 fires mid-grant (lease journaled, grant
+//     frame never sent) and op 1 mid-commit (outcome journaled, never
+//     delivered); attempt numbers are lease IDs, which the journal keeps
+//     monotonic across restarts so a respawned coordinator never re-fires
+//     the same point.
 package faults
 
 import (
@@ -90,6 +96,18 @@ const (
 	ProcPhaseReduce = 1
 )
 
+// Coordinator fault operations: a proc:coord rule's partition selects which
+// journal point the coordinator fault fires at (-1, i.e. an omitted op,
+// matches either).
+const (
+	// CoordOpGrant fires after a lease grant is journaled, before the grant
+	// frame reaches the worker — the mid-grant crash window.
+	CoordOpGrant = 0
+	// CoordOpCommit fires after a lease settlement is journaled, before the
+	// outcome reaches the driver — the mid-commit crash window.
+	CoordOpCommit = 1
+)
+
 // ErrInjected marks transient injected failures (error and codec actions).
 // The engine retries these; it distinguishes them from data corruption,
 // which instead triggers re-execution of the producing map task.
@@ -122,6 +140,11 @@ type Rule struct {
 	// Flips is how many deterministic bit-flips a corrupt rule applies
 	// (default 3).
 	Flips int
+	// Coord marks a proc rule targeting the coordinator process itself
+	// (target "coord[.op]") rather than a worker; Part then selects the
+	// journal operation (CoordOpGrant or CoordOpCommit, -1 for both) and
+	// attempt numbers are lease IDs.
+	Coord bool
 }
 
 func (r Rule) matches(site Site, task, part, attempt int) bool {
@@ -160,7 +183,12 @@ func (r Rule) String() string {
 	var sb strings.Builder
 	sb.WriteString(string(r.Site))
 	sb.WriteByte(':')
-	if r.Task == -1 {
+	if r.Coord {
+		sb.WriteString("coord")
+		if r.Part != -1 {
+			fmt.Fprintf(&sb, ".%d", r.Part)
+		}
+	} else if r.Task == -1 {
 		sb.WriteByte('*')
 	} else {
 		fmt.Fprintf(&sb, "%d", r.Task)
@@ -585,10 +613,33 @@ func (in *Injector) WorkerFault(worker, phase, grantSeq int) *ProcFault {
 		return nil
 	}
 	for i, r := range in.sched.Rules {
-		if r.Site != SiteProc {
+		if r.Site != SiteProc || r.Coord {
 			continue
 		}
 		if !in.fires(i, r, SiteProc, worker, phase, grantSeq) {
+			continue
+		}
+		in.record(r)
+		return &ProcFault{Action: r.Action, Delay: r.Delay}
+	}
+	return nil
+}
+
+// CoordFault consults the proc:coord rules at one of the coordinator's own
+// seeded journal points: op is CoordOpGrant or CoordOpCommit and seq is the
+// lease ID being granted or settled. Lease IDs are journaled monotonic
+// across coordinator restarts, so a schedule point fires exactly once per
+// job no matter how many times the coordinator respawns. The first firing
+// rule wins and is recorded; nil means the coordinator proceeds undisturbed.
+func (in *Injector) CoordFault(op, seq int) *ProcFault {
+	if in == nil {
+		return nil
+	}
+	for i, r := range in.sched.Rules {
+		if r.Site != SiteProc || !r.Coord {
+			continue
+		}
+		if !in.fires(i, r, SiteProc, -1, op, seq) {
 			continue
 		}
 		in.record(r)

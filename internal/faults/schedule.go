@@ -14,6 +14,7 @@ import (
 //	site    := "map" | "reduce" | "segment" | "codec" | "out" | "net"
 //	         | "node" | "proc"
 //	target  := "*" | task [ "." part ]          (task/part are ints)
+//	         | "coord" [ "." op ]               (proc site only)
 //	action  := kind [ "@" attempts ] [ "%" prob ]
 //	kind    := "error" | "panic" | "slow=" dur | "corrupt" [ "=" flips ]
 //	         | "refuse" | "cut" | "stall=" dur | "truncate" | "down=" dur
@@ -26,7 +27,11 @@ import (
 // target a reduce task and fail its output-file writes. Proc rules target a
 // cluster worker[.phase] (phase 0 map, 1 reduce) and their attempt numbers
 // are that worker's per-phase grant sequence: proc:1.1:kill@0 SIGKILLs
-// worker 1 as it starts its first reduce attempt.
+// worker 1 as it starts its first reduce attempt. The proc target coord[.op]
+// instead fires at the coordinator's own journal points (op 0 mid-grant,
+// 1 mid-commit) with lease IDs as attempt numbers: proc:coord.0:kill@2
+// SIGKILLs the coordinator as it grants lease 2, after the grant is durable
+// but before any worker hears of it.
 //
 // Examples:
 //
@@ -76,7 +81,18 @@ func parseRule(text string) (Rule, error) {
 		return Rule{}, fmt.Errorf("faults: rule %q: unknown site %q (map|reduce|segment|codec|out|net|node|proc)", text, fields[0])
 	}
 
-	if fields[1] != "*" {
+	if target, isCoord := strings.CutPrefix(fields[1], "coord"); isCoord {
+		r.Coord = true
+		if op, hasOp := strings.CutPrefix(target, "."); hasOp {
+			p, err := strconv.Atoi(op)
+			if err != nil || p < 0 {
+				return Rule{}, fmt.Errorf("faults: rule %q: bad coord op %q", text, op)
+			}
+			r.Part = p
+		} else if target != "" {
+			return Rule{}, fmt.Errorf("faults: rule %q: bad target %q", text, fields[1])
+		}
+	} else if fields[1] != "*" {
 		task, part, hasPart := strings.Cut(fields[1], ".")
 		n, err := strconv.Atoi(task)
 		if err != nil || n < 0 {
@@ -201,9 +217,17 @@ func checkRuleShape(r Rule) error {
 		default:
 			return fmt.Errorf("proc site supports kill|hang=dur")
 		}
-		if r.Part != -1 && r.Part != ProcPhaseMap && r.Part != ProcPhaseReduce {
+		if r.Coord {
+			if r.Part != -1 && r.Part != CoordOpGrant && r.Part != CoordOpCommit {
+				return fmt.Errorf("coord op must be %d (grant) or %d (commit)", CoordOpGrant, CoordOpCommit)
+			}
+		} else if r.Part != -1 && r.Part != ProcPhaseMap && r.Part != ProcPhaseReduce {
 			return fmt.Errorf("proc phase must be %d (map) or %d (reduce)", ProcPhaseMap, ProcPhaseReduce)
 		}
+	default:
+	}
+	if r.Coord && r.Site != SiteProc {
+		return fmt.Errorf("coord targets only the proc site")
 	}
 	return nil
 }

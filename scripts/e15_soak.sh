@@ -1,0 +1,63 @@
+#!/bin/sh
+# E15 coordinator-kill soak: run the sliding-median query on a real
+# multi-process cluster whose coordinator is a journaled subprocess, twice —
+# fault-free, then with three scheduled SIGKILLs of the coordinator itself:
+# once mid-commit (after fsyncing a settle, before delivering the outcome)
+# and twice mid-grant (after fsyncing a grant, before any worker hears of
+# it). The fault points are chained so each is only reachable after the
+# previous kill: commit@0 is the sole rule reachable in incarnation 1 (an
+# 11th grant needs a reduce or a retry, and both need lease 0's outcome),
+# grant@10 and grant@13 follow from monotonic journaled lease IDs. The
+# supervisor respawns each incarnation from the same journal; both runs must
+# verify against the reference with identical payload counters, and the
+# coordinator must have died by SIGKILL exactly three times. Strict output
+# byte identity is asserted by internal/clusterd's
+# TestE2ECoordinatorKillRecoveryByteIdentical.
+set -eu
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+echo "e15: clean cluster run (coordinator subprocess, journaled)"
+go run -race ./cmd/scijob -cluster 3 -side 64 -verify \
+    >"$dir/clean.txt" 2>"$dir/clean.err" || {
+    echo "e15: clean run failed" >&2
+    cat "$dir/clean.err" >&2
+    exit 1
+}
+
+echo "e15: coordinator-killed run (SIGKILL mid-commit and twice mid-grant)"
+go run -race ./cmd/scijob -cluster 3 -side 64 -verify -retries 4 \
+    -faults "seed=1;proc:coord.1:kill@0;proc:coord.0:kill@10;proc:coord.0:kill@13" \
+    >"$dir/killed.txt" 2>"$dir/killed.err" || {
+    echo "e15: killed run failed" >&2
+    cat "$dir/killed.err" >&2
+    exit 1
+}
+
+# Payload counters and verification must be identical; modeled runtime and
+# recovery lines legitimately differ (the killed run carries a recovery tax).
+payload='records|bytes|splits|verification'
+grep -E "$payload" "$dir/clean.txt" >"$dir/clean.payload"
+grep -E "$payload" "$dir/killed.txt" >"$dir/killed.payload"
+if ! diff -u "$dir/clean.payload" "$dir/killed.payload"; then
+    echo "e15: payload counters diverged between clean and killed runs" >&2
+    exit 1
+fi
+
+deaths="$(grep -cE 'coordinator pid [0-9]+ died \(signal: killed\)' "$dir/killed.err" || true)"
+if [ "$deaths" != 3 ]; then
+    echo "e15: coordinator died $deaths times by SIGKILL, want 3" >&2
+    cat "$dir/killed.err" >&2
+    exit 1
+fi
+grep -q 'epoch 4' "$dir/killed.err" || {
+    echo "e15: expected a fourth coordinator incarnation recovered from the journal" >&2
+    cat "$dir/killed.err" >&2
+    exit 1
+}
+grep -q 'died' "$dir/clean.err" && {
+    echo "e15: clean run had unexpected process deaths" >&2
+    exit 1
+}
+echo "e15 coordinator-kill soak OK"
