@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-all bench-gate docs e14 e15
+.PHONY: check build vet test race bench bench-all bench-gate docs e14 e15 e16
 
 # The full gate: compile everything, check docs and formatting, vet, run the
 # test suite under the race detector (the attempt scheduler and fault tests
-# exercise real concurrency), hold the reduce-path allocation budget, and
-# soak the multi-process cluster runtime against real SIGKILLs — of workers
-# (e14) and of the coordinator itself (e15).
-check: build docs vet race bench-gate e14 e15
+# exercise real concurrency), hold the reduce-path allocation budget, soak
+# the multi-process cluster runtime against real SIGKILLs — of workers (e14)
+# and of the coordinator itself (e15) — and smoke the in-node combining
+# experiment (e16).
+check: build docs vet race bench-gate e14 e15 e16
 
 # E14: worker-kill soak — a coordinator plus three real worker subprocesses,
 # scheduled SIGKILLs mid-map and mid-reduce; the killed run must verify and
@@ -21,6 +22,13 @@ e14:
 # must verify with payload counters identical to the fault-free run.
 e15:
 	@sh scripts/e15_soak.sh
+
+# E16: in-node combining smoke — the max query under every key geometry with
+# combining off and on; outputs must stay byte-identical, the median query
+# must refuse combining (holistic, no monoid), and every workload must show
+# a shuffle-byte reduction. Prints the measured table.
+e16:
+	@$(GO) run ./cmd/expdriver -run e16
 
 # The docs gate CI runs: gofmt-clean tree and a package doc comment on
 # every package.
@@ -66,6 +74,7 @@ bench-gate:
 		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -max-allocs-regress 1.10 > /dev/null
 	$(GO) test -run '^$$' -bench 'BenchmarkTransformSteadyState' -benchmem -benchtime 10x . \
 		| $(GO) run ./cmd/benchjson -baseline bench_baseline.json -min-mbps-ratio 0.25 > /dev/null
+	$(GO) test -run 'TestCombinedShuffleGateAgg' -count=1 ./internal/experiments/ > /dev/null
 	@echo bench gate OK
 
 # All benchmarks, raw text output.

@@ -263,6 +263,27 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if sel("e16") {
+		side := 96
+		if full {
+			side = 256
+		}
+		r, err := experiments.E16InNodeCombining(side, ob)
+		if err != nil {
+			exitErr("e16", err)
+		}
+		fmt.Printf("== E16 (extension): in-node combining under the Monoid contract (%dx%d) ==\n", side, side)
+		fmt.Printf("  median: combining refused at build time (holistic, no monoid):\n    %s\n", r.MedianRefusal)
+		fmt.Printf("  %-12s %12s %12s %8s %10s %10s %6s\n",
+			"workload", "shuffle off", "shuffle on", "reduct", "merged", "saved B", "ident")
+		for _, row := range r.Rows {
+			fmt.Printf("  %-12s %12s %12s %7.1f%% %10d %10s %6v\n",
+				row.Workload, experiments.FormatBytes(row.ShuffleBytesOff),
+				experiments.FormatBytes(row.ShuffleBytesOn), row.ReductionPct,
+				row.MergedRecords, experiments.FormatBytes(row.SavedBytes), row.OutputsIdentical)
+		}
+		fmt.Println()
+	}
 	if sel("a5") {
 		side := 96
 		if full {

@@ -40,9 +40,16 @@ type jobSpec struct {
 	Curve        string `json:"curve,omitempty"`
 	Flush        int    `json:"flush,omitempty"`
 	Op           string `json:"op"`
-	Radius       int    `json:"radius"`
-	Splits       int    `json:"splits"`
-	Reducers     int    `json:"reducers"`
+	// Combine/CombineNodes enable in-node combining. The combine phase runs
+	// in the driver's scheduler (map outputs pool there after attempts
+	// commit), but the spec still ships both fields so every process builds
+	// the identical job — a worker's reduce attempts see the combined
+	// segments the driver published.
+	Combine      bool `json:"combine,omitempty"`
+	CombineNodes int  `json:"combine_nodes,omitempty"`
+	Radius       int  `json:"radius"`
+	Splits       int  `json:"splits"`
+	Reducers     int  `json:"reducers"`
 	// Faults is the full fault schedule string. Engine-level sites (map
 	// errors, segment corruption) fire inside worker attempts; the proc site
 	// is coordinator business and workers ignore it.
@@ -68,6 +75,8 @@ func (s jobSpec) setup() (*hdfs.FileSystem, scihadoop.QueryConfig, core.Strategy
 	if s.Op == "max" {
 		qcfg.Op = scihadoop.Max
 	}
+	qcfg.Combine = s.Combine
+	qcfg.CombineNodes = s.CombineNodes
 	qcfg.OutputPath = "/out/scijob"
 	if s.Faults != "" {
 		inj, err := faults.NewFromSpec(s.Faults)

@@ -50,6 +50,8 @@ func main() {
 	codecWorkers := flag.Int("codec-workers", 0, "parallel block codec width for block+ codecs: 0 = GOMAXPROCS, 1 = sequential reference path, n = n workers")
 	curve := flag.String("curve", "zorder", "curve for -strategy aggregation: zorder | hilbert | rowmajor")
 	op := flag.String("op", "median", "window operator: median | max")
+	combine := flag.Bool("combine", false, "in-node combining: pool committed map outputs per node group and fold duplicate keys with the operator's value monoid before the shuffle; requires -op max (median is holistic — no monoid exists)")
+	combineNodes := flag.Int("combine-nodes", 0, "node-group count for -combine (0 = one group per shuffle node when networked, else one; cluster mode defaults to the worker count, one combine buffer per worker process)")
 	radius := flag.Int("radius", 1, "window radius (1 = 3x3)")
 	splits := flag.Int("splits", 10, "map tasks")
 	reducers := flag.Int("reducers", 5, "reduce tasks")
@@ -95,6 +97,15 @@ func main() {
 	if *op != "median" && *op != "max" {
 		fatal(fmt.Errorf("unknown -op %q (want median or max)", *op))
 	}
+	if *combineNodes < 0 {
+		fatal(fmt.Errorf("-combine-nodes must be >= 0, got %d", *combineNodes))
+	}
+	if *combineNodes > 0 && !*combine {
+		fatal(fmt.Errorf("-combine-nodes only applies with -combine"))
+	}
+	if *combine && *op != "max" {
+		fatal(fmt.Errorf("-combine requires -op max: %s is holistic, no monoid can merge partial windows", *op))
+	}
 	var inj *faults.Injector
 	if *faultSpec != "" {
 		inj, err = faults.NewFromSpec(*faultSpec)
@@ -118,6 +129,12 @@ func main() {
 		fatal(fmt.Errorf("-journal belongs to the coordinator; use it with -coordinator or -cluster"))
 	}
 	clusterMode := *driverAddr != "" || *clusterN > 0
+	if *combine && *combineNodes == 0 && *clusterN > 0 {
+		// One combine buffer per worker process: each worker's map attempts
+		// pool in its own node group, the cluster analog of a per-node
+		// buffer shared by all of a node's mappers.
+		*combineNodes = *clusterN
+	}
 	if (clusterMode || *coordAddr != "" || *workerAddr != "") && *shuffle != mapreduce.ShuffleMem {
 		fatal(fmt.Errorf("cluster modes use the in-memory shuffle; -shuffle %s runs single-process only", *shuffle))
 	}
@@ -138,6 +155,8 @@ func main() {
 				Curve:        *curve,
 				Flush:        *flush,
 				Op:           *op,
+				Combine:      *combine,
+				CombineNodes: *combineNodes,
 				Radius:       *radius,
 				Splits:       *splits,
 				Reducers:     *reducers,
@@ -161,6 +180,8 @@ func main() {
 	if *op == "max" {
 		qcfg.Op = scihadoop.Max
 	}
+	qcfg.Combine = *combine
+	qcfg.CombineNodes = *combineNodes
 	qcfg.OutputPath = "/out/scijob"
 	qcfg.CodecWorkers = *codecWorkers
 	qcfg.Faults = inj
@@ -225,6 +246,9 @@ func main() {
 			if flagWasSet("codec-workers") {
 				coordArgs = append(coordArgs, "-codec-workers", strconv.Itoa(*codecWorkers))
 			}
+			if *combine {
+				coordArgs = append(coordArgs, "-combine", "-combine-nodes", strconv.Itoa(*combineNodes))
+			}
 			if *faultSpec != "" {
 				coordArgs = append(coordArgs, "-faults", *faultSpec)
 			}
@@ -273,6 +297,12 @@ func main() {
 	fmt.Printf("  map output value bytes:        %s\n", experiments.FormatBytes(rep.ValueBytes))
 	fmt.Printf("  map output materialized bytes: %s\n", experiments.FormatBytes(rep.MaterializedBytes))
 	fmt.Printf("  reduce shuffle bytes:          %s\n", experiments.FormatBytes(rep.ShuffleBytes))
+	if *combine {
+		fmt.Printf("  in-node combining:             %s records folded, %s emitted, %s saved\n",
+			experiments.FormatBytes(rep.CombineMergedRecords),
+			experiments.FormatBytes(rep.CombineEmittedRecords),
+			experiments.FormatBytes(rep.CombineSavedBytes))
+	}
 	fmt.Printf("  partition key splits:          %s\n", experiments.FormatBytes(rep.PartitionSplits))
 	fmt.Printf("  overlap key splits:            %s\n", experiments.FormatBytes(rep.OverlapSplits))
 	fmt.Printf("  modeled runtime (5-node cluster): map %.1fs + reduce %.1fs = %.1fs\n",

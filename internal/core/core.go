@@ -114,6 +114,13 @@ type Report struct {
 	// PartitionSplits and OverlapSplits count the Section IV-B key splits.
 	PartitionSplits int64
 	OverlapSplits   int64
+	// CombineMergedRecords / CombineEmittedRecords / CombineSavedBytes
+	// describe in-node combining (QueryConfig.Combine; all zero when off):
+	// records folded away, records the combined segments still carry, and
+	// shuffle bytes removed versus the raw per-task segments.
+	CombineMergedRecords  int64
+	CombineEmittedRecords int64
+	CombineSavedBytes     int64
 	// FailedAttempts, TaskRetries, CorruptSegments, and RecoveredMaps
 	// describe the recovery machinery's activity; all zero on a clean run.
 	FailedAttempts  int64
@@ -156,6 +163,19 @@ func BuildJob(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy) (
 	if qcfg.CodecWorkers > 0 &&
 		(strat.Kind != ByteTransform || !strings.HasPrefix(strings.ToLower(strat.Codec), "block+")) {
 		return nil, fmt.Errorf("core: CodecWorkers is set but strategy %q has no block+ codec", strat.Name())
+	}
+	if qcfg.CombineNodes < 0 {
+		return nil, fmt.Errorf("core: CombineNodes must be >= 0, got %d", qcfg.CombineNodes)
+	}
+	if qcfg.CombineNodes > 0 && !qcfg.Combine {
+		return nil, fmt.Errorf("core: CombineNodes is set but combining is off")
+	}
+	if qcfg.Combine {
+		// Fail fast with the operator's own diagnosis (holistic operators
+		// have no monoid) before any dataset machinery is touched.
+		if _, err := scihadoop.CombinerFor(qcfg.Op); err != nil {
+			return nil, err
+		}
 	}
 	switch strat.Kind {
 	case Baseline, ByteTransform:
@@ -250,6 +270,9 @@ func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, c
 		ShuffleBytes:            c.ReduceShuffleBytes.Value(),
 		PartitionSplits:         c.PartitionKeySplits.Value(),
 		OverlapSplits:           c.OverlapKeySplits.Value(),
+		CombineMergedRecords:    c.CombineMergedRecords.Value(),
+		CombineEmittedRecords:   c.CombineEmittedRecords.Value(),
+		CombineSavedBytes:       c.CombineSavedBytes.Value(),
 		FailedAttempts:          c.MapAttemptsFailed.Value() + c.ReduceAttemptsFailed.Value(),
 		TaskRetries:             c.TaskRetries.Value(),
 		CorruptSegments:         c.CorruptSegmentsDetected.Value(),

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
 
+	"scikey/internal/mapreduce"
 	"scikey/internal/obs"
+	"scikey/internal/scihadoop"
 )
 
 func TestE1IntroOverheadExact(t *testing.T) {
@@ -496,5 +499,77 @@ func TestE13ChaosSoak(t *testing.T) {
 	}
 	if fetchSamples == 0 {
 		t.Error("no shuffle fetch latency samples recorded")
+	}
+}
+
+func TestE16InNodeCombining(t *testing.T) {
+	r, err := E16InNodeCombining(40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MedianRefusal == "" {
+		t.Error("median combining was not refused")
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %+v, want 3 workloads", r.Rows)
+	}
+	for _, row := range r.Rows {
+		if !row.OutputsIdentical {
+			t.Errorf("%s: combined output differs from uncombined", row.Workload)
+		}
+		if row.MergedRecords <= 0 {
+			t.Errorf("%s: combining folded nothing", row.Workload)
+		}
+		if row.ShuffleBytesOn >= row.ShuffleBytesOff {
+			t.Errorf("%s: shuffle bytes %d with combining, %d without — no reduction",
+				row.Workload, row.ShuffleBytesOn, row.ShuffleBytesOff)
+		}
+		if got, want := row.SavedBytes, row.ShuffleBytesOff-row.ShuffleBytesOn; got != want {
+			t.Errorf("%s: SavedBytes = %d, shuffle delta = %d", row.Workload, got, want)
+		}
+	}
+}
+
+// TestCombinedShuffleGateAgg is the bench-gate's combining entry (see
+// Makefile bench-gate): on the aggregation workload, a combined run must
+// shuffle no more bytes than an uncombined run — and, since aggregate map
+// output carries within-task duplicate keys, strictly fewer — while staying
+// byte-identical. A regression that makes combining inflate or corrupt the
+// shuffle fails CI here.
+func TestCombinedShuffleGateAgg(t *testing.T) {
+	fs, qcfg, err := MedianSetup(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(combine bool) (int64, string) {
+		cfg := qcfg
+		cfg.Op = scihadoop.Max
+		cfg.Combine = combine
+		cfg.CombineNodes = 1
+		cfg.OutputPath = fmt.Sprintf("/out/gate-agg-%v", combine)
+		job, _, err := scihadoop.AggKeyJob(fs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mapreduce.Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters.ReduceShuffleBytes.Value(), cfg.OutputPath
+	}
+	off, offPath := run(false)
+	on, onPath := run(true)
+	if on > off {
+		t.Errorf("combined shuffle bytes %d exceed uncombined %d on the agg workload", on, off)
+	}
+	if on >= off {
+		t.Errorf("combining saved nothing on the agg workload: %d vs %d", on, off)
+	}
+	identical, err := outputsEqual(fs, offPath, fs, onPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !identical {
+		t.Error("combined agg output differs from uncombined")
 	}
 }

@@ -91,6 +91,21 @@ type Counters struct {
 	ShuffleFetchWastedBytes Counter
 	// ShuffleBreakerTrips counts per-node circuit breakers opened.
 	ShuffleBreakerTrips Counter
+
+	// In-node combining counters (Job.Combine), distinct from the map-side
+	// CombineInput/OutputRecords pair: they describe the node-level combine
+	// phase between the map barrier and the shuffle, from each node group's
+	// most recent combine (recovery recombines replace, never double-count).
+
+	// CombineMergedRecords counts records folded away by in-node combining
+	// (input records minus emitted records across all node groups).
+	CombineMergedRecords Counter
+	// CombineEmittedRecords counts records the combined segments carry.
+	CombineEmittedRecords Counter
+	// CombineSavedBytes is the raw member segment bytes minus the combined
+	// segment bytes — the shuffle traffic in-node combining removed. It can
+	// go slightly negative when nothing merges (re-framing overhead).
+	CombineSavedBytes Counter
 }
 
 // Merge adds every counter of o into c. The engine gives each attempt its
@@ -119,6 +134,9 @@ func (c *Counters) rows() []*Counter {
 		&c.CorruptSegmentsDetected, &c.MapTasksRecovered,
 		&c.ShuffleFetches, &c.ShuffleFetchRetries, &c.ShuffleFetchesResumed,
 		&c.ShuffleFetchWastedBytes, &c.ShuffleBreakerTrips,
+		// Appended at the end so older snapshots stay prefix-compatible in
+		// render order (the wire form still length-checks exactly).
+		&c.CombineMergedRecords, &c.CombineEmittedRecords, &c.CombineSavedBytes,
 	}
 }
 
@@ -185,5 +203,8 @@ func (c *Counters) String() string {
 	row("Shuffle fetches resumed", c.ShuffleFetchesResumed.Value())
 	row("Shuffle fetch wasted bytes", c.ShuffleFetchWastedBytes.Value())
 	row("Shuffle breaker trips", c.ShuffleBreakerTrips.Value())
+	row("Node combine merged records", c.CombineMergedRecords.Value())
+	row("Node combine emitted records", c.CombineEmittedRecords.Value())
+	row("Node combine saved bytes", c.CombineSavedBytes.Value())
 	return sb.String()
 }

@@ -43,4 +43,7 @@ func publishCounters(r *obs.Registry, c *Counters) {
 	pub("scikey_shuffle_fetches_resumed_total", "Fetches resumed from a verified byte offset", "", c.ShuffleFetchesResumed.Value())
 	pub("scikey_shuffle_fetch_wasted_bytes_total", "Verified bytes fetches had to discard", "bytes", c.ShuffleFetchWastedBytes.Value())
 	pub("scikey_shuffle_breaker_trips_total", "Per-node circuit breakers opened", "", c.ShuffleBreakerTrips.Value())
+	pub("scikey_combine_merged_records_total", "Records folded away by in-node combining", "", c.CombineMergedRecords.Value())
+	pub("scikey_combine_emitted_records_total", "Records carried by in-node combined segments", "", c.CombineEmittedRecords.Value())
+	pub("scikey_combine_saved_bytes_total", "Shuffle bytes removed by in-node combining", "bytes", c.CombineSavedBytes.Value())
 }

@@ -1,0 +1,50 @@
+package mapreduce_test
+
+import (
+	"fmt"
+
+	"scikey/internal/mapreduce"
+)
+
+// topKReducer buffers the heaviest group across a reduce task and emits it
+// from Finish — the pattern that makes the iterator-reuse contract bite.
+type topKReducer struct {
+	bestKey []byte
+	best    int
+}
+
+// Reduce demonstrates the Reducer iterator-reuse contract: key and values
+// alias framework-owned memory that is recycled for the next group, so a
+// reducer that retains either past the call MUST copy. Storing key itself
+// (r.bestKey = key) would leave bestKey pointing at bytes the engine
+// overwrites; the append below takes an owned copy. TestReducerRetention is
+// the vet-style check that scans the tree for the uncopied form.
+func (r *topKReducer) Reduce(ctx *mapreduce.TaskContext, key []byte, values [][]byte, emit mapreduce.Emit) error {
+	if len(values) > r.best {
+		r.best = len(values)
+		r.bestKey = append(r.bestKey[:0], key...) // copy: key is only valid during this call
+	}
+	return nil
+}
+
+// Finish implements mapreduce.Finalizer, emitting the buffered group.
+func (r *topKReducer) Finish(ctx *mapreduce.TaskContext, emit mapreduce.Emit) error {
+	if r.bestKey != nil {
+		emit(r.bestKey, []byte{byte(r.best)})
+	}
+	return nil
+}
+
+// ExampleReducer shows a Reducer that buffers state across groups under the
+// iterator-reuse contract: retained keys are copied, never aliased.
+func ExampleReducer() {
+	r := &topKReducer{}
+	// The engine calls Reduce once per group; the backing array of key is
+	// reused between calls, which is exactly why Reduce must copy.
+	backing := []byte("aa")
+	_ = r.Reduce(nil, backing, [][]byte{{1}, {2}}, nil)
+	copy(backing, "zz") // the engine recycles the buffer for the next group
+	_ = r.Reduce(nil, backing, [][]byte{{3}}, nil)
+	_ = r.Finish(nil, func(k, v []byte) { fmt.Printf("%s %d\n", k, v[0]) })
+	// Output: aa 2
+}

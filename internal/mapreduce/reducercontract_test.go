@@ -1,0 +1,183 @@
+package mapreduce
+
+// Vet-style enforcement of the Reducer iterator-reuse contract (see the
+// Reducer doc and ExampleReducer): key and values alias framework-owned
+// memory recycled after each Reduce call, so storing them — or a values
+// element, or a subslice — into anything that outlives the call is a
+// use-after-recycle bug. TestReducerRetention parses every Go file in the
+// repository, finds reducer-shaped functions (a []byte param followed by a
+// [][]byte param — Reduce methods, ReducerFunc literals, and combiner
+// functions alike), and fails on assignments that retain those params
+// uncopied through a field or other non-local destination. Copies
+// (append(dst[:0], key...), bytes.Clone, string(key), decoding) all change
+// the expression shape and pass.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reducerShaped reports whether a function signature looks like a Reduce
+// body, returning the key and values parameter names. The shape — some
+// param of type []byte immediately followed by one of type [][]byte — is
+// exactly the (key, values) pair of Reducer, ReducerFunc, and combiners.
+func reducerShaped(ft *ast.FuncType) (keyName, valuesName string, ok bool) {
+	if ft.Params == nil {
+		return "", "", false
+	}
+	// Flatten grouped params (a, b []byte) into one name-type list.
+	type param struct {
+		name string
+		typ  ast.Expr
+	}
+	var flat []param
+	for _, f := range ft.Params.List {
+		if len(f.Names) == 0 {
+			flat = append(flat, param{"", f.Type})
+			continue
+		}
+		for _, n := range f.Names {
+			flat = append(flat, param{n.Name, f.Type})
+		}
+	}
+	isByteSlice := func(e ast.Expr, depth int) bool {
+		for i := 0; i < depth; i++ {
+			arr, ok := e.(*ast.ArrayType)
+			if !ok || arr.Len != nil {
+				return false
+			}
+			e = arr.Elt
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "byte"
+	}
+	for i := 0; i+1 < len(flat); i++ {
+		if isByteSlice(flat[i].typ, 1) && isByteSlice(flat[i+1].typ, 2) {
+			return flat[i].name, flat[i+1].name, true
+		}
+	}
+	return "", "", false
+}
+
+// retainsParam reports whether expr is the parameter itself, an element of
+// it, or a subslice — the aliasing forms whose storage the engine recycles.
+// Anything wrapped in a call (append copy, bytes.Clone, string conversion,
+// a decoder) builds new storage and is fine.
+func retainsParam(expr ast.Expr, names map[string]bool) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return names[e.Name]
+	case *ast.IndexExpr:
+		return retainsParam(e.X, names)
+	case *ast.SliceExpr:
+		return retainsParam(e.X, names)
+	case *ast.ParenExpr:
+		return retainsParam(e.X, names)
+	}
+	return false
+}
+
+// checkReducerBody walks one reducer-shaped function body and reports
+// assignments that store key/values (or aliases of them) into a destination
+// that can outlive the call: a selector (struct field), an index into a
+// captured container, or a dereference.
+func checkReducerBody(fset *token.FileSet, body *ast.BlockStmt, keyName, valuesName string, report func(string)) {
+	names := map[string]bool{}
+	if keyName != "" && keyName != "_" {
+		names[keyName] = true
+	}
+	if valuesName != "" && valuesName != "_" {
+		names[valuesName] = true
+	}
+	if len(names) == 0 {
+		return
+	}
+	escaping := func(lhs ast.Expr) bool {
+		switch lhs.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			return true
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		// A nested function with its own key/values params shadows ours.
+		if fl, ok := n.(*ast.FuncLit); ok {
+			if k, v, ok := reducerShaped(fl.Type); ok && (k == keyName || v == valuesName) {
+				return false
+			}
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if retainsParam(rhs, names) && escaping(as.Lhs[i]) {
+				report(fmt.Sprintf("%s: reducer retains framework-owned %s without copying (iterator-reuse contract; see the Reducer doc and ExampleReducer)",
+					fset.Position(as.Pos()), types.ExprString(rhs)))
+			}
+		}
+		return true
+	})
+}
+
+// TestReducerRetention scans the whole repository for reducer-shaped
+// functions that retain their key/values parameters uncopied.
+func TestReducerRetention(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != root || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ft, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			if k, v, ok := reducerShaped(ft); ok {
+				checkReducerBody(fset, body, k, v, func(msg string) { t.Error(msg) })
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -112,10 +113,22 @@ func Run(job *Job) (*Result, error) {
 		mapOutputs = make([][]segment, len(job.Splits))
 		wastedMaps []cluster.Task
 	)
+	// nb is the in-node combine buffer (nil when the job doesn't combine).
+	// With combining on, committed map output is fed here instead of being
+	// published raw; the combine phase between the map and reduce phases
+	// merges each node group's segments and publishes the combined view.
+	nb := newNodeBuffer(job)
 	// publish pushes a committed map attempt's segments to its shuffle node
 	// (networked shuffle) or to the coordinator's segment table (remote
-	// execution) so reduce attempts fetch the freshest committed output.
+	// execution) so reduce attempts fetch the freshest committed output —
+	// or, when combining, feeds the node buffer, deferring all publication
+	// to the combine phase (the reduce phase only starts after the map
+	// barrier, so nothing fetches early).
 	publish := func(t *mapTask) {
+		if nb != nil {
+			nb.feed(t.id, t.attempt, t.finals)
+			return
+		}
 		if svc == nil && job.Remote == nil {
 			return
 		}
@@ -164,7 +177,11 @@ func Run(job *Job) (*Result, error) {
 			t := result.(*mapTask)
 			outMu.Lock()
 			tasks[task] = t
-			mapOutputs[task] = t.finals
+			// With combining, mapOutputs holds the combined view installed
+			// by the combine phase; raw finals live in the node buffer.
+			if nb == nil {
+				mapOutputs[task] = t.finals
+			}
 			outMu.Unlock()
 			publish(t)
 			return nil
@@ -181,12 +198,102 @@ func Run(job *Job) (*Result, error) {
 		return nil, err
 	}
 
+	// rerunMap re-executes map task m until an attempt succeeds (within the
+	// retry budget), swapping the fresh output in and recording the replaced
+	// attempt's work as waste. Callers hold repairMu.
+	var repairMu sync.Mutex
+	rerunMap := func(m int) bool {
+		outMu.Lock()
+		cur := tasks[m]
+		outMu.Unlock()
+		for rerun := 0; rerun < job.Retry.maxAttempts(); rerun++ {
+			if jobStop.stopped() {
+				return false
+			}
+			a := mapRunner.nextAttempt(m)
+			sp := mapRunner.startSpan(m, a, false)
+			res, err := mapRunner.runOne(m, a, nil, sp)
+			sp.EndOutcome(attemptOutcome(err, true))
+			nt, _ := res.(*mapTask)
+			if err == nil {
+				outMu.Lock()
+				tasks[m] = nt
+				if nb == nil {
+					mapOutputs[m] = nt.finals
+				}
+				outMu.Unlock()
+				publish(nt)
+				addMapWaste(cur)
+				jc.MapTasksRecovered.Add(1)
+				jc.TaskRetries.Add(1)
+				return true
+			}
+			mapRunner.countFailure(m, a, err)
+			addMapWaste(nt)
+		}
+		return false
+	}
+
+	// pushGroup installs one node group's combined view — the combined row
+	// under the representative task, empty rows under the other members, so
+	// the (map task, partition) fetch topology is unchanged — and publishes
+	// it to the shuffle service and/or remote segment table. Callers hold
+	// repairMu.
+	pushGroup := func(g int) {
+		members := nb.members(g)
+		outMu.Lock()
+		for _, m := range members {
+			mapOutputs[m], _ = nb.row(m)
+		}
+		outMu.Unlock()
+		if svc == nil && job.Remote == nil {
+			return
+		}
+		for _, m := range members {
+			row, attempt := nb.row(m)
+			parts := make([][]byte, len(row))
+			for p := range row {
+				parts[p] = row[p].data
+			}
+			if svc != nil {
+				svc.Publish(m, attempt, parts)
+			}
+			if job.Remote != nil {
+				job.Remote.PublishRemote(m, attempt, parts)
+			}
+		}
+	}
+
+	// combineGroup (re)combines a node group from the freshest committed
+	// member outputs. A member segment that fails to decode mid-combine is
+	// corruption: the producing task re-runs, re-feeds the buffer, and the
+	// combine retries — bounded by the per-task retry budget across the
+	// whole group. Callers hold repairMu.
+	combineGroup := func(g int) error {
+		budget := job.Retry.maxAttempts()*nb.groupSize(g) + 1
+		for try := 0; try < budget; try++ {
+			err := nb.combine(g)
+			if err == nil {
+				return nil
+			}
+			var ce *ErrCorruptSegment
+			if !errors.As(err, &ce) || jobStop.stopped() {
+				return err
+			}
+			jc.CorruptSegmentsDetected.Add(1)
+			if !rerunMap(ce.MapTask) {
+				return err
+			}
+		}
+		return fmt.Errorf("mapreduce: job %q: combine of node group %d exhausted its retry budget", job.Name, g)
+	}
+
 	// recoverMap re-executes the map task named by a corrupt-segment report
 	// — detected corruption or map output lost to an exhausted networked
 	// fetch — replacing (and republishing) its output so the reducer's retry
-	// reads intact bytes. The dead attempt's work becomes waste. Serialized:
-	// two reducers hitting the same bad segment repair it once.
-	var repairMu sync.Mutex
+	// reads intact bytes. With combining, the re-fed group recombines and
+	// republishes before the reducer retries. Serialized: two reducers
+	// hitting the same bad segment repair it once.
 	recoverMap := func(ce *ErrCorruptSegment) bool {
 		repairMu.Lock()
 		defer repairMu.Unlock()
@@ -201,30 +308,42 @@ func Run(job *Job) (*Result, error) {
 			// reducer's retry will fetch the fresh segments.
 			return true
 		}
-		for rerun := 0; rerun < job.Retry.maxAttempts(); rerun++ {
-			if jobStop.stopped() {
+		if !rerunMap(ce.MapTask) {
+			return false
+		}
+		if nb != nil {
+			g := nb.groupOf(ce.MapTask)
+			if err := combineGroup(g); err != nil {
 				return false
 			}
-			a := mapRunner.nextAttempt(ce.MapTask)
-			sp := mapRunner.startSpan(ce.MapTask, a, false)
-			res, err := mapRunner.runOne(ce.MapTask, a, nil, sp)
-			sp.EndOutcome(attemptOutcome(err, true))
-			nt, _ := res.(*mapTask)
-			if err == nil {
-				outMu.Lock()
-				tasks[ce.MapTask] = nt
-				mapOutputs[ce.MapTask] = nt.finals
-				outMu.Unlock()
-				publish(nt)
-				addMapWaste(cur)
-				jc.MapTasksRecovered.Add(1)
-				jc.TaskRetries.Add(1)
-				return true
-			}
-			mapRunner.countFailure(ce.MapTask, a, err)
-			addMapWaste(nt)
+			pushGroup(g)
 		}
-		return false
+		return true
+	}
+
+	// The combine phase: with in-node combining on, every node group's
+	// committed segments merge — equal-key runs folded with the job's
+	// Combiner inside MergeCut windows — and only the combined view is
+	// published. Runs strictly between the map barrier and the reduce
+	// phase, so reducers never see raw member segments.
+	if nb != nil {
+		err := func() error {
+			repairMu.Lock()
+			defer repairMu.Unlock()
+			for g := 0; g < nb.numGroups(); g++ {
+				if err := combineGroup(g); err != nil {
+					return err
+				}
+				pushGroup(g)
+			}
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+		if err := timeout(); err != nil {
+			return nil, err
+		}
 	}
 
 	var (
@@ -323,6 +442,9 @@ func Run(job *Job) (*Result, error) {
 	}
 	if svc != nil {
 		mergeShuffleMetrics(jc, svc.Metrics())
+	}
+	if nb != nil {
+		nb.fold(jc)
 	}
 
 	// Assemble the result from the surviving attempts only. Their private

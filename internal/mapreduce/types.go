@@ -14,6 +14,12 @@
 //     before grouping — the hook where unequal overlapping aggregate keys
 //     are split along overlap boundaries (Fig. 7).
 //
+// A third extension goes beyond the paper: Job.Combine enables in-node
+// combining — committed map outputs are pooled per node group and merged
+// with a value Monoid before the shuffle, cutting shuffle bytes while the
+// reduce output stays byte-identical (see Monoid, CombineConfig, and
+// NodeBuffer).
+//
 // The engine measures, per task, the byte volumes and CPU seconds that the
 // cluster cost model turns into modeled runtimes, and maintains the Hadoop
 // counters the paper quotes (notably "Map output materialized bytes").
@@ -148,6 +154,12 @@ type Job struct {
 	// NewCombiner, when non-nil, builds the map-side combiner (step 3 of
 	// Fig. 1).
 	NewCombiner func() Reducer
+	// Combine, when non-nil, additionally enables in-node combining: after
+	// the map phase, committed map outputs are pooled per node group and
+	// runs of equal keys are folded with the configured Monoid before
+	// anything is published to the shuffle. See CombineConfig for the
+	// grouping, windowing, and byte-identity contract.
+	Combine *CombineConfig
 	// NumReducers is the reduce-partition count.
 	NumReducers int
 	// Compare is the intermediate-key sort and grouping comparator.
@@ -250,6 +262,14 @@ func (j *Job) validate() error {
 	if j.Shuffle != nil {
 		if err := j.Shuffle.validate(); err != nil {
 			return fmt.Errorf("mapreduce: job %q: %w", j.Name, err)
+		}
+	}
+	if j.Combine != nil {
+		if j.Combine.Combiner == nil {
+			return fmt.Errorf("mapreduce: job %q: Combine needs a Combiner", j.Name)
+		}
+		if j.Combine.Nodes < 0 {
+			return fmt.Errorf("mapreduce: job %q: Combine.Nodes must be >= 0, got %d", j.Name, j.Combine.Nodes)
 		}
 	}
 	if j.Remote != nil && j.Shuffle.networked() {

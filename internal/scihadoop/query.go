@@ -80,6 +80,18 @@ type QueryConfig struct {
 	Curve string
 	// FlushCells bounds the aggregation buffer.
 	FlushCells int
+	// Combine enables in-node combining: committed map outputs are pooled
+	// per node group and runs of equal keys are folded with the operator's
+	// value monoid before the shuffle (mapreduce.CombineConfig). Only
+	// distributive operators combine; a median query rejects it at build
+	// time, since no monoid over partial windows exists for a holistic
+	// operator — the very property that makes the paper's median query's
+	// intermediate data irreducible by combining.
+	Combine bool
+	// CombineNodes sets the combine node-group count (0 = one group per
+	// shuffle node when networked, otherwise one group; cluster drivers
+	// pass the worker count, one combine buffer per worker process).
+	CombineNodes int
 	// Reaggregate enables reduce-side re-aggregation of output ranges
 	// (AggKeyJob only): coalesce ranges fragmented by key splitting back
 	// into maximal contiguous ranges — the follow-up Section IV-B
@@ -133,6 +145,29 @@ func (c QueryConfig) withDefaults() QueryConfig {
 	return c
 }
 
+// CombinerFor returns the value monoid for a window operator, or an error
+// for holistic operators that have none. Every query value is a big-endian
+// int32 lane array (one lane for simple keys, one per cell for aggregate
+// and box keys), so the distributive max folds lane-wise.
+func CombinerFor(op Op) (mapreduce.Combiner, error) {
+	if op == Max {
+		return mapreduce.MaxInt32, nil
+	}
+	return nil, fmt.Errorf("scihadoop: op %s is holistic: no monoid can merge partial windows, so in-node combining is unavailable", op)
+}
+
+// combineConfig resolves the config's combining request, or nil when off.
+func (c QueryConfig) combineConfig() (*mapreduce.CombineConfig, error) {
+	if !c.Combine {
+		return nil, nil
+	}
+	cb, err := CombinerFor(c.Op)
+	if err != nil {
+		return nil, err
+	}
+	return &mapreduce.CombineConfig{Combiner: cb, Nodes: c.CombineNodes}, nil
+}
+
 // window enumerates the target offsets of the sliding window.
 func window(rank, radius int) []grid.Coord {
 	var rec func(cur grid.Coord)
@@ -162,12 +197,17 @@ func SimpleKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, *keys.C
 		return nil, nil, err
 	}
 	offsets := window(cfg.DS.Extent.Rank(), cfg.Radius)
+	cc, err := cfg.combineConfig()
+	if err != nil {
+		return nil, nil, err
+	}
 	ds := cfg.DS
 	v := cfg.DS.Var
 	op := cfg.Op
 
 	job := &mapreduce.Job{
 		Name:           fmt.Sprintf("%s-simple", op),
+		Combine:        cc,
 		FS:             fs,
 		Splits:         splits,
 		NumReducers:    cfg.NumReducers,

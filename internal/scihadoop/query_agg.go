@@ -35,6 +35,10 @@ func AggKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, aggregate.
 		return nil, nil, err
 	}
 	offsets := window(cfg.DS.Extent.Rank(), cfg.Radius)
+	cc, err := cfg.combineConfig()
+	if err != nil {
+		return nil, nil, err
+	}
 	rp := keys.RangePartitioner{Total: mapping.Total(), NumReducers: cfg.NumReducers}
 	ds := cfg.DS
 	v := cfg.DS.Var
@@ -42,7 +46,11 @@ func AggKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, aggregate.
 	flush := cfg.FlushCells
 
 	job := &mapreduce.Job{
-		Name:           fmt.Sprintf("%s-agg-%s", op, cfg.Curve),
+		Name: fmt.Sprintf("%s-agg-%s", op, cfg.Curve),
+		// Lane-wise max commutes with the key-splitting rewrites: slicing a
+		// folded layer equals folding the slices, so combined aggregate
+		// segments split into the same fragments with the same folded cells.
+		Combine:        cc,
 		FS:             fs,
 		Splits:         splits,
 		NumReducers:    cfg.NumReducers,

@@ -28,6 +28,10 @@ func BoxKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, error) {
 		return nil, err
 	}
 	offsets := window(cfg.DS.Extent.Rank(), cfg.Radius)
+	cc, err := cfg.combineConfig()
+	if err != nil {
+		return nil, err
+	}
 	sp := boxagg.NewSlabPartitioner(domain, cfg.NumReducers)
 	ds := cfg.DS
 	v := cfg.DS.Var
@@ -36,6 +40,7 @@ func BoxKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, error) {
 
 	return &mapreduce.Job{
 		Name:           fmt.Sprintf("%s-boxagg", op),
+		Combine:        cc,
 		FS:             fs,
 		Splits:         splits,
 		NumReducers:    cfg.NumReducers,
