@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-all bench-gate docs e14 e15 e16
+.PHONY: check build vet test race bench bench-all bench-gate docs e14 e15 e16 e17
 
 # The full gate: compile everything, check docs and formatting, vet, run the
 # test suite under the race detector (the attempt scheduler and fault tests
 # exercise real concurrency), hold the reduce-path allocation budget, soak
 # the multi-process cluster runtime against real SIGKILLs — of workers (e14)
 # and of the coordinator itself (e15) — and smoke the in-node combining
-# experiment (e16).
-check: build docs vet race bench-gate e14 e15 e16
+# experiment (e16) and the resident query service's segment cache (e17).
+check: build docs vet race bench-gate e14 e15 e16 e17
 
 # E14: worker-kill soak — a coordinator plus three real worker subprocesses,
 # scheduled SIGKILLs mid-map and mid-reduce; the killed run must verify and
@@ -29,6 +29,13 @@ e15:
 # a shuffle-byte reduction. Prints the measured table.
 e16:
 	@$(GO) run ./cmd/expdriver -run e16
+
+# E17: resident-service smoke — start scijob -serve with the object-store
+# cache backend, fire concurrent submissions of one query (repeats race the
+# cold run), and assert every response is byte-identical to a one-shot run
+# with scikey_cache_hit_total > 0 on /metrics.
+e17:
+	@sh scripts/e17_smoke.sh
 
 # The docs gate CI runs: gofmt-clean tree and a package doc comment on
 # every package.

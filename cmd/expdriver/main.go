@@ -284,6 +284,24 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if sel("e17") {
+		side := 48
+		if full {
+			side = 128
+		}
+		rows, err := runE17(side)
+		if err != nil {
+			exitErr("e17", err)
+		}
+		fmt.Printf("== E17 (extension): resident query service — segment-cache hit rate on a repeated-query mix (%dx%d) ==\n", side, side)
+		fmt.Printf("  %-8s %10s %6s %6s %9s %7s %9s\n",
+			"backend", "submitted", "cold", "hits", "hit rate", "ident", "map-skip")
+		for _, r := range rows {
+			fmt.Printf("  %-8s %10d %6d %6d %8.1f%% %7v %9v\n",
+				r.Backend, r.Submitted, r.ColdRuns, r.CacheHits, r.HitRate, r.Identical, r.MapSkipped)
+		}
+		fmt.Println()
+	}
 	if sel("a5") {
 		side := 96
 		if full {

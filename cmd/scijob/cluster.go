@@ -16,77 +16,15 @@ import (
 
 	"scikey/internal/clusterd"
 	"scikey/internal/core"
-	"scikey/internal/experiments"
 	"scikey/internal/faults"
-	"scikey/internal/hdfs"
 	"scikey/internal/obs"
-	"scikey/internal/scihadoop"
+	"scikey/internal/queryd"
 )
 
-// jobSpec is the JSON job description the coordinator pushes to each worker
-// at registration. It carries exactly the inputs a worker needs to rebuild
-// the job deterministically — MedianSetup's dataset generation is a pure
-// function of Side, so a worker's attempts read byte-identical input and
-// produce the coordinator's exact intermediate and output bytes.
-type jobSpec struct {
-	Side     int    `json:"side"`
-	Strategy string `json:"strategy"`
-	Codec    string `json:"codec,omitempty"`
-	// CodecWorkers sets the block+ codec's pipeline width. Any width
-	// produces the same bytes (position-determined framing), so workers
-	// and coordinator may not even need to agree — but shipping it keeps
-	// the whole cluster on the configuration under test.
-	CodecWorkers int    `json:"codec_workers,omitempty"`
-	Curve        string `json:"curve,omitempty"`
-	Flush        int    `json:"flush,omitempty"`
-	Op           string `json:"op"`
-	// Combine/CombineNodes enable in-node combining. The combine phase runs
-	// in the driver's scheduler (map outputs pool there after attempts
-	// commit), but the spec still ships both fields so every process builds
-	// the identical job — a worker's reduce attempts see the combined
-	// segments the driver published.
-	Combine      bool `json:"combine,omitempty"`
-	CombineNodes int  `json:"combine_nodes,omitempty"`
-	Radius       int  `json:"radius"`
-	Splits       int  `json:"splits"`
-	Reducers     int  `json:"reducers"`
-	// Faults is the full fault schedule string. Engine-level sites (map
-	// errors, segment corruption) fire inside worker attempts; the proc site
-	// is coordinator business and workers ignore it.
-	Faults string `json:"faults,omitempty"`
-}
-
-// setup rebuilds the filesystem, query config, and strategy a spec names.
-// Both the worker (to build its Runner) and the driver (to run the
-// scheduler) go through here, so the two sides cannot drift.
-func (s jobSpec) setup() (*hdfs.FileSystem, scihadoop.QueryConfig, core.Strategy, error) {
-	strat, err := parseStrategy(s.Strategy, s.Codec, s.Curve, s.Flush)
-	if err != nil {
-		return nil, scihadoop.QueryConfig{}, core.Strategy{}, err
-	}
-	fs, qcfg, err := experiments.MedianSetup(s.Side)
-	if err != nil {
-		return nil, scihadoop.QueryConfig{}, core.Strategy{}, err
-	}
-	qcfg.NumSplits = s.Splits
-	qcfg.NumReducers = s.Reducers
-	qcfg.Radius = s.Radius
-	qcfg.CodecWorkers = s.CodecWorkers
-	if s.Op == "max" {
-		qcfg.Op = scihadoop.Max
-	}
-	qcfg.Combine = s.Combine
-	qcfg.CombineNodes = s.CombineNodes
-	qcfg.OutputPath = "/out/scijob"
-	if s.Faults != "" {
-		inj, err := faults.NewFromSpec(s.Faults)
-		if err != nil {
-			return nil, scihadoop.QueryConfig{}, core.Strategy{}, err
-		}
-		qcfg.Faults = inj
-	}
-	return fs, qcfg, strat, nil
-}
+// The JSON job description the coordinator pushes to each worker at
+// registration is queryd.QuerySpec — the same wire shape the resident query
+// service accepts, so cluster workers, the service, and the one-shot CLI
+// all rebuild jobs through one Setup path and cannot drift.
 
 // runWorkerMode is the -worker entrypoint: connect to the coordinator,
 // rebuild the job from the welcomed spec, and execute granted attempts until
@@ -98,11 +36,11 @@ func runWorkerMode(addr string) {
 	w := clusterd.NewWorker(clusterd.WorkerConfig{
 		Addr: addr,
 		Build: func(raw []byte) (clusterd.Runner, error) {
-			var spec jobSpec
+			var spec queryd.QuerySpec
 			if err := json.Unmarshal(raw, &spec); err != nil {
 				return nil, fmt.Errorf("decoding job spec: %w", err)
 			}
-			fs, qcfg, strat, err := spec.setup()
+			fs, qcfg, strat, err := spec.Setup()
 			if err != nil {
 				return nil, err
 			}
@@ -130,7 +68,7 @@ func runWorkerMode(addr string) {
 type coordinatorConfig struct {
 	addr      string
 	journal   string // "" = no journal (no crash recovery)
-	spec      jobSpec
+	spec      queryd.QuerySpec
 	heartbeat time.Duration
 	leaseTTL  time.Duration
 	faults    *faults.Injector

@@ -39,6 +39,7 @@ import (
 	"scikey/internal/faults"
 	"scikey/internal/mapreduce"
 	"scikey/internal/obs"
+	"scikey/internal/queryd"
 	"scikey/internal/scihadoop"
 	"scikey/internal/workload"
 )
@@ -69,6 +70,15 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof on this address, e.g. 127.0.0.1:6060; stays up after the job until interrupted (empty = off)")
 	traceOut := flag.String("trace-out", "", "write the job's Chrome trace_event JSON to this file (empty = off)")
 	metricsOut := flag.String("metrics-out", "", "write the job's metrics in Prometheus text format to this file (empty = off)")
+	serveAddr := flag.String("serve", "", "resident query service: listen for /query, /metrics, /healthz on this address, e.g. 127.0.0.1:8080 (host:0 picks a port), and serve until SIGTERM (empty = off)")
+	submitAddr := flag.String("submit", "", "submit this invocation's query flags to the resident service at this address and print its response (empty = off)")
+	scrapeURL := flag.String("scrape", "", "GET this URL (e.g. a -serve /metrics endpoint) and print the body — a curl stand-in for scripts (empty = off)")
+	tenant := flag.String("tenant", "", "tenant name for -submit quota accounting (empty = the default tenant)")
+	storeKind := flag.String("store", "local", "segment-cache backend for -serve: local (HDFS-backed files) | object (S3-style chunked objects with CRC framing)")
+	queueDepth := flag.Int("queue-depth", 0, "bound on queued-but-not-executing queries for -serve (0 = default 16)")
+	serveWorkers := flag.Int("serve-workers", 0, "concurrent query executors for -serve (0 = default 2)")
+	quota := flag.Float64("quota", 0, "default per-tenant quota in modeled seconds for -serve (0 = unlimited)")
+	quotas := flag.String("quotas", "", `per-tenant quota overrides for -serve, e.g. "alice=30,bob=5" in modeled seconds (empty = none)`)
 	coordAddr := flag.String("coordinator", "", "cluster coordinator daemon: listen for workers and drivers on this address, e.g. 127.0.0.1:7070, and serve until SIGTERM (empty = off)")
 	workerAddr := flag.String("worker", "", "cluster worker mode: connect to the coordinator at this address and execute granted task attempts (empty = off)")
 	driverAddr := flag.String("driver", "", "cluster driver mode: run the job's scheduler against the coordinator daemon at this address (empty = off)")
@@ -81,7 +91,27 @@ func main() {
 
 	// Validate every flag before any job machinery is touched, so a typo'd
 	// transport or malformed fault schedule fails in milliseconds with a
-	// clear message instead of surfacing mid-job.
+	// clear message instead of surfacing mid-job. The query-shaping flags
+	// all validate through queryd.QuerySpec.Validate — the same check every
+	// other execution path (resident service, cluster worker rebuilding a
+	// wire spec) applies, so a bad combination rejects with identical error
+	// text no matter how the query arrives.
+	spec := queryd.QuerySpec{
+		Side:         *side,
+		Strategy:     *stratName,
+		Codec:        *codecName,
+		CodecWorkers: *codecWorkers,
+		Curve:        *curve,
+		Flush:        *flush,
+		Op:           *op,
+		Combine:      *combine,
+		CombineNodes: *combineNodes,
+		Radius:       *radius,
+		Splits:       *splits,
+		Reducers:     *reducers,
+		Faults:       *faultSpec,
+		Tenant:       *tenant,
+	}
 	strat, err := parseStrategy(*stratName, *codecName, *curve, *flush)
 	if err != nil {
 		fatal(err)
@@ -89,22 +119,13 @@ func main() {
 	if err := validateCodecWorkers(*codecWorkers, *stratName, *codecName); err != nil {
 		fatal(err)
 	}
+	if err := spec.Validate(); err != nil {
+		fatal(err)
+	}
 	switch *shuffle {
 	case mapreduce.ShuffleMem, mapreduce.ShuffleNet, mapreduce.ShuffleTCP:
 	default:
 		fatal(fmt.Errorf("unknown -shuffle transport %q (want mem, net, or tcp)", *shuffle))
-	}
-	if *op != "median" && *op != "max" {
-		fatal(fmt.Errorf("unknown -op %q (want median or max)", *op))
-	}
-	if *combineNodes < 0 {
-		fatal(fmt.Errorf("-combine-nodes must be >= 0, got %d", *combineNodes))
-	}
-	if *combineNodes > 0 && !*combine {
-		fatal(fmt.Errorf("-combine-nodes only applies with -combine"))
-	}
-	if *combine && *op != "max" {
-		fatal(fmt.Errorf("-combine requires -op max: %s is holistic, no monoid can merge partial windows", *op))
 	}
 	var inj *faults.Injector
 	if *faultSpec != "" {
@@ -114,13 +135,14 @@ func main() {
 		}
 	}
 	modes := 0
-	for _, on := range []bool{*coordAddr != "", *workerAddr != "", *driverAddr != "", *clusterN != 0} {
+	for _, on := range []bool{*coordAddr != "", *workerAddr != "", *driverAddr != "", *clusterN != 0,
+		*serveAddr != "", *submitAddr != "", *scrapeURL != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fatal(fmt.Errorf("-coordinator, -worker, -driver, and -cluster are mutually exclusive"))
+		fatal(fmt.Errorf("-coordinator, -worker, -driver, -cluster, -serve, -submit, and -scrape are mutually exclusive"))
 	}
 	if *clusterN < 0 {
 		fatal(fmt.Errorf("-cluster wants a positive worker count, got %d", *clusterN))
@@ -139,29 +161,34 @@ func main() {
 		fatal(fmt.Errorf("cluster modes use the in-memory shuffle; -shuffle %s runs single-process only", *shuffle))
 	}
 
+	if *scrapeURL != "" {
+		runScrape(*scrapeURL)
+		return
+	}
+	if *serveAddr != "" {
+		runServeMode(serveConfig{
+			addr:       *serveAddr,
+			storeKind:  *storeKind,
+			queueDepth: *queueDepth,
+			workers:    *serveWorkers,
+			quota:      *quota,
+			quotas:     *quotas,
+		})
+		return
+	}
+	if *submitAddr != "" {
+		runSubmitMode(*submitAddr, spec)
+		return
+	}
 	if *workerAddr != "" {
 		runWorkerMode(*workerAddr)
 		return
 	}
 	if *coordAddr != "" {
 		runCoordinatorMode(coordinatorConfig{
-			addr:    *coordAddr,
-			journal: *journalPath,
-			spec: jobSpec{
-				Side:         *side,
-				Strategy:     *stratName,
-				Codec:        *codecName,
-				CodecWorkers: *codecWorkers,
-				Curve:        *curve,
-				Flush:        *flush,
-				Op:           *op,
-				Combine:      *combine,
-				CombineNodes: *combineNodes,
-				Radius:       *radius,
-				Splits:       *splits,
-				Reducers:     *reducers,
-				Faults:       *faultSpec,
-			},
+			addr:      *coordAddr,
+			journal:   *journalPath,
+			spec:      spec,
 			heartbeat: *heartbeat,
 			leaseTTL:  *leaseTTL,
 			faults:    inj,
@@ -285,7 +312,15 @@ func main() {
 		}
 	}
 
-	rep, err := core.RunQuery(fs, qcfg, strat, cluster.Paper(), *verify)
+	rep, res, err := core.RunQueryResult(fs, qcfg, strat, cluster.Paper(), *verify)
+	// Flush observability before acting on the outcome: a failed job's trace
+	// and metrics are exactly what a post-mortem needs, so -trace-out and
+	// -metrics-out land on every exit path, not just success.
+	flushObs(ob, *traceOut, *metricsOut)
+	if err != nil {
+		fatal(err)
+	}
+	sha, err := queryd.OutputSHA(fs, res)
 	if err != nil {
 		fatal(err)
 	}
@@ -305,6 +340,7 @@ func main() {
 	}
 	fmt.Printf("  partition key splits:          %s\n", experiments.FormatBytes(rep.PartitionSplits))
 	fmt.Printf("  overlap key splits:            %s\n", experiments.FormatBytes(rep.OverlapSplits))
+	fmt.Printf("  output sha256:                 %s\n", sha)
 	fmt.Printf("  modeled runtime (5-node cluster): map %.1fs + reduce %.1fs = %.1fs\n",
 		rep.Estimate.MapSeconds, rep.Estimate.ReduceSeconds, rep.Estimate.Total())
 	if rep.ShuffleFetches > 0 {
@@ -335,18 +371,6 @@ func main() {
 		fmt.Printf("  verification: OK (%d cells match the reference)\n", len(want))
 	}
 
-	if *traceOut != "" {
-		if err := writeFileWith(*traceOut, ob.T().WriteChromeTrace); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("trace written to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
-	}
-	if *metricsOut != "" {
-		if err := writeFileWith(*metricsOut, ob.R().WritePrometheus); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("metrics written to %s\n", *metricsOut)
-	}
 	if dbg != nil {
 		fmt.Printf("job done; debug server still on http://%s — ctrl-c to exit\n", dbg.Addr())
 		ch := make(chan os.Signal, 1)
@@ -356,22 +380,12 @@ func main() {
 	}
 }
 
-// parseStrategy maps the flag spelling of a strategy to core's terms. The
-// worker process re-parses the same spelling out of the job spec, so driver
-// and workers build identical jobs.
+// parseStrategy maps the flag spelling of a strategy to core's terms via
+// the shared queryd parser — the worker process and the resident service
+// re-parse the same spelling out of the wire spec, so every front end
+// builds identical jobs.
 func parseStrategy(name, codecName, curve string, flush int) (core.Strategy, error) {
-	switch name {
-	case "baseline":
-		return core.Strategy{Kind: core.Baseline}, nil
-	case "transform":
-		return core.Strategy{Kind: core.ByteTransform, Codec: codecName}, nil
-	case "aggregation":
-		return core.Strategy{Kind: core.Aggregation, Curve: curve, FlushCells: flush}, nil
-	case "boxes":
-		return core.Strategy{Kind: core.BoxAggregation, FlushCells: flush}, nil
-	default:
-		return core.Strategy{}, fmt.Errorf("unknown strategy %q (want baseline, transform, aggregation, or boxes)", name)
-	}
+	return queryd.ParseStrategy(name, codecName, curve, flush)
 }
 
 // validateCodecWorkers rejects a -codec-workers the job would ignore or
@@ -403,17 +417,42 @@ func flagWasSet(name string) bool {
 	return set
 }
 
-// writeFileWith streams a writer-taking renderer into a freshly created file.
+// flushObs writes the requested trace and metrics files. It runs on success
+// and failure alike, so a failed job still leaves its post-mortem evidence.
+func flushObs(ob *obs.Observer, traceOut, metricsOut string) {
+	if traceOut != "" {
+		if err := writeFileWith(traceOut, ob.T().WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or Perfetto)\n", traceOut)
+	}
+	if metricsOut != "" {
+		if err := writeFileWith(metricsOut, ob.R().WritePrometheus); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", metricsOut)
+	}
+}
+
+// writeFileWith streams a writer-taking renderer into path atomically: the
+// bytes land in a temp file in the same directory and rename over the
+// target, so no reader — and no interrupted run — ever observes a
+// truncated render.
 func writeFileWith(path string, render func(w io.Writer) error) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	if err := render(f); err != nil {
 		f.Close()
+		os.Remove(f.Name())
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }
 
 func mapreducePolicy(retries int, backoff, speculate time.Duration) mapreduce.RetryPolicy {

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+
+	"scikey/internal/core"
+	"scikey/internal/queryd"
+)
+
+// goodSpec is a spec every execution path accepts; each parity case breaks
+// exactly one field.
+func goodSpec() queryd.QuerySpec {
+	return queryd.QuerySpec{
+		Side:     24,
+		Strategy: "baseline",
+		Op:       "median",
+		Radius:   1,
+		Splits:   4,
+		Reducers: 2,
+	}
+}
+
+// TestValidationParity: the early flag validation (queryd.QuerySpec.Validate,
+// what the CLI and the resident service run before any machinery) and the
+// deep path (core.BuildJob, what a cluster worker runs when it rebuilds a
+// wire spec) must reject the same bad spec with the same error text — no
+// flag combination may pass one gate and fail the other differently.
+func TestValidationParity(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*queryd.QuerySpec)
+	}{
+		{"combine_nodes_without_combine", func(s *queryd.QuerySpec) { s.CombineNodes = 3 }},
+		{"codec_workers_without_block_codec", func(s *queryd.QuerySpec) { s.CodecWorkers = 2 }},
+		{"negative_splits", func(s *queryd.QuerySpec) { s.Splits = -1 }},
+		{"negative_reducers", func(s *queryd.QuerySpec) { s.Reducers = -2 }},
+		{"negative_radius", func(s *queryd.QuerySpec) { s.Radius = -1 }},
+		{"combine_holistic_op", func(s *queryd.QuerySpec) { s.Combine = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := goodSpec()
+			tc.mut(&spec)
+
+			early := spec.Validate()
+			if early == nil {
+				t.Fatal("early validation accepted the bad spec")
+			}
+
+			fs, qcfg, strat, err := spec.Setup()
+			if err != nil {
+				t.Fatalf("Setup rejected the spec before BuildJob could: %v", err)
+			}
+			_, late := core.BuildJob(fs, qcfg, strat)
+			if late == nil {
+				t.Fatal("BuildJob accepted the bad spec the early path rejected")
+			}
+			if early.Error() != late.Error() {
+				t.Fatalf("validation paths drifted:\n  early: %s\n  late:  %s", early, late)
+			}
+		})
+	}
+}
+
+// TestValidSpecPassesBothPaths pins the inverse: a good spec clears early
+// validation and builds a job.
+func TestValidSpecPassesBothPaths(t *testing.T) {
+	spec := goodSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("early validation rejected a good spec: %v", err)
+	}
+	fs, qcfg, strat, err := spec.Setup()
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if _, err := core.BuildJob(fs, qcfg, strat); err != nil {
+		t.Fatalf("BuildJob rejected a good spec: %v", err)
+	}
+}

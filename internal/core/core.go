@@ -134,6 +134,9 @@ type Report struct {
 	ShuffleFetchesResumed   int64
 	ShuffleFetchWastedBytes int64
 	ShuffleBreakerTrips     int64
+	// MapPhaseCached reports that the run restored its map output from
+	// QueryConfig.MapCache instead of executing map attempts.
+	MapPhaseCached bool
 	// Estimate is the modeled runtime on the configured cluster, including
 	// slot time wasted on discarded attempts.
 	Estimate cluster.JobEstimate
@@ -155,27 +158,49 @@ type JobPlan struct {
 	BlockMetrics *codec.BlockMetrics
 }
 
-// BuildJob constructs the query job for a strategy without running it.
-func BuildJob(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy) (*JobPlan, error) {
+// ValidateQuery checks a query configuration against a strategy without
+// building anything. BuildJob calls it first, so every execution path — the
+// one-shot CLI, the resident query service, and a coordinator rebuilding a
+// job from a wire spec — rejects a bad configuration with the same error
+// text. Front-ends wanting to fail before touching datasets or daemons call
+// it directly.
+func ValidateQuery(qcfg scihadoop.QueryConfig, strat Strategy) error {
+	if qcfg.NumSplits < 0 {
+		return fmt.Errorf("core: NumSplits must be >= 0, got %d", qcfg.NumSplits)
+	}
+	if qcfg.NumReducers < 0 {
+		return fmt.Errorf("core: NumReducers must be >= 0, got %d", qcfg.NumReducers)
+	}
+	if qcfg.Radius < 0 {
+		return fmt.Errorf("core: Radius must be >= 0, got %d", qcfg.Radius)
+	}
 	if qcfg.CodecWorkers < 0 {
-		return nil, fmt.Errorf("core: CodecWorkers must be >= 0, got %d", qcfg.CodecWorkers)
+		return fmt.Errorf("core: CodecWorkers must be >= 0, got %d", qcfg.CodecWorkers)
 	}
 	if qcfg.CodecWorkers > 0 &&
 		(strat.Kind != ByteTransform || !strings.HasPrefix(strings.ToLower(strat.Codec), "block+")) {
-		return nil, fmt.Errorf("core: CodecWorkers is set but strategy %q has no block+ codec", strat.Name())
+		return fmt.Errorf("core: CodecWorkers is set but strategy %q has no block+ codec", strat.Name())
 	}
 	if qcfg.CombineNodes < 0 {
-		return nil, fmt.Errorf("core: CombineNodes must be >= 0, got %d", qcfg.CombineNodes)
+		return fmt.Errorf("core: CombineNodes must be >= 0, got %d", qcfg.CombineNodes)
 	}
 	if qcfg.CombineNodes > 0 && !qcfg.Combine {
-		return nil, fmt.Errorf("core: CombineNodes is set but combining is off")
+		return fmt.Errorf("core: CombineNodes is set but combining is off")
 	}
 	if qcfg.Combine {
 		// Fail fast with the operator's own diagnosis (holistic operators
 		// have no monoid) before any dataset machinery is touched.
 		if _, err := scihadoop.CombinerFor(qcfg.Op); err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// BuildJob constructs the query job for a strategy without running it.
+func BuildJob(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy) (*JobPlan, error) {
+	if err := ValidateQuery(qcfg, strat); err != nil {
+		return nil, err
 	}
 	switch strat.Kind {
 	case Baseline, ByteTransform:
@@ -250,14 +275,22 @@ func BuildJob(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy) (
 // RunQuery executes the query under the strategy and gathers a Report.
 // When decodeOutput is false the (possibly large) output map stays nil.
 func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, clus cluster.Config, decodeOutput bool) (*Report, error) {
+	rep, _, err := RunQueryResult(fs, qcfg, strat, clus, decodeOutput)
+	return rep, err
+}
+
+// RunQueryResult is RunQuery plus the raw engine Result, for callers that
+// need the output paths or calibration samples — the query service hashes
+// output files and re-fits its cost model from them.
+func RunQueryResult(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, clus cluster.Config, decodeOutput bool) (*Report, *mapreduce.Result, error) {
 	plan, err := BuildJob(fs, qcfg, strat)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	res, err := mapreduce.Run(plan.Job)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	publishBlockMetrics(qcfg.Obs, plan.BlockMetrics)
 	c := res.Counters
@@ -282,16 +315,17 @@ func RunQuery(fs *hdfs.FileSystem, qcfg scihadoop.QueryConfig, strat Strategy, c
 		ShuffleFetchesResumed:   c.ShuffleFetchesResumed.Value(),
 		ShuffleFetchWastedBytes: c.ShuffleFetchWastedBytes.Value(),
 		ShuffleBreakerTrips:     c.ShuffleBreakerTrips.Value(),
+		MapPhaseCached:          res.MapPhaseCached,
 		Estimate:                res.Estimate(clus),
 	}
 	if decodeOutput {
 		out, derr := plan.Decode(res)
 		if derr != nil {
-			return nil, derr
+			return nil, nil, derr
 		}
 		rep.Output = out
 	}
-	return rep, nil
+	return rep, res, nil
 }
 
 // outputCodec builds the key codec matching a query's output encoding.

@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultBlockSize mirrors the Hadoop-era 64 MB default.
@@ -21,6 +22,9 @@ var ErrNotFound = errors.New("hdfs: file not found")
 
 // ErrExists reports a Create on an existing path.
 var ErrExists = errors.New("hdfs: file exists")
+
+// ErrClosed reports a Read on a closed reader.
+var ErrClosed = errors.New("hdfs: reader is closed")
 
 // BlockLocation describes one block of a file and the nodes holding it.
 type BlockLocation struct {
@@ -38,6 +42,15 @@ type FileSystem struct {
 	nodes       []string
 	files       map[string]*fileEntry
 	nextNode    int
+
+	// openReaders / pinnedBytes account for live readers: each Open pins
+	// its file's block snapshot (the entry stays reachable even if the
+	// path is deleted or renamed over) until Close releases it. Long-lived
+	// holders — the segment cache above all — consult these to report
+	// truthful byte usage instead of trusting the GC to have collected
+	// forgotten snapshots.
+	openReaders atomic.Int64
+	pinnedBytes atomic.Int64
 }
 
 type fileEntry struct {
@@ -143,7 +156,9 @@ func (fs *FileSystem) placeBlock() []string {
 	return hosts
 }
 
-// Open returns a reader over the whole file.
+// Open returns a reader over the whole file. The reader pins the file's
+// block snapshot until Close; callers that hold readers for a long time
+// (cache backends) must Close them so PinnedBytes stays truthful.
 func (fs *FileSystem) Open(path string) (io.ReadCloser, error) {
 	fs.mu.RLock()
 	e, ok := fs.files[path]
@@ -151,8 +166,18 @@ func (fs *FileSystem) Open(path string) (io.ReadCloser, error) {
 	if !ok || e == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
-	return &fileReader{entry: e}, nil
+	fs.openReaders.Add(1)
+	fs.pinnedBytes.Add(e.size)
+	return &fileReader{fs: fs, entry: e, size: e.size}, nil
 }
+
+// OpenReaders reports how many readers are currently open (Opened but not
+// yet Closed).
+func (fs *FileSystem) OpenReaders() int64 { return fs.openReaders.Load() }
+
+// PinnedBytes reports the total file bytes pinned by open readers — the
+// memory a leaked reader would keep alive.
+func (fs *FileSystem) PinnedBytes() int64 { return fs.pinnedBytes.Load() }
 
 // ReadAll returns the whole contents of path.
 func (fs *FileSystem) ReadAll(path string) ([]byte, error) {
@@ -177,12 +202,17 @@ func (fs *FileSystem) WriteFile(path string, data []byte) error {
 }
 
 type fileReader struct {
+	fs    *FileSystem
 	entry *fileEntry
+	size  int64
 	block int
 	off   int
 }
 
 func (r *fileReader) Read(p []byte) (int, error) {
+	if r.entry == nil {
+		return 0, ErrClosed
+	}
 	for r.block < len(r.entry.blocks) && r.off == len(r.entry.blocks[r.block]) {
 		r.block++
 		r.off = 0
@@ -195,7 +225,18 @@ func (r *fileReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-func (r *fileReader) Close() error { return nil }
+// Close releases the reader's block snapshot so the bytes stop counting as
+// pinned (and, if the file was deleted meanwhile, become collectable).
+// Closing twice is safe; reads after Close fail with ErrClosed.
+func (r *fileReader) Close() error {
+	if r.entry == nil {
+		return nil
+	}
+	r.entry = nil
+	r.fs.openReaders.Add(-1)
+	r.fs.pinnedBytes.Add(-r.size)
+	return nil
+}
 
 // ReadRange returns n bytes of path starting at offset off — the ranged
 // read an input split uses to fetch just its slab.

@@ -237,3 +237,83 @@ func TestRename(t *testing.T) {
 		t.Errorf("rename onto reserved name failed: %v", err)
 	}
 }
+
+// TestReaderCloseReleasesSnapshot is the reader-leak regression test: every
+// Open pins its file's block snapshot, Close must release it — a no-op Close
+// let long-lived cache readers pin whole-file copies until GC, making any
+// byte accounting built on the filesystem untruthful.
+func TestReaderCloseReleasesSnapshot(t *testing.T) {
+	fs := testFS()
+	payload := bytes.Repeat([]byte("x"), 5000) // spans several 1 KiB blocks
+	if err := fs.WriteFile("/data/a", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	var readers []io.ReadCloser
+	const n = 4
+	for i := 0; i < n; i++ {
+		r, err := fs.Open("/data/a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers = append(readers, r)
+	}
+	if got := fs.OpenReaders(); got != n {
+		t.Fatalf("OpenReaders = %d, want %d", got, n)
+	}
+	if got, want := fs.PinnedBytes(), int64(n*len(payload)); got != want {
+		t.Fatalf("PinnedBytes = %d, want %d", got, want)
+	}
+
+	// Reading to EOF does not release anything; only Close does.
+	if _, err := io.ReadAll(readers[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fs.PinnedBytes(), int64(n*len(payload)); got != want {
+		t.Fatalf("PinnedBytes after ReadAll = %d, want %d", got, want)
+	}
+
+	for _, r := range readers {
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.OpenReaders(); got != 0 {
+		t.Errorf("OpenReaders after Close = %d, want 0", got)
+	}
+	if got := fs.PinnedBytes(); got != 0 {
+		t.Errorf("PinnedBytes after Close = %d, want 0", got)
+	}
+
+	// Double Close stays balanced; a closed reader refuses to read.
+	if err := readers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.OpenReaders(); got != 0 {
+		t.Errorf("OpenReaders after double Close = %d, want 0", got)
+	}
+	if _, err := readers[0].Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Read after Close = %v, want ErrClosed", err)
+	}
+
+	// A reader opened before Delete keeps its snapshot until Close — the
+	// accounting names exactly the bytes such a holdout keeps alive.
+	r, err := fs.Open("/data/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("/data/a"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read after delete = %d bytes, %v", len(got), err)
+	}
+	if fs.PinnedBytes() != int64(len(payload)) {
+		t.Errorf("PinnedBytes with post-delete holdout = %d, want %d", fs.PinnedBytes(), len(payload))
+	}
+	r.Close()
+	if fs.PinnedBytes() != 0 {
+		t.Errorf("PinnedBytes after holdout Close = %d, want 0", fs.PinnedBytes())
+	}
+}

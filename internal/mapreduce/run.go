@@ -21,6 +21,10 @@ type Result struct {
 	MapSpecs    []cluster.MapSpec
 	ReduceTasks []cluster.Task
 	OutputPaths []string
+	// MapPhaseCached reports that the map (and combine) phase was skipped:
+	// the published segments came from Job.MapCache, and zero map attempts
+	// ran. Output bytes and payload counters are identical either way.
+	MapPhaseCached bool
 	// WastedMapTasks / WastedReduceTasks are the footprints of attempts
 	// whose work was discarded: failures, corruption-replaced map attempts,
 	// and speculative losers. The cost model schedules them alongside the
@@ -107,6 +111,17 @@ func Run(job *Job) (*Result, error) {
 		defer svc.Close()
 	}
 
+	// cached, when non-nil, is a restored map phase: the map and combine
+	// phases are skipped, the published segments below come from the cache,
+	// and the assembly at the end replays the snapshot's footprints and
+	// counters. A snapshot that doesn't fit the job's shape is a miss.
+	var cached *MapPhaseSnapshot
+	if job.MapCache != nil && job.CacheKey != "" {
+		if snap, ok := job.MapCache.Get(job.CacheKey); ok && snap.matches(job) {
+			cached = snap
+		}
+	}
+
 	var (
 		outMu      sync.Mutex
 		tasks      = make([]*mapTask, len(job.Splits))
@@ -117,7 +132,12 @@ func Run(job *Job) (*Result, error) {
 	// With combining on, committed map output is fed here instead of being
 	// published raw; the combine phase between the map and reduce phases
 	// merges each node group's segments and publishes the combined view.
-	nb := newNodeBuffer(job)
+	// A cache hit restores the post-combine view directly, so it needs no
+	// buffer.
+	var nb *NodeBuffer
+	if cached == nil {
+		nb = newNodeBuffer(job)
+	}
 	// publish pushes a committed map attempt's segments to its shuffle node
 	// (networked shuffle) or to the coordinator's segment table (remote
 	// execution) so reduce attempts fetch the freshest committed output —
@@ -191,7 +211,32 @@ func Run(job *Job) (*Result, error) {
 			addMapWaste(t)
 		},
 	}
-	if err := mapRunner.runAll(); err != nil {
+	if cached != nil {
+		// Restore the cached map phase: install the published segments and
+		// republish them to the shuffle service / remote segment table under
+		// their original attempt numbers, exactly as the producing run did.
+		// No map attempt runs and no attempt span or histogram sample is
+		// recorded — "map attempts: zero" is the observable cache-hit
+		// signature the differential tests assert.
+		outs := cached.restoreSegments()
+		outMu.Lock()
+		copy(mapOutputs, outs)
+		outMu.Unlock()
+		if svc != nil || job.Remote != nil {
+			for m, row := range outs {
+				parts := make([][]byte, len(row))
+				for p := range row {
+					parts[p] = row[p].data
+				}
+				if svc != nil {
+					svc.Publish(m, cached.Attempts[m], parts)
+				}
+				if job.Remote != nil {
+					job.Remote.PublishRemote(m, cached.Attempts[m], parts)
+				}
+			}
+		}
+	} else if err := mapRunner.runAll(); err != nil {
 		return nil, err
 	}
 	if err := timeout(); err != nil {
@@ -354,6 +399,9 @@ func Run(job *Job) (*Result, error) {
 	// exhausted-fetch reports (the fetcher never saw the lost bytes'
 	// provenance).
 	committedAttempt := func(m int) int {
+		if cached != nil {
+			return cached.Attempts[m]
+		}
 		outMu.Lock()
 		defer outMu.Unlock()
 		if tasks[m] == nil {
@@ -459,17 +507,42 @@ func Run(job *Job) (*Result, error) {
 		WastedMapTasks:    wastedMaps,
 		WastedReduceTasks: wastedReduces,
 	}
-	for i, t := range tasks {
-		jc.Merge(t.counters())
-		res.MapTasks[i] = t.footprint
-		res.MapSpecs[i] = cluster.MapSpec{Task: t.footprint, InputBytes: t.ctx.inputBytes, Hosts: t.hosts}
-		res.CalSamples = append(res.CalSamples, calSample(t.footprint, t.wallSeconds))
+	if cached != nil {
+		// Replay the snapshot's map-side contribution: the same payload
+		// counters the producing run merged, and the same footprints and
+		// calibration samples, so cost estimates and counter reports match
+		// a cold run byte for byte.
+		res.MapPhaseCached = true
+		if err := jc.AddSnapshot(cached.Counters); err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: cached map counters: %w", job.Name, err)
+		}
+		for i := range cached.Footprints {
+			res.MapTasks[i] = cached.Footprints[i]
+			res.MapSpecs[i] = cluster.MapSpec{Task: cached.Footprints[i], InputBytes: cached.InputBytes[i], Hosts: cached.Hosts[i]}
+			res.CalSamples = append(res.CalSamples, calSample(cached.Footprints[i], cached.WallSeconds[i]))
+		}
+	} else {
+		for i, t := range tasks {
+			jc.Merge(t.counters())
+			res.MapTasks[i] = t.footprint
+			res.MapSpecs[i] = cluster.MapSpec{Task: t.footprint, InputBytes: t.ctx.inputBytes, Hosts: t.hosts}
+			res.CalSamples = append(res.CalSamples, calSample(t.footprint, t.wallSeconds))
+		}
 	}
 	for r, t := range rtasks {
 		jc.Merge(t.counters())
 		res.ReduceTasks[r] = t.footprint
 		res.OutputPaths[r] = t.outPath
 		res.CalSamples = append(res.CalSamples, calSample(t.footprint, t.wallSeconds))
+	}
+	if cached == nil && job.MapCache != nil && job.CacheKey != "" {
+		// Store the published map state for the next identical query. The
+		// cache is best-effort: a backend that cannot persist the snapshot
+		// must not fail a job that already succeeded, so Put errors are
+		// dropped (backends surface them through their own metrics).
+		if snap, err := snapshotMapPhase(job, tasks, mapOutputs, nb); err == nil {
+			_ = job.MapCache.Put(job.CacheKey, snap)
+		}
 	}
 	publishCounters(job.Obs.R(), jc)
 	jobOutcome = "ok"

@@ -234,6 +234,21 @@ type Job struct {
 	// networked Shuffle: map output travels through the coordinator's
 	// segment channel instead.
 	Remote Remote
+	// MapCache, when non-nil together with a non-empty CacheKey, lets the
+	// run reuse a previously published map phase: before scheduling any map
+	// attempts the engine asks the cache for CacheKey, and on a hit restores
+	// the published segments, footprints, and map-side counters, skipping
+	// the map and combine phases entirely (Result.MapPhaseCached reports
+	// this; zero map attempts run). On a miss the job runs normally and, on
+	// success, stores its published map state under CacheKey. The caller
+	// owns key derivation: a key must cover every input that shapes map
+	// output bytes — dataset, splits, transform, codec. Mutually exclusive
+	// with Faults: a faulty run's recovery machinery must re-execute real
+	// map attempts, and caching its output would mix fault schedules.
+	MapCache MapOutputCache
+	// CacheKey names this job's map output in MapCache. Empty disables
+	// caching even when MapCache is set.
+	CacheKey string
 	// Obs, when non-nil, records the run: a job → attempt → phase span tree
 	// in the tracer (attempt spans carry won/lost/failed/canceled outcomes)
 	// and the job counters, attempt-duration histograms, and shuffle
@@ -271,6 +286,9 @@ func (j *Job) validate() error {
 		if j.Combine.Nodes < 0 {
 			return fmt.Errorf("mapreduce: job %q: Combine.Nodes must be >= 0, got %d", j.Name, j.Combine.Nodes)
 		}
+	}
+	if j.MapCache != nil && j.CacheKey != "" && j.Faults != nil {
+		return fmt.Errorf("mapreduce: job %q: MapCache and Faults are mutually exclusive (cached map output would mix fault schedules)", j.Name)
 	}
 	if j.Remote != nil && j.Shuffle.networked() {
 		return fmt.Errorf("mapreduce: job %q: remote execution and a networked shuffle are mutually exclusive (map output travels through the coordinator)", j.Name)

@@ -1,0 +1,290 @@
+package queryd
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+
+	"scikey/internal/cluster"
+	"scikey/internal/mapreduce"
+	"scikey/internal/obs"
+	"scikey/internal/store"
+)
+
+// snapMagic and snapVersion open every encoded snapshot; a decode checks
+// both plus a whole-blob CRC trailer before trusting any field, and any
+// mismatch is a miss, never a failed query.
+const (
+	snapMagic   = 0x53434d53 // "SCMS"
+	snapVersion = 1
+)
+
+// SegmentCache is the service's shared map-output cache: an engine-facing
+// mapreduce.MapOutputCache that serializes MapPhaseSnapshots into a
+// store.Store, one object per cache key. Swapping the backend (local HDFS
+// directory vs S3-style object store) never changes the cached bytes.
+type SegmentCache struct {
+	store store.Store
+
+	hits         obs.Counter
+	misses       obs.Counter
+	puts         obs.Counter
+	decodeErrors obs.Counter
+	entries      obs.Gauge
+	bytes        obs.Gauge
+
+	mu         sync.Mutex
+	entryCount int64
+	byteCount  int64
+}
+
+// NewSegmentCache builds a cache over s, registering its metric series in
+// reg (nil disables metrics).
+func NewSegmentCache(s store.Store, reg *obs.Registry) *SegmentCache {
+	c := &SegmentCache{
+		store:        s,
+		hits:         reg.Counter("scikey_cache_hit_total", "Map-output cache hits", ""),
+		misses:       reg.Counter("scikey_cache_miss_total", "Map-output cache misses", ""),
+		puts:         reg.Counter("scikey_cache_put_total", "Map-output cache stores", ""),
+		decodeErrors: reg.Counter("scikey_cache_decode_errors_total", "Cached snapshots that failed integrity checks (treated as misses)", ""),
+		entries:      reg.Gauge("scikey_cache_entries", "Map-output cache entries stored by this process", ""),
+		bytes:        reg.Gauge("scikey_cache_bytes", "Segment payload bytes held by this process's cache entries", ""),
+	}
+	// Adopt entries a previous incarnation left in a durable backend.
+	if keys, err := s.List(cacheKeyPrefix); err == nil {
+		for _, k := range keys {
+			if n, err := s.Stat(k); err == nil {
+				c.entryCount++
+				c.byteCount += n
+			}
+		}
+		c.entries.Set(c.entryCount)
+		c.bytes.Set(c.byteCount)
+	}
+	return c
+}
+
+// cacheKeyPrefix namespaces cache objects inside the store.
+const cacheKeyPrefix = "segcache/"
+
+// storeKey hashes the engine cache key into a flat object name: keys are
+// long canonical strings, and hashing keeps backends path-safe.
+func storeKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return cacheKeyPrefix + hex.EncodeToString(sum[:])
+}
+
+// Get implements mapreduce.MapOutputCache. Store misses and snapshots that
+// fail integrity checks both report a miss.
+func (c *SegmentCache) Get(key string) (*mapreduce.MapPhaseSnapshot, bool) {
+	if c == nil {
+		return nil, false
+	}
+	blob, err := c.store.Get(storeKey(key))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	snap, err := decodeSnapshot(blob)
+	if err != nil {
+		c.decodeErrors.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return snap, true
+}
+
+// Put implements mapreduce.MapOutputCache.
+func (c *SegmentCache) Put(key string, snap *mapreduce.MapPhaseSnapshot) error {
+	if c == nil {
+		return nil
+	}
+	sk := storeKey(key)
+	prevBytes, statErr := c.store.Stat(sk)
+	existed := statErr == nil
+	if err := c.store.Put(sk, encodeSnapshot(snap)); err != nil {
+		return err
+	}
+	n, err := c.store.Stat(sk)
+	if err != nil {
+		n = 0
+	}
+	c.puts.Add(1)
+	c.mu.Lock()
+	if existed {
+		c.byteCount -= prevBytes
+	} else {
+		c.entryCount++
+	}
+	c.byteCount += n
+	entries, bytes := c.entryCount, c.byteCount
+	c.mu.Unlock()
+	c.entries.Set(entries)
+	c.bytes.Set(bytes)
+	return nil
+}
+
+// encodeSnapshot serializes a snapshot: header, per-task rows, counters,
+// and a CRC32 trailer over everything before it.
+func encodeSnapshot(s *mapreduce.MapPhaseSnapshot) []byte {
+	var b []byte
+	u32 := func(v uint32) { b = binary.BigEndian.AppendUint32(b, v) }
+	u64 := func(v uint64) { b = binary.BigEndian.AppendUint64(b, v) }
+	i64 := func(v int64) { u64(uint64(v)) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(v string) { u32(uint32(len(v))); b = append(b, v...) }
+	bytes := func(v []byte) { u32(uint32(len(v))); b = append(b, v...) }
+
+	u32(snapMagic)
+	u32(snapVersion)
+	u32(uint32(len(s.Segments)))
+	u32(uint32(s.NumReducers))
+	for i := range s.Segments {
+		u32(uint32(s.Attempts[i]))
+		i64(s.Footprints[i].DiskBytes)
+		i64(s.Footprints[i].NetBytes)
+		f64(s.Footprints[i].CPUSeconds)
+		i64(s.InputBytes[i])
+		f64(s.WallSeconds[i])
+		u32(uint32(len(s.Hosts[i])))
+		for _, h := range s.Hosts[i] {
+			str(h)
+		}
+		u32(uint32(len(s.Segments[i])))
+		for _, seg := range s.Segments[i] {
+			i64(seg.Records)
+			i64(int64(seg.Src))
+			i64(int64(seg.Attempt))
+			bytes(seg.Data)
+		}
+	}
+	u32(uint32(len(s.Counters)))
+	for _, v := range s.Counters {
+		i64(v)
+	}
+	u32(crc32.ChecksumIEEE(b))
+	return b
+}
+
+// decodeSnapshot parses an encoded snapshot, verifying magic, version, and
+// the CRC trailer. Every length is bounds-checked so a truncated or corrupt
+// blob errors instead of panicking.
+func decodeSnapshot(b []byte) (*mapreduce.MapPhaseSnapshot, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("queryd: snapshot too short")
+	}
+	body, trailer := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != trailer {
+		return nil, fmt.Errorf("queryd: snapshot CRC mismatch")
+	}
+	off := 0
+	var derr error
+	need := func(n int) bool {
+		if derr != nil || off+n > len(body) {
+			if derr == nil {
+				derr = fmt.Errorf("queryd: snapshot truncated at offset %d", off)
+			}
+			return false
+		}
+		return true
+	}
+	u32 := func() uint32 {
+		if !need(4) {
+			return 0
+		}
+		v := binary.BigEndian.Uint32(body[off:])
+		off += 4
+		return v
+	}
+	u64 := func() uint64 {
+		if !need(8) {
+			return 0
+		}
+		v := binary.BigEndian.Uint64(body[off:])
+		off += 8
+		return v
+	}
+	i64 := func() int64 { return int64(u64()) }
+	f64 := func() float64 { return math.Float64frombits(u64()) }
+	str := func() string {
+		n := int(u32())
+		if !need(n) {
+			return ""
+		}
+		v := string(body[off : off+n])
+		off += n
+		return v
+	}
+	bs := func() []byte {
+		n := int(u32())
+		if !need(n) {
+			return nil
+		}
+		v := append([]byte(nil), body[off:off+n]...)
+		off += n
+		return v
+	}
+
+	if u32() != snapMagic {
+		return nil, fmt.Errorf("queryd: bad snapshot magic")
+	}
+	if v := u32(); v != snapVersion {
+		return nil, fmt.Errorf("queryd: unsupported snapshot version %d", v)
+	}
+	n := int(u32())
+	s := &mapreduce.MapPhaseSnapshot{NumReducers: int(u32())}
+	const maxTasks = 1 << 20
+	if n < 0 || n > maxTasks {
+		return nil, fmt.Errorf("queryd: implausible task count %d", n)
+	}
+	s.Segments = make([][]mapreduce.SegmentSnapshot, n)
+	s.Attempts = make([]int, n)
+	s.Footprints = make([]cluster.Task, n)
+	s.InputBytes = make([]int64, n)
+	s.Hosts = make([][]string, n)
+	s.WallSeconds = make([]float64, n)
+	for i := 0; i < n && derr == nil; i++ {
+		s.Attempts[i] = int(u32())
+		s.Footprints[i] = cluster.Task{DiskBytes: i64(), NetBytes: i64(), CPUSeconds: f64()}
+		s.InputBytes[i] = i64()
+		s.WallSeconds[i] = f64()
+		nh := int(u32())
+		if nh < 0 || nh > maxTasks {
+			return nil, fmt.Errorf("queryd: implausible host count %d", nh)
+		}
+		for h := 0; h < nh && derr == nil; h++ {
+			s.Hosts[i] = append(s.Hosts[i], str())
+		}
+		np := int(u32())
+		if np < 0 || np > maxTasks {
+			return nil, fmt.Errorf("queryd: implausible partition count %d", np)
+		}
+		s.Segments[i] = make([]mapreduce.SegmentSnapshot, 0, np)
+		for p := 0; p < np && derr == nil; p++ {
+			seg := mapreduce.SegmentSnapshot{Records: i64()}
+			seg.Src = int(i64())
+			seg.Attempt = int(i64())
+			seg.Data = bs()
+			s.Segments[i] = append(s.Segments[i], seg)
+		}
+	}
+	nc := int(u32())
+	if nc < 0 || nc > maxTasks {
+		return nil, fmt.Errorf("queryd: implausible counter count %d", nc)
+	}
+	for i := 0; i < nc && derr == nil; i++ {
+		s.Counters = append(s.Counters, i64())
+	}
+	if derr != nil {
+		return nil, derr
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("queryd: %d trailing snapshot bytes", len(body)-off)
+	}
+	return s, nil
+}

@@ -1,0 +1,352 @@
+package queryd
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scikey/internal/cluster"
+	"scikey/internal/core"
+	"scikey/internal/hdfs"
+	"scikey/internal/obs"
+	"scikey/internal/store"
+)
+
+// testSpec is the small-but-real query every service test submits: explicit
+// splits/reducers so the cache key is fully pinned.
+func testSpec() QuerySpec {
+	return QuerySpec{
+		Side:     24,
+		Strategy: "transform",
+		Codec:    "block+zlib",
+		Op:       "median",
+		Radius:   1,
+		Splits:   4,
+		Reducers: 2,
+	}
+}
+
+// serviceBackends builds one fresh Store per pluggable backend.
+func serviceBackends() map[string]func() store.Store {
+	return map[string]func() store.Store{
+		"local": func() store.Store {
+			fs := hdfs.New(64<<20, 3, []string{"s0", "s1", "s2"})
+			return store.NewLocal(fs, "/store")
+		},
+		"object": func() store.Store { return store.NewObject() },
+	}
+}
+
+// mapAttempts reads the map-phase attempt histogram count — zero added
+// attempts is the observable proof that a run skipped the map phase.
+func mapAttempts(o *obs.Observer) int64 {
+	return o.R().Histogram("scikey_attempt_seconds",
+		"Duration of task attempts by phase", "seconds", nil, obs.L("phase", "map")).Count()
+}
+
+// oneShotSHA runs the spec outside any service — the independent baseline a
+// cached response must match byte for byte.
+func oneShotSHA(t *testing.T, spec QuerySpec) string {
+	t.Helper()
+	fs, qcfg, strat, err := spec.Setup()
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	_, res, err := core.RunQueryResult(fs, qcfg, strat, cluster.Paper(), false)
+	if err != nil {
+		t.Fatalf("one-shot run: %v", err)
+	}
+	sha, err := OutputSHA(fs, res)
+	if err != nil {
+		t.Fatalf("one-shot sha: %v", err)
+	}
+	return sha
+}
+
+// TestServiceCacheHitBothBackends: on each Store backend, a repeated
+// identical query must skip the map phase (CacheHit, zero new map attempts)
+// and return output byte-identical to both the cold run and an independent
+// one-shot execution.
+func TestServiceCacheHitBothBackends(t *testing.T) {
+	spec := testSpec()
+	want := oneShotSHA(t, spec)
+	for name, mk := range serviceBackends() {
+		t.Run(name, func(t *testing.T) {
+			ob := obs.New()
+			svc := New(Config{Store: mk(), Obs: ob})
+			defer svc.Close()
+
+			cold, err := svc.Submit(spec)
+			if err != nil {
+				t.Fatalf("cold submit: %v", err)
+			}
+			if cold.CacheHit {
+				t.Fatal("cold run reported a cache hit")
+			}
+			if cold.OutputSHA != want {
+				t.Fatalf("cold sha %s != one-shot sha %s", cold.OutputSHA, want)
+			}
+			after := mapAttempts(ob)
+			if after != int64(spec.Splits) {
+				t.Fatalf("cold run scheduled %d map attempts, want %d", after, spec.Splits)
+			}
+
+			warm, err := svc.Submit(spec)
+			if err != nil {
+				t.Fatalf("warm submit: %v", err)
+			}
+			if !warm.CacheHit {
+				t.Fatal("warm run missed the cache")
+			}
+			if warm.OutputSHA != want {
+				t.Fatalf("warm sha %s != one-shot sha %s", warm.OutputSHA, want)
+			}
+			if n := mapAttempts(ob); n != after {
+				t.Fatalf("warm run scheduled %d new map attempts, want 0", n-after)
+			}
+			if hits := ob.R().Counter("scikey_cache_hit_total", "Map-output cache hits", "").Value(); hits != 1 {
+				t.Fatalf("scikey_cache_hit_total = %d, want 1", hits)
+			}
+		})
+	}
+}
+
+// TestServiceColdRaceSingleflight: two identical queries racing on a cold
+// key must run exactly one map phase — the loser waits on the per-key
+// flight lock, then restores the winner's freshly cached segments — and
+// both must return byte-identical output.
+func TestServiceColdRaceSingleflight(t *testing.T) {
+	spec := testSpec()
+	ob := obs.New()
+	svc := New(Config{Store: store.NewObject(), Obs: ob, Workers: 2})
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	resps := make([]*Response, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = svc.Submit(spec)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("racer %d: %v", i, err)
+		}
+	}
+	if resps[0].OutputSHA != resps[1].OutputSHA {
+		t.Fatalf("racers diverged: %s vs %s", resps[0].OutputSHA, resps[1].OutputSHA)
+	}
+	if n := mapAttempts(ob); n != int64(spec.Splits) {
+		t.Fatalf("race ran %d map attempts total, want exactly %d (one map phase)", n, spec.Splits)
+	}
+	hit := 0
+	for _, r := range resps {
+		if r.CacheHit {
+			hit++
+		}
+	}
+	if hit != 1 {
+		t.Fatalf("%d racers hit the cache, want exactly 1 (the flight loser)", hit)
+	}
+}
+
+// TestServiceQuotaRejection: a tenant whose remaining quota is below the
+// predicted cost gets an immediate typed *QuotaError — not a stall, not a
+// queue slot — while a tenant with headroom sails through.
+func TestServiceQuotaRejection(t *testing.T) {
+	spec := testSpec()
+	spec.Tenant = "starved"
+	svc := New(Config{
+		Store:  store.NewObject(),
+		Obs:    obs.New(),
+		Quotas: map[string]float64{"starved": 1e-12},
+	})
+	defer svc.Close()
+
+	done := make(chan struct{})
+	var resp *Response
+	var err error
+	go func() {
+		resp, err = svc.Submit(spec)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("over-quota submit stalled instead of rejecting")
+	}
+	if resp != nil {
+		t.Fatal("over-quota submit returned a response")
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error %v (%T) is not a *QuotaError", err, err)
+	}
+	if qe.Tenant != "starved" || qe.PredictedSeconds <= qe.RemainingSeconds {
+		t.Fatalf("quota error fields inconsistent: %+v", qe)
+	}
+	if spent := svc.TenantSpent("starved"); spent != 0 {
+		t.Fatalf("rejected tenant was charged %v seconds", spent)
+	}
+
+	// An unlimited tenant runs the same spec fine and gets charged.
+	spec.Tenant = "funded"
+	if _, err := svc.Submit(spec); err != nil {
+		t.Fatalf("funded submit: %v", err)
+	}
+	if spent := svc.TenantSpent("funded"); spent <= 0 {
+		t.Fatal("completed query charged nothing")
+	}
+}
+
+// TestServiceQueueFull: with one executor held and the one-slot queue
+// occupied, the next submit fails fast with a typed *QueueFullError; the
+// held work still completes once released.
+func TestServiceQueueFull(t *testing.T) {
+	svc := New(Config{Store: store.NewObject(), Obs: obs.New(), Workers: 1, QueueDepth: 1})
+	defer svc.Close()
+	hold := make(chan struct{})
+	svc.holdExec = hold
+
+	spec := testSpec()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	submit := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = svc.Submit(spec)
+		}()
+	}
+
+	// First query: wait until the (held) executor has drained it from the
+	// queue. Second query: wait until it occupies the only queue slot.
+	submit(0)
+	waitFor(t, func() bool { return len(svc.queue) == 0 })
+	submit(1)
+	waitFor(t, func() bool { return len(svc.queue) == 1 })
+
+	_, err := svc.Submit(spec)
+	var fe *QueueFullError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v (%T) is not a *QueueFullError", err, err)
+	}
+	if fe.Depth != 1 {
+		t.Fatalf("QueueFullError.Depth = %d, want 1", fe.Depth)
+	}
+
+	close(hold)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("held query %d failed: %v", i, err)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServiceRejectsFaultSpecs: fault schedules and cached output don't
+// mix, so the resident service refuses them outright.
+func TestServiceRejectsFaultSpecs(t *testing.T) {
+	svc := New(Config{Obs: obs.New()})
+	defer svc.Close()
+	spec := testSpec()
+	spec.Faults = "map:0:error@0"
+	if _, err := svc.Submit(spec); err == nil || !strings.Contains(err.Error(), "fault injection") {
+		t.Fatalf("faulty spec error = %v, want fault-injection rejection", err)
+	}
+}
+
+// TestHTTPServer drives the full HTTP surface: POST /query twice (second is
+// a cache hit with identical sha), typed 429 on quota exhaustion, and
+// /metrics exposing the cache-hit counter.
+func TestHTTPServer(t *testing.T) {
+	svc := New(Config{
+		Store:  store.NewObject(),
+		Obs:    obs.New(),
+		Quotas: map[string]float64{"starved": 1e-12},
+	})
+	srv, err := NewServer("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr()
+
+	post := func(spec QuerySpec) (*http.Response, []byte) {
+		t.Helper()
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(url+"/query", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("POST /query: %v", err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read body: %v", err)
+		}
+		return resp, data
+	}
+
+	var cold, warm Response
+	hr, body := post(testSpec())
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("cold POST: %d %s", hr.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &cold); err != nil {
+		t.Fatalf("cold decode: %v", err)
+	}
+	hr, body = post(testSpec())
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("warm POST: %d %s", hr.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatalf("warm decode: %v", err)
+	}
+	if !warm.CacheHit || warm.OutputSHA != cold.OutputSHA {
+		t.Fatalf("warm response hit=%v sha=%s, want hit with sha %s", warm.CacheHit, warm.OutputSHA, cold.OutputSHA)
+	}
+
+	starved := testSpec()
+	starved.Tenant = "starved"
+	hr, body = post(starved)
+	if hr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota POST: %d %s, want 429", hr.StatusCode, body)
+	}
+	var eb struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Kind != "quota" {
+		t.Fatalf("quota error kind = %q (err %v), want \"quota\"", eb.Kind, err)
+	}
+
+	mr, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer mr.Body.Close()
+	metrics, _ := io.ReadAll(mr.Body)
+	if !strings.Contains(string(metrics), "scikey_cache_hit_total 1") {
+		t.Fatalf("metrics missing scikey_cache_hit_total 1:\n%s", metrics)
+	}
+}

@@ -121,6 +121,13 @@ type QueryConfig struct {
 	// Obs, when non-nil, records the job's trace spans and metrics (see
 	// mapreduce.Job.Obs). Nil disables observability.
 	Obs *obs.Observer
+	// MapCache, with a non-empty CacheKey, lets the job reuse (and store)
+	// published map-phase output across runs — the query service's shared
+	// segment cache plugs in here (see mapreduce.Job.MapCache). The caller
+	// derives CacheKey from everything that shapes map output bytes.
+	MapCache mapreduce.MapOutputCache
+	// CacheKey names this query's map output in MapCache.
+	CacheKey string
 }
 
 func (c QueryConfig) withDefaults() QueryConfig {
@@ -222,6 +229,8 @@ func SimpleKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, *keys.C
 		Remote:         cfg.Remote,
 		Parallelism:    cfg.Parallelism,
 		Obs:            cfg.Obs,
+		MapCache:       cfg.MapCache,
+		CacheKey:       cfg.CacheKey,
 		NewMapper: func() mapreduce.Mapper {
 			return mapreduce.MapperFunc(func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {
 				box := split.Data.(grid.Box)

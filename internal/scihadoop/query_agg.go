@@ -64,6 +64,8 @@ func AggKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, aggregate.
 		Remote:         cfg.Remote,
 		Parallelism:    cfg.Parallelism,
 		Obs:            cfg.Obs,
+		MapCache:       cfg.MapCache,
+		CacheKey:       cfg.CacheKey,
 
 		// Section IV-B, case one: split aggregate keys at routing time.
 		PartitionSplit: func(key, value []byte, n int) []mapreduce.RoutedKV {

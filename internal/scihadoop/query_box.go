@@ -54,6 +54,8 @@ func BoxKeyJob(fs *hdfs.FileSystem, cfg QueryConfig) (*mapreduce.Job, error) {
 		Remote:         cfg.Remote,
 		Parallelism:    cfg.Parallelism,
 		Obs:            cfg.Obs,
+		MapCache:       cfg.MapCache,
+		CacheKey:       cfg.CacheKey,
 
 		PartitionSplit: func(key, value []byte, n int) []mapreduce.RoutedKV {
 			k, err := kc.DecodeBox(serial.NewDataInput(key))

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+)
+
+// objectChunkSize bounds each CRC-framed chunk of a stored object. Small
+// enough that a transient read fault loses at most one chunk of progress,
+// large enough that framing overhead stays negligible.
+const objectChunkSize = 64 << 10
+
+// objectMagic opens every framed object so a Get can tell an object blob
+// from stray bytes before trusting any length field.
+const objectMagic = 0x53434f42 // "SCOB"
+
+// getAttempts bounds how many times Get restarts after a transient read
+// fault before giving up.
+const getAttempts = 4
+
+// Object is an S3-style in-memory object service. Objects are stored in the
+// same CRC frame the shuffle wire uses — a header of magic u32 | total-size
+// u64, then chunks of len u32 | crc32 u32 | payload, terminated by a
+// zero-length chunk — so a reader can verify integrity incrementally and,
+// after a transient fault, resume from the last verified byte offset
+// instead of refetching the whole object.
+type Object struct {
+	mu      sync.RWMutex
+	objects map[string][]byte // framed bytes
+
+	// readFault, when set, is consulted before each chunk read with the key
+	// and chunk index; a non-nil error simulates a transient backend fault
+	// at that point in the stream. Tests use this to exercise resume.
+	readFault func(key string, chunk int) error
+
+	resumes int64 // guarded by mu: Gets that resumed mid-object after a fault
+}
+
+// NewObject returns an empty object store.
+func NewObject() *Object {
+	return &Object{objects: make(map[string][]byte)}
+}
+
+// SetReadFault installs (or clears, with nil) the transient-fault hook.
+func (o *Object) SetReadFault(f func(key string, chunk int) error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.readFault = f
+}
+
+// Resumes reports how many Gets recovered from a transient fault by
+// resuming from a verified byte offset rather than restarting from zero.
+func (o *Object) Resumes() int64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.resumes
+}
+
+// frame encodes payload into the object frame.
+func frame(data []byte) []byte {
+	nChunks := (len(data) + objectChunkSize - 1) / objectChunkSize
+	out := make([]byte, 0, 12+len(data)+8*(nChunks+1))
+	out = binary.BigEndian.AppendUint32(out, objectMagic)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(data)))
+	for off := 0; off < len(data); off += objectChunkSize {
+		end := min(off+objectChunkSize, len(data))
+		chunk := data[off:end]
+		out = binary.BigEndian.AppendUint32(out, uint32(len(chunk)))
+		out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(chunk))
+		out = append(out, chunk...)
+	}
+	out = binary.BigEndian.AppendUint32(out, 0) // end marker
+	out = binary.BigEndian.AppendUint32(out, 0)
+	return out
+}
+
+// Put implements Store. The framed blob replaces any previous object under
+// key in one map write, so concurrent Gets see old or new, never a mix.
+func (o *Object) Put(key string, data []byte) error {
+	blob := frame(data)
+	o.mu.Lock()
+	o.objects[key] = blob
+	o.mu.Unlock()
+	return nil
+}
+
+// Get implements Store. Chunks are CRC-verified as they are consumed; a
+// transient read fault restarts the scan from the first unverified chunk
+// (byte-offset resume), and a CRC mismatch that survives the attempt budget
+// reports ErrCorrupt.
+func (o *Object) Get(key string) ([]byte, error) {
+	o.mu.RLock()
+	blob, ok := o.objects[key]
+	fault := o.readFault
+	o.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if len(blob) < 12 || binary.BigEndian.Uint32(blob) != objectMagic {
+		return nil, fmt.Errorf("%w: %s: bad header", ErrCorrupt, key)
+	}
+	total := binary.BigEndian.Uint64(blob[4:])
+	out := make([]byte, 0, total)
+
+	// off / chunk track the verified frontier: everything before off has
+	// passed its CRC and is already in out, so a retry after a fault picks
+	// up exactly here instead of rereading the prefix.
+	off, chunk := 12, 0
+	resumed := false
+	for attempt := 0; attempt < getAttempts; attempt++ {
+		if attempt > 0 {
+			resumed = true
+		}
+		err := func() error {
+			for {
+				if fault != nil {
+					if ferr := fault(key, chunk); ferr != nil {
+						return ferr
+					}
+				}
+				if off+8 > len(blob) {
+					return fmt.Errorf("%w: %s: truncated at chunk %d", ErrCorrupt, key, chunk)
+				}
+				n := int(binary.BigEndian.Uint32(blob[off:]))
+				sum := binary.BigEndian.Uint32(blob[off+4:])
+				if n == 0 {
+					if uint64(len(out)) != total {
+						return fmt.Errorf("%w: %s: got %d of %d bytes", ErrCorrupt, key, len(out), total)
+					}
+					return nil
+				}
+				if off+8+n > len(blob) {
+					return fmt.Errorf("%w: %s: truncated at chunk %d", ErrCorrupt, key, chunk)
+				}
+				payload := blob[off+8 : off+8+n]
+				if crc32.ChecksumIEEE(payload) != sum {
+					return fmt.Errorf("%w: %s: crc mismatch at chunk %d", ErrCorrupt, key, chunk)
+				}
+				out = append(out, payload...)
+				off += 8 + n
+				chunk++
+			}
+		}()
+		if err == nil {
+			if resumed {
+				o.mu.Lock()
+				o.resumes++
+				o.mu.Unlock()
+			}
+			return out, nil
+		}
+		// Corruption is deterministic — the same bytes fail the same way —
+		// so only transient (injected) faults are worth retrying.
+		if errors.Is(err, ErrCorrupt) {
+			return nil, err
+		}
+		if attempt == getAttempts-1 {
+			return nil, fmt.Errorf("store: get %s: %w", key, err)
+		}
+	}
+	panic("unreachable")
+}
+
+// Stat implements Store.
+func (o *Object) Stat(key string) (int64, error) {
+	o.mu.RLock()
+	blob, ok := o.objects[key]
+	o.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if len(blob) < 12 || binary.BigEndian.Uint32(blob) != objectMagic {
+		return 0, fmt.Errorf("%w: %s: bad header", ErrCorrupt, key)
+	}
+	return int64(binary.BigEndian.Uint64(blob[4:])), nil
+}
+
+// Delete implements Store.
+func (o *Object) Delete(key string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.objects[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	delete(o.objects, key)
+	return nil
+}
+
+// List implements Store.
+func (o *Object) List(prefix string) ([]string, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var out []string
+	for k := range o.objects {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Corrupt flips a byte inside the stored payload of key — a test helper for
+// exercising ErrCorrupt detection. Reports whether the key existed.
+func (o *Object) Corrupt(key string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	blob, ok := o.objects[key]
+	if !ok || len(blob) <= 20 {
+		return false
+	}
+	c := append([]byte(nil), blob...)
+	c[20] ^= 0xff // first payload byte of the first chunk
+	o.objects[key] = c
+	return true
+}

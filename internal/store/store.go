@@ -1,0 +1,35 @@
+// Package store abstracts the segment-persistence backends behind the query
+// service's shared map-output cache: a small put/get object interface with
+// whole-object overwrite semantics, implemented over the simulated HDFS
+// (Local) and over an S3-style in-memory object service (Object). The query
+// service encodes a job's published map-phase snapshot into one blob per
+// cache key and round-trips it through a Store, so swapping the backend
+// never changes the cached bytes — the byte-identity differentials run on
+// both.
+package store
+
+import "errors"
+
+// ErrNotFound reports a Get/Stat/Delete of a key the store does not hold.
+var ErrNotFound = errors.New("store: object not found")
+
+// ErrCorrupt reports stored bytes that failed the backend's integrity
+// checks (CRC framing) and could not be recovered by retrying.
+var ErrCorrupt = errors.New("store: object corrupt")
+
+// Store is a flat keyed blob store. Put overwrites atomically with respect
+// to Get: a concurrent reader sees either the old object or the new one,
+// never a torn mix. Implementations are safe for concurrent use.
+type Store interface {
+	// Put stores data under key, replacing any existing object.
+	Put(key string, data []byte) error
+	// Get returns the object's bytes (a copy the caller owns), or
+	// ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Stat returns the object's payload size, or ErrNotFound.
+	Stat(key string) (int64, error)
+	// Delete removes the object; deleting a missing key is ErrNotFound.
+	Delete(key string) error
+	// List returns the stored keys with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+}
